@@ -1,0 +1,113 @@
+// Package repro_test times the regeneration of every table and figure of
+// the paper at smoke fidelity, plus the design-choice ablations listed
+// in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration regenerates the complete experiment; use
+// cmd/wiboc with -quality standard|full for publication-fidelity runs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, fn func(experiments.Quality) string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := fn(experiments.Smoke); len(out) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// BenchmarkTable1LinkBudget regenerates Table I.
+func BenchmarkTable1LinkBudget(b *testing.B) { benchExperiment(b, experiments.Table1) }
+
+// BenchmarkFig1PathlossSweep regenerates the pathloss-versus-distance
+// study (models, synthetic measurements, reference curves).
+func BenchmarkFig1PathlossSweep(b *testing.B) { benchExperiment(b, experiments.Fig1) }
+
+// BenchmarkFig2ImpulseResponse regenerates the 50 mm impulse responses.
+func BenchmarkFig2ImpulseResponse(b *testing.B) { benchExperiment(b, experiments.Fig2) }
+
+// BenchmarkFig3ImpulseResponse regenerates the 150 mm diagonal-link
+// impulse responses.
+func BenchmarkFig3ImpulseResponse(b *testing.B) { benchExperiment(b, experiments.Fig3) }
+
+// BenchmarkFig4RequiredTxPower regenerates the PTX-versus-SNR curves.
+func BenchmarkFig4RequiredTxPower(b *testing.B) { benchExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5FilterDesigns regenerates the four ISI filter designs.
+func BenchmarkFig5FilterDesigns(b *testing.B) { benchExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6InformationRates regenerates the information-rate-versus-
+// SNR comparison of the six receivers.
+func BenchmarkFig6InformationRates(b *testing.B) { benchExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7TopologyMetrics regenerates the structural topology
+// comparison.
+func BenchmarkFig7TopologyMetrics(b *testing.B) { benchExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8aLatency64 regenerates the 64-module latency curves.
+func BenchmarkFig8aLatency64(b *testing.B) { benchExperiment(b, experiments.Fig8a) }
+
+// BenchmarkFig8bLatency512 regenerates the 512-module scaling study.
+func BenchmarkFig8bLatency512(b *testing.B) { benchExperiment(b, experiments.Fig8b) }
+
+// BenchmarkFig10LatencyVsEbN0 regenerates the latency-performance
+// trade-off of the LDPC-CC window decoder against the block-code
+// baseline.
+func BenchmarkFig10LatencyVsEbN0(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkAblationOversampling sweeps the receiver oversampling factor
+// against the paper's M = 5.
+func BenchmarkAblationOversampling(b *testing.B) {
+	benchExperiment(b, experiments.AblationOversampling)
+}
+
+// BenchmarkAblationServiceModel compares M/M/1 and M/D/1 waiting-time
+// models against the event simulator.
+func BenchmarkAblationServiceModel(b *testing.B) {
+	benchExperiment(b, experiments.AblationServiceModel)
+}
+
+// BenchmarkAblationPillars evaluates TSV-pillar-constrained 3D meshes.
+func BenchmarkAblationPillars(b *testing.B) { benchExperiment(b, experiments.AblationPillars) }
+
+// BenchmarkAblationVerticalBandwidth evaluates heterogeneous 3D meshes
+// with faster vertical links.
+func BenchmarkAblationVerticalBandwidth(b *testing.B) {
+	benchExperiment(b, experiments.AblationVerticalBandwidth)
+}
+
+// BenchmarkAblationDecoderAlgo compares the BP check-node rules
+// (sum-product vs normalised min-sum) at a fixed BER target.
+func BenchmarkAblationDecoderAlgo(b *testing.B) {
+	benchExperiment(b, experiments.AblationDecoderAlgo)
+}
+
+// BenchmarkAblationBPSchedule compares flooding and layered message
+// passing in the window decoder.
+func BenchmarkAblationBPSchedule(b *testing.B) {
+	benchExperiment(b, experiments.AblationBPSchedule)
+}
+
+// BenchmarkAblationWindowIterations sweeps the window decoder's
+// iteration budget.
+func BenchmarkAblationWindowIterations(b *testing.B) {
+	benchExperiment(b, experiments.AblationWindowIterations)
+}
+
+// BenchmarkSystemDesign times the end-to-end core design pipeline.
+func BenchmarkSystemDesign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DesignSystem(core.DefaultSpec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command linkcalc is an interactive link-budget calculator for wireless
+// board-to-board links in the 200+ GHz range, using the paper's Table I
+// parameter set as defaults.
+//
+// Example:
+//
+//	linkcalc -dist 0.3 -snr 15 -butler
+//	linkcalc -dist 0.1 -rate 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/linkbudget"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		dist    = flag.Float64("dist", 0.1, "link distance in metres")
+		snr     = flag.Float64("snr", 0, "target receiver SNR in dB (used when -rate is 0)")
+		rate    = flag.Float64("rate", 0, "target data rate in Gbit/s (derives the SNR via Shannon, dual polarisation)")
+		margin  = flag.Float64("margin", 3, "SNR margin in dB added to the Shannon requirement")
+		butler  = flag.Bool("butler", false, "apply the Butler-matrix direction-mismatch penalty")
+		nf      = flag.Float64("nf", 10, "receiver noise figure in dB")
+		bw      = flag.Float64("bw", 25, "bandwidth in GHz")
+		showTab = flag.Bool("table", false, "print the Table I parameter set and exit")
+	)
+	flag.Parse()
+
+	b := linkbudget.TableI()
+	b.RXNoiseFigureDB = *nf
+	b.BandwidthHz = *bw * 1e9
+
+	if *showTab {
+		fmt.Print(b.String())
+		return
+	}
+	if *dist <= 0 {
+		fmt.Fprintln(os.Stderr, "linkcalc: distance must be positive")
+		os.Exit(2)
+	}
+
+	targetSNR := *snr
+	if *rate > 0 {
+		perPol := *rate * 1e9 / 2 / b.BandwidthHz
+		targetSNR = units.DB(math.Pow(2, perPol)-1) + *margin
+		fmt.Printf("rate %.0f Gbit/s over %s dual-pol -> %.2f bit/s/Hz/pol -> SNR %.2f dB (incl. %.1f dB margin)\n",
+			*rate, units.FormatHz(b.BandwidthHz), perPol, targetSNR, *margin)
+	}
+
+	ptx := b.RequiredTxPowerDBm(*dist, targetSNR, *butler)
+	fmt.Printf("distance      : %.0f mm\n", *dist*1e3)
+	fmt.Printf("pathloss      : %s\n", units.FormatDB(b.Pathloss.LossDB(*dist)))
+	fmt.Printf("noise floor   : %s (kTB at %.0f K, %s)\n",
+		units.FormatDBm(b.NoiseFloorDBm()), b.RXTempK, units.FormatHz(b.BandwidthHz))
+	fmt.Printf("target SNR    : %s\n", units.FormatDB(targetSNR))
+	fmt.Printf("butler penalty: %v\n", *butler)
+	fmt.Printf("required PTX  : %s (%.2f mW)\n", units.FormatDBm(ptx), units.FromDBm(ptx)*1e3)
+	fmt.Printf("shannon rate  : %.1f Gbit/s at that SNR (dual polarisation)\n",
+		b.ShannonRateBps(targetSNR)/1e9)
+}

@@ -1,0 +1,109 @@
+// Command nocsim explores Network-in-Chip-Stack topologies: it evaluates
+// a mesh (2D, star, 3D, ciliated, pillar-constrained) under a traffic
+// pattern with the analytic queueing model and, optionally, the event
+// simulator.
+//
+// Examples:
+//
+//	nocsim -topo 3d -x 4 -y 4 -z 4 -inj 0.3
+//	nocsim -topo star -x 4 -y 4 -conc 4 -sweep
+//	nocsim -topo pillar -x 4 -y 4 -z 4 -every 2 -inj 0.2 -sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+	"repro/internal/noc/sim"
+)
+
+func main() {
+	var (
+		topoKind = flag.String("topo", "2d", "topology: 2d, star, 3d, ciliated, pillar")
+		x        = flag.Int("x", 8, "router grid extent X")
+		y        = flag.Int("y", 8, "router grid extent Y")
+		z        = flag.Int("z", 4, "router grid extent Z (3d/ciliated/pillar)")
+		conc     = flag.Int("conc", 4, "modules per router (star/ciliated)")
+		every    = flag.Int("every", 2, "TSV pillar spacing (pillar)")
+		inj      = flag.Float64("inj", 0.1, "injection rate in flits/cycle/module")
+		traffic  = flag.String("traffic", "uniform", "traffic: uniform, hotspot, bitcomp")
+		hotspot  = flag.Float64("hotspot", 0.2, "hotspot traffic fraction")
+		sweep    = flag.Bool("sweep", false, "print a latency curve up to saturation")
+		runSim   = flag.Bool("sim", false, "cross-check with the event simulator")
+		seed     = flag.Uint64("seed", 1, "simulator seed")
+	)
+	flag.Parse()
+
+	var topo *noc.Mesh
+	switch *topoKind {
+	case "2d":
+		topo = noc.NewMesh2D(*x, *y)
+	case "star":
+		topo = noc.NewStarMesh(*x, *y, *conc)
+	case "3d":
+		topo = noc.NewMesh3D(*x, *y, *z)
+	case "ciliated":
+		topo = noc.NewCiliated3D(*x, *y, *z, *conc)
+	case "pillar":
+		topo = noc.NewPillarMesh3D(*x, *y, *z, *every)
+	default:
+		fmt.Fprintf(os.Stderr, "nocsim: unknown topology %q\n", *topoKind)
+		os.Exit(2)
+	}
+
+	var pattern noc.TrafficPattern
+	switch *traffic {
+	case "uniform":
+		pattern = noc.Uniform{}
+	case "hotspot":
+		pattern = noc.Hotspot{Module: 0, Fraction: *hotspot}
+	case "bitcomp":
+		pattern = noc.BitComplement{}
+	default:
+		fmt.Fprintf(os.Stderr, "nocsim: unknown traffic %q\n", *traffic)
+		os.Exit(2)
+	}
+
+	model := analytic.Model{Topo: topo, Traffic: pattern}
+	m := topo.ComputeMetrics()
+	fmt.Printf("%s: %d routers, %d modules, %d channels (%d vertical)\n",
+		m.Name, m.Routers, m.Modules, m.Channels, m.VerticalChannels)
+	fmt.Printf("diameter %d, avg hops %.2f, bisection %d channels, traffic %s\n",
+		m.Diameter, m.AvgHops, m.BisectionChannels, pattern)
+	fmt.Printf("zero-load latency %.1f cycles, saturation %.3f flits/cycle/module\n",
+		model.ZeroLoadLatency(), model.SaturationRate())
+
+	if *sweep {
+		sat := model.SaturationRate()
+		fmt.Printf("\n%12s %16s\n", "inj[f/c/m]", "latency[cycles]")
+		for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+			r := frac * sat
+			lat, ok := model.AvgLatency(r)
+			if !ok {
+				fmt.Printf("%12.3f %16s\n", r, "saturated")
+				continue
+			}
+			fmt.Printf("%12.3f %16.1f\n", r, lat)
+		}
+		return
+	}
+
+	lat, ok := model.AvgLatency(*inj)
+	if !ok {
+		fmt.Printf("analytic: SATURATED at %.3f flits/cycle/module\n", *inj)
+	} else {
+		fmt.Printf("analytic latency at %.3f: %.1f cycles (M/M/1)\n", *inj, lat)
+	}
+
+	if *runSim {
+		res := sim.Run(sim.Config{
+			Topo: topo, Traffic: pattern, InjectionRate: *inj, Seed: *seed,
+		})
+		fmt.Printf("simulator: mean %.1f cycles, p95 %.1f, throughput %.3f, saturated=%v (%d packets)\n",
+			res.MeanLatencyCycles, res.P95LatencyCycles,
+			res.ThroughputPerModule, res.Saturated, res.Delivered)
+	}
+}

@@ -1,0 +1,65 @@
+// Backplane: size the wireless replacement of an electrical backplane.
+//
+// The paper's motivation is a 1-litre box of 4-5 boards holding up to a
+// billion processors, where the backplane aggregates all board-to-board
+// traffic. This example sweeps link rates and board spacings, sizes the
+// per-link transmit power for both beamforming realisations, and sums
+// the radio power the "backplane replacement" needs.
+//
+//	go run ./examples/backplane
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linkbudget"
+	"repro/internal/units"
+)
+
+func main() {
+	budget := linkbudget.TableI()
+
+	fmt.Println("Wireless backplane sizing (Table I radio, dual polarisation)")
+	fmt.Println()
+	fmt.Printf("%10s %10s %12s %16s %16s\n",
+		"rate[Gb/s]", "dist[mm]", "SNR[dB]", "PTX steer[dBm]", "PTX butler[dBm]")
+
+	for _, rateGbps := range []float64{50, 100, 200, 400} {
+		perPol := rateGbps * 1e9 / 2 / budget.BandwidthHz
+		snr := units.DB(math.Pow(2, perPol)-1) + 3 // 3 dB margin
+		for _, dist := range []float64{0.1, 0.2, 0.3} {
+			steer := budget.RequiredTxPowerDBm(dist, snr, false)
+			butler := budget.RequiredTxPowerDBm(dist, snr, true)
+			fmt.Printf("%10.0f %10.0f %12.2f %16.2f %16.2f\n",
+				rateGbps, dist*1e3, snr, steer, butler)
+		}
+	}
+
+	// Aggregate power for the paper's box: 4 boards, 9 nodes each, every
+	// node running one ahead link (100 mm) and one worst-case diagonal
+	// (300 mm) at 100 Gbit/s.
+	fmt.Println()
+	const boards, nodes = 4, 9
+	perPol := 100e9 / 2 / budget.BandwidthHz
+	snr := units.DB(math.Pow(2, perPol)-1) + 3
+	ahead := units.FromDBm(budget.RequiredTxPowerDBm(0.1, snr, false))
+	diag := units.FromDBm(budget.RequiredTxPowerDBm(0.3, snr, true))
+	links := boards * nodes
+	total := float64(links) * (ahead + diag)
+	fmt.Printf("box aggregate: %d nodes x (ahead + diagonal) at 100 Gbit/s\n", links)
+	fmt.Printf("  ahead link PA power    : %.2f mW\n", ahead*1e3)
+	fmt.Printf("  diagonal link PA power : %.2f mW (butler worst case)\n", diag*1e3)
+	fmt.Printf("  radiated total         : %.2f mW for %.1f Tbit/s of board-to-board capacity\n",
+		total*1e3, float64(2*links)*100/1000)
+	fmt.Printf("  energy efficiency      : %.2f pJ/bit (radiated)\n",
+		total/(float64(2*links)*100e9)*1e12)
+
+	// How far does Shannon let this radio scale? (the paper asks for
+	// Tbit/s per link "in the coming years")
+	fmt.Println()
+	fmt.Println("scaling outlook per link (25 GHz, dual polarisation):")
+	for _, snrDB := range []float64{10, 20, 30} {
+		fmt.Printf("  SNR %2.0f dB -> %.0f Gbit/s\n", snrDB, budget.ShannonRateBps(snrDB)/1e9)
+	}
+}

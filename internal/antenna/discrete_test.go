@@ -1,0 +1,74 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantizedSteeringLossShrinksWithBits(t *testing.T) {
+	a := NewHalfWave4x4()
+	theta, phi := 0.45, 0.7
+	prev := math.Inf(1)
+	for _, bits := range []int{1, 2, 3, 4, 6} {
+		loss := a.QuantizationLossDB(theta, phi, bits)
+		if loss < -1e-9 {
+			t.Fatalf("%d bits: negative loss %g", bits, loss)
+		}
+		if loss > prev+1e-9 {
+			t.Fatalf("%d bits: loss %g not below previous %g", bits, loss, prev)
+		}
+		prev = loss
+	}
+	// 6-bit phase shifters are practically ideal.
+	if prev > 0.02 {
+		t.Errorf("6-bit loss = %g dB, want ~0", prev)
+	}
+}
+
+func TestQuantizationLossNearSincBound(t *testing.T) {
+	// The average-case theory predicts sinc^2(1/2^B) gain; the worst
+	// case over directions should be of that order (within a few x).
+	a := NewHalfWave4x4()
+	for _, bits := range []int{2, 3, 4} {
+		states := math.Pow(2, float64(bits))
+		x := 1 / states
+		sinc := math.Sin(math.Pi*x) / (math.Pi * x)
+		bound := -10 * math.Log10(sinc*sinc)
+		worst := a.WorstQuantizationLossDB(0.9, 40, bits)
+		if worst > 6*bound+0.05 {
+			t.Errorf("%d bits: worst loss %g dB far above theory %g", bits, worst, bound)
+		}
+	}
+}
+
+func TestQuantizedBoresightIsExact(t *testing.T) {
+	// At boresight all ideal phases are zero, so quantisation is free.
+	a := NewHalfWave4x4()
+	if l := a.QuantizationLossDB(0, 0, 1); math.Abs(l) > 1e-9 {
+		t.Errorf("boresight quantisation loss = %g, want 0", l)
+	}
+}
+
+func TestQuantizedSteeringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-bit shifter did not panic")
+		}
+	}()
+	NewHalfWave4x4().QuantizedSteeringVector(0.1, 0, 0)
+}
+
+func TestButlerVsDiscreteBeamforming(t *testing.T) {
+	// The complexity trade of Sec. II-B: a Butler matrix is cheaper than
+	// per-element phase shifters but its fixed grid loses more than even
+	// coarse 3-bit discrete steering in the worst direction.
+	a := NewHalfWave4x4()
+	butler := NewButlerMatrix(4, 0.5).WorstCaseMismatchLossDB(0.8, 200)
+	discrete := a.WorstQuantizationLossDB(asinApprox(0.8), 40, 3)
+	if discrete >= butler {
+		t.Errorf("3-bit discrete loss %g dB not below Butler worst case %g dB",
+			discrete, butler)
+	}
+}
+
+func asinApprox(u float64) float64 { return math.Asin(u) }

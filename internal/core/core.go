@@ -1,0 +1,378 @@
+// Package core composes the paper's four building blocks into its actual
+// proposal: a multi-board electronic system whose backplane is replaced
+// by direct wireless board-to-board links between 3D chip-stacks.
+//
+//   - Sec. II  (channel + link budget)  -> link planning and TX power
+//   - Sec. III (1-bit oversampling)     -> energy-efficient PHY choice
+//   - Sec. IV  (3D NiCS)                -> the network inside each stack
+//   - Sec. V   (LDPC-CC window decoder) -> latency-constrained coding
+//
+// DesignSystem takes a system specification (boards, nodes, traffic,
+// latency budget) and returns a complete, explainable design: per-link
+// transmit powers, the receiver architecture, the code and window size,
+// and the intra-stack NoC topology with its predicted latency.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ldpc"
+	"repro/internal/linkbudget"
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+	"repro/internal/units"
+)
+
+// SystemSpec describes the system to interconnect.
+type SystemSpec struct {
+	// Boards is the number of parallel boards in the box (the paper
+	// pictures 4-5 boards per litre).
+	Boards int
+	// BoardSpacingM separates adjacent boards (0.1 m in Table I).
+	BoardSpacingM float64
+	// BoardEdgeM is the square board edge (0.1 m, "10cm x 10cm").
+	BoardEdgeM float64
+	// NodesPerBoard is the number of chip-stack nodes per board; nodes
+	// are assumed spread over the board, so the worst diagonal link
+	// spans the full board edge.
+	NodesPerBoard int
+	// LinkRateGbps is the target data rate per wireless link
+	// (100 Gbit/s in the paper).
+	LinkRateGbps float64
+	// LatencyBudgetBits bounds the structural decoding latency of the
+	// error-correction stage in information bits (Eq. 4).
+	LatencyBudgetBits int
+	// StackModules is the number of processing modules inside each 3D
+	// chip-stack's NiCS.
+	StackModules int
+	// StackInjectionRate is the per-module NoC load in
+	// flits/cycle/module used to evaluate topologies.
+	StackInjectionRate float64
+	// Butler selects the Butler-matrix beamforming realisation (cheaper
+	// hardware, 5 dB worst-case direction mismatch) over full beam
+	// steering.
+	Butler bool
+	// SNRMarginDB is added on top of the Shannon-derived SNR requirement
+	// to cover coding gap and ageing (default 3 dB).
+	SNRMarginDB float64
+}
+
+// Validate checks the specification for contradictions.
+func (s SystemSpec) Validate() error {
+	switch {
+	case s.Boards < 1:
+		return fmt.Errorf("core: need at least one board, got %d", s.Boards)
+	case s.BoardSpacingM <= 0:
+		return fmt.Errorf("core: board spacing %g m must be positive", s.BoardSpacingM)
+	case s.BoardEdgeM <= 0:
+		return fmt.Errorf("core: board edge %g m must be positive", s.BoardEdgeM)
+	case s.NodesPerBoard < 1:
+		return fmt.Errorf("core: need at least one node per board, got %d", s.NodesPerBoard)
+	case s.LinkRateGbps <= 0:
+		return fmt.Errorf("core: link rate %g Gbit/s must be positive", s.LinkRateGbps)
+	case s.LatencyBudgetBits < 75:
+		return fmt.Errorf("core: latency budget %d bits below the smallest window decoder (75)", s.LatencyBudgetBits)
+	case s.StackModules < 2:
+		return fmt.Errorf("core: a NiCS needs at least 2 modules, got %d", s.StackModules)
+	case s.StackInjectionRate <= 0:
+		return fmt.Errorf("core: stack injection rate must be positive")
+	}
+	return nil
+}
+
+// DefaultSpec returns the paper's running example: 4 boards of
+// 10cm x 10cm at 100 mm spacing, 100 Gbit/s links, 64-module stacks.
+func DefaultSpec() SystemSpec {
+	return SystemSpec{
+		Boards:             4,
+		BoardSpacingM:      0.1,
+		BoardEdgeM:         0.1,
+		NodesPerBoard:      9,
+		LinkRateGbps:       100,
+		LatencyBudgetBits:  200,
+		StackModules:       64,
+		StackInjectionRate: 0.1,
+		Butler:             true,
+		SNRMarginDB:        3,
+	}
+}
+
+// LinkPlan is the wireless plan for one link class.
+type LinkPlan struct {
+	// Name labels the class ("ahead", "diagonal").
+	Name string
+	// DistanceM is the link length.
+	DistanceM float64
+	// TargetSNRdB at the receiver.
+	TargetSNRdB float64
+	// TxPowerDBm required to close the link.
+	TxPowerDBm float64
+	// Butler reports whether the Butler penalty applies.
+	Butler bool
+}
+
+// CodePlan is the chosen error-correction configuration.
+type CodePlan struct {
+	// Lifting N and Window W of the LDPC-CC.
+	Lifting, Window int
+	// LatencyBits is TWD of Eq. 4.
+	LatencyBits float64
+	// Rate is the asymptotic code rate.
+	Rate float64
+	// BlockCodeLatencyBits is what an LDPC-BC would need for comparable
+	// strength (the Fig. 10 trade), taken as 2x the window latency per
+	// the paper's 3 dB operating example.
+	BlockCodeLatencyBits float64
+}
+
+// StackPlan is the chosen intra-stack network.
+type StackPlan struct {
+	// Topology is the winning NiCS mesh.
+	Topology *noc.Mesh
+	// LatencyCycles is the analytic mean packet latency at the specified
+	// injection rate.
+	LatencyCycles float64
+	// SaturationRate is the topology's throughput limit.
+	SaturationRate float64
+	// Alternatives lists the evaluated contenders for the report.
+	Alternatives []StackAlternative
+}
+
+// StackAlternative records one evaluated topology.
+type StackAlternative struct {
+	Name           string
+	LatencyCycles  float64
+	SaturationRate float64
+	Feasible       bool
+}
+
+// Design is the complete system design.
+type Design struct {
+	Spec   SystemSpec
+	Budget linkbudget.Budget
+	// SpectralEfficiency is the required bit/s/Hz per polarisation.
+	SpectralEfficiency float64
+	Links              []LinkPlan
+	Code               CodePlan
+	Stack              StackPlan
+}
+
+// DesignSystem runs the full design pipeline.
+func DesignSystem(spec SystemSpec) (*Design, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.SNRMarginDB == 0 {
+		spec.SNRMarginDB = 3
+	}
+	d := &Design{Spec: spec, Budget: linkbudget.TableI()}
+	d.Budget.ShortestLinkM = spec.BoardSpacingM
+	longest := math.Sqrt(spec.BoardSpacingM*spec.BoardSpacingM + 2*spec.BoardEdgeM*spec.BoardEdgeM)
+	d.Budget.LongestLinkM = longest
+
+	// Required SNR from the rate target: dual polarisation over the
+	// Table I bandwidth, Shannon plus margin.
+	perPol := spec.LinkRateGbps * 1e9 / 2 / d.Budget.BandwidthHz
+	d.SpectralEfficiency = perPol
+	targetSNR := units.DB(math.Pow(2, perPol)-1) + spec.SNRMarginDB
+
+	d.Links = []LinkPlan{
+		{
+			Name:        "ahead",
+			DistanceM:   spec.BoardSpacingM,
+			TargetSNRdB: targetSNR,
+			TxPowerDBm:  d.Budget.RequiredTxPowerDBm(spec.BoardSpacingM, targetSNR, false),
+		},
+		{
+			Name:        "diagonal",
+			DistanceM:   longest,
+			TargetSNRdB: targetSNR,
+			Butler:      spec.Butler,
+			TxPowerDBm:  d.Budget.RequiredTxPowerDBm(longest, targetSNR, spec.Butler),
+		},
+	}
+
+	var err error
+	d.Code, err = chooseCode(spec.LatencyBudgetBits)
+	if err != nil {
+		return nil, err
+	}
+	d.Stack, err = chooseStack(spec.StackModules, spec.StackInjectionRate)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// chooseCode picks the (N, W) pair of the paper's code family whose
+// structural latency fits the budget, following the shape of Fig. 10:
+// performance improves with the spent latency W*N, the minimum window
+// W = mcc+1 is a last resort (its curves sit far right of the others),
+// and at equal spent latency a larger lifting factor (longer constraint
+// length) wins.
+func chooseCode(budgetBits int) (CodePlan, error) {
+	spreading := ldpc.PaperSpreading()
+	rate := 0.5
+	nv := 2
+	minW := spreading.Memory() + 1
+
+	type cand struct {
+		n, w int
+		lat  float64
+	}
+	better := func(a, b cand) bool { // is a better than b
+		aHealthy, bHealthy := a.w > minW, b.w > minW
+		if aHealthy != bHealthy {
+			return aHealthy
+		}
+		if a.lat != b.lat {
+			return a.lat > b.lat // spend the budget
+		}
+		return a.n > b.n // longer constraint length
+	}
+
+	var best cand
+	found := false
+	for _, n := range []int{25, 40, 60} {
+		for w := minW; w <= 8; w++ {
+			lat := ldpc.WindowLatencyBits(w, n, nv, rate)
+			if lat > float64(budgetBits) {
+				break
+			}
+			c := cand{n: n, w: w, lat: lat}
+			if !found || better(c, best) {
+				best = c
+				found = true
+			}
+		}
+	}
+	if !found {
+		return CodePlan{}, fmt.Errorf("core: no LDPC-CC configuration fits %d bits (minimum is W=3, N=25: 75 bits)", budgetBits)
+	}
+	return CodePlan{
+		Lifting: best.n, Window: best.w,
+		LatencyBits:          best.lat,
+		Rate:                 rate,
+		BlockCodeLatencyBits: 2 * best.lat,
+	}, nil
+}
+
+// chooseStack evaluates the Fig. 7 topology types for the module count
+// and picks the lowest-latency feasible one at the given load.
+func chooseStack(modules int, injection float64) (StackPlan, error) {
+	var alts []StackAlternative
+	var bestMesh *noc.Mesh
+	bestLat := math.Inf(1)
+	var bestSat float64
+
+	for _, topo := range candidateTopologies(modules) {
+		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+		sat := model.SaturationRate()
+		lat, ok := model.AvgLatency(injection)
+		alts = append(alts, StackAlternative{
+			Name:           topo.Name(),
+			LatencyCycles:  lat,
+			SaturationRate: sat,
+			Feasible:       ok,
+		})
+		if ok && lat < bestLat {
+			bestMesh, bestLat, bestSat = topo, lat, sat
+		}
+	}
+	if bestMesh == nil {
+		return StackPlan{Alternatives: alts},
+			fmt.Errorf("core: no topology sustains %.2f flits/cycle/module for %d modules", injection, modules)
+	}
+	return StackPlan{
+		Topology:       bestMesh,
+		LatencyCycles:  bestLat,
+		SaturationRate: bestSat,
+		Alternatives:   alts,
+	}, nil
+}
+
+// candidateTopologies proposes meshes of the Fig. 7 types with module
+// counts matching the request (rounding the grid up where needed).
+func candidateTopologies(modules int) []*noc.Mesh {
+	var out []*noc.Mesh
+	// 2D mesh, near-square.
+	w := int(math.Ceil(math.Sqrt(float64(modules))))
+	h := (modules + w - 1) / w
+	out = append(out, noc.NewMesh2D(w, h))
+	// Star-mesh with concentration 4.
+	if modules >= 4 {
+		sw := int(math.Ceil(math.Sqrt(float64(modules) / 4)))
+		sh := (modules/4 + sw - 1) / sw
+		if sw >= 1 && sh >= 1 {
+			out = append(out, noc.NewStarMesh(sw, sh, 4))
+		}
+	}
+	// 3D mesh, near-cubic.
+	c := int(math.Ceil(math.Cbrt(float64(modules))))
+	cz := (modules + c*c - 1) / (c * c)
+	if cz >= 2 {
+		out = append(out, noc.NewMesh3D(c, c, cz))
+		// Ciliated 3D mesh with concentration 2.
+		if modules >= 8 && modules%2 == 0 {
+			h := int(math.Ceil(math.Cbrt(float64(modules) / 2)))
+			hz := (modules/2 + h*h - 1) / (h * h)
+			if hz >= 2 {
+				out = append(out, noc.NewCiliated3D(h, h, hz, 2))
+			}
+		}
+	}
+	return out
+}
+
+// TotalNodes returns the number of wireless nodes in the system.
+func (d *Design) TotalNodes() int { return d.Spec.Boards * d.Spec.NodesPerBoard }
+
+// WorstTxPowerDBm returns the largest required transmit power.
+func (d *Design) WorstTxPowerDBm() float64 {
+	worst := math.Inf(-1)
+	for _, l := range d.Links {
+		if l.TxPowerDBm > worst {
+			worst = l.TxPowerDBm
+		}
+	}
+	return worst
+}
+
+// Report renders a human-readable design summary.
+func (d *Design) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wireless backplane design (%d boards x %d nodes, %g Gbit/s links)\n",
+		d.Spec.Boards, d.Spec.NodesPerBoard, d.Spec.LinkRateGbps)
+	fmt.Fprintf(&sb, "  carrier %s, bandwidth %s, dual polarisation, %.2f bit/s/Hz/pol\n",
+		units.FormatHz(d.Budget.FreqHz), units.FormatHz(d.Budget.BandwidthHz), d.SpectralEfficiency)
+	for _, l := range d.Links {
+		flag := ""
+		if l.Butler {
+			flag = " (butler worst case)"
+		}
+		fmt.Fprintf(&sb, "  link %-9s %.0f mm: target SNR %5.1f dB -> PTX %6.1f dBm%s\n",
+			l.Name, l.DistanceM*1e3, l.TargetSNRdB, l.TxPowerDBm, flag)
+	}
+	fmt.Fprintf(&sb, "  code: (4,8) LDPC-CC N=%d W=%d, latency %.0f info bits (block code: %.0f)\n",
+		d.Code.Lifting, d.Code.Window, d.Code.LatencyBits, d.Code.BlockCodeLatencyBits)
+	fmt.Fprintf(&sb, "  stack NoC: %s, mean latency %.1f cycles, saturation %.2f flits/cycle/module\n",
+		d.Stack.Topology.Name(), d.Stack.LatencyCycles, d.Stack.SaturationRate)
+	for _, a := range d.Stack.Alternatives {
+		status := "ok"
+		if !a.Feasible {
+			status = "saturated"
+		}
+		fmt.Fprintf(&sb, "    candidate %-30s latency %6.1f  sat %.2f  [%s]\n",
+			a.Name, a.LatencyCycles, a.SaturationRate, status)
+	}
+	return sb.String()
+}
+
+// PathlossModelForSpec returns the measured-channel pathloss model used
+// by the design, for callers that want raw channel numbers.
+func PathlossModelForSpec(spec SystemSpec) channel.Pathloss {
+	return channel.NewFreespacePathloss(232.5e9, 0.1)
+}

@@ -1,0 +1,371 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func complexClose(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			sum += x[i] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func rampSignal(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%7)-3, float64((i*i)%5)-2)
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 12, 16, 17, 30, 64, 100} {
+		x := rampSignal(n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		for k := range want {
+			if !complexClose(got[k], want[k], 1e-8*float64(n)) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 128, 4096} {
+		x := rampSignal(n)
+		rt := IFFT(FFT(x))
+		for i := range x {
+			if !complexClose(rt[i], x[i], 1e-8*float64(n)) {
+				t.Fatalf("n=%d: IFFT(FFT(x))[%d] = %v, want %v", n, i, rt[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	x := rampSignal(16)
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT/IFFT modified the input slice")
+		}
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 64)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if !complexClose(v, 1, 1e-10) {
+			t.Fatalf("FFT of impulse not flat at bin %d: %v", k, v)
+		}
+	}
+}
+
+func TestFFTSingleToneLandsInOneBin(t *testing.T) {
+	const n, bin = 256, 19
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * bin * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	X := FFT(x)
+	for k := range X {
+		want := complex(0, 0)
+		if k == bin {
+			want = complex(n, 0)
+		}
+		if !complexClose(X[k], want, 1e-7) {
+			t.Fatalf("tone leakage at bin %d: %v", k, X[k])
+		}
+	}
+}
+
+func TestFFTRealMatchesComplex(t *testing.T) {
+	x := []float64{1, 2, -1, 0.5, 3, -2, 0, 1}
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	a, b := FFTReal(x), FFT(c)
+	for i := range a {
+		if !complexClose(a[i], b[i], 1e-10) {
+			t.Fatal("FFTReal disagrees with FFT")
+		}
+	}
+}
+
+// Property: Parseval's theorem, sum|x|^2 = (1/N) sum|X|^2.
+func TestPropertyParseval(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		x := make([]complex128, len(raw))
+		var tx float64
+		for i, v := range raw {
+			v = math.Mod(v, 1e3)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			x[i] = complex(v, 0)
+			tx += v * v
+		}
+		X := FFT(x)
+		var fx float64
+		for _, v := range X {
+			fx += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fx /= float64(len(x))
+		return math.Abs(tx-fx) <= 1e-6*(1+tx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FFT is linear.
+func TestPropertyFFTLinearity(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed)%60 + 4
+		a, b := rampSignal(n), make([]complex128, n)
+		for i := range b {
+			b[i] = complex(float64((i*3)%11)-5, float64(i%4))
+		}
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+		for i := range fs {
+			if !complexClose(fs[i], 2*fa[i]+3*fb[i], 1e-7*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowCoefficients(t *testing.T) {
+	hann := Hann.Coefficients(5)
+	want := []float64{0, 0.5, 1, 0.5, 0}
+	for i := range want {
+		if math.Abs(hann[i]-want[i]) > 1e-12 {
+			t.Errorf("hann[%d] = %g, want %g", i, hann[i], want[i])
+		}
+	}
+	rect := Rectangular.Coefficients(4)
+	for _, v := range rect {
+		if v != 1 {
+			t.Error("rectangular window must be all ones")
+		}
+	}
+	// Hamming endpoints are 0.08; Blackman endpoints ~0.
+	if h := Hamming.Coefficients(11); math.Abs(h[0]-0.08) > 1e-12 {
+		t.Errorf("hamming[0] = %g, want 0.08", h[0])
+	}
+	if bl := Blackman.Coefficients(11); math.Abs(bl[0]) > 1e-12 {
+		t.Errorf("blackman[0] = %g, want ~0", bl[0])
+	}
+}
+
+func TestWindowSingleSample(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		if c := w.Coefficients(1); len(c) != 1 || c[0] != 1 {
+			t.Errorf("%v.Coefficients(1) = %v, want [1]", w, c)
+		}
+	}
+}
+
+func TestWindowPanicsOnNonPositiveLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coefficients(0) did not panic")
+		}
+	}()
+	Hann.Coefficients(0)
+}
+
+func TestWindowCoherentGain(t *testing.T) {
+	// Rectangular coherent gain is exactly 1; Hann approaches 0.5.
+	if g := Rectangular.CoherentGain(64); math.Abs(g-1) > 1e-12 {
+		t.Errorf("rect gain = %g", g)
+	}
+	if g := Hann.CoherentGain(4096); math.Abs(g-0.5) > 1e-3 {
+		t.Errorf("hann gain = %g, want ~0.5", g)
+	}
+}
+
+func TestWindowStrings(t *testing.T) {
+	if Rectangular.String() != "rectangular" || Hann.String() != "hann" ||
+		Hamming.String() != "hamming" || Blackman.String() != "blackman" {
+		t.Error("window String() values wrong")
+	}
+	if Window(99).String() != "unknown" {
+		t.Error("unknown window String() wrong")
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{0, 1, 0.5})
+	want := []float64{0, 1, 2.5, 4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty convolution should be nil")
+	}
+}
+
+func TestCrossCorrelateFindsLag(t *testing.T) {
+	a := []float64{0, 0, 0, 1, 2, 1, 0, 0}
+	b := []float64{1, 2, 1}
+	r := CrossCorrelate(a, b)
+	// Peak should be where b aligns with a's bump.
+	peak := ArgMax(r)
+	lag := peak - (len(b) - 1) // convert index to lag
+	if lag != 3 {
+		t.Errorf("correlation peak lag = %d, want 3", lag)
+	}
+}
+
+func TestUpsample(t *testing.T) {
+	got := Upsample([]float64{1, 2}, 3)
+	want := []float64{1, 0, 0, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Upsample = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUpsamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Upsample factor 0 did not panic")
+		}
+	}()
+	Upsample([]float64{1}, 0)
+}
+
+func TestEnergyAndNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	if e := Energy(x); e != 25 {
+		t.Errorf("Energy = %g, want 25", e)
+	}
+	NormalizeEnergy(x)
+	if e := Energy(x); math.Abs(e-1) > 1e-12 {
+		t.Errorf("normalised energy = %g, want 1", e)
+	}
+	zero := []float64{0, 0}
+	if s := NormalizeEnergy(zero); s != 0 {
+		t.Errorf("zero-signal normalisation factor = %g, want 0", s)
+	}
+}
+
+func TestSinc(t *testing.T) {
+	if Sinc(0) != 1 {
+		t.Error("Sinc(0) != 1")
+	}
+	for k := 1; k <= 5; k++ {
+		if v := Sinc(float64(k)); math.Abs(v) > 1e-15 {
+			t.Errorf("Sinc(%d) = %g, want 0", k, v)
+		}
+	}
+}
+
+func TestRaisedCosine(t *testing.T) {
+	// At t=0 the pulse is 1 for any roll-off.
+	for _, beta := range []float64{0, 0.35, 1} {
+		if v := RaisedCosine(0, beta); math.Abs(v-1) > 1e-12 {
+			t.Errorf("RC(0, %g) = %g, want 1", beta, v)
+		}
+	}
+	// Nyquist zero crossings at integer t.
+	for k := 1; k <= 4; k++ {
+		if v := RaisedCosine(float64(k), 0.35); math.Abs(v) > 1e-12 {
+			t.Errorf("RC(%d) = %g, want 0", k, v)
+		}
+	}
+	// Removable singularity at t = 1/(2 beta).
+	v := RaisedCosine(1/(2*0.5), 0.5)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("RC singularity not handled: %g", v)
+	}
+}
+
+func TestRaisedCosinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RaisedCosine with beta > 1 did not panic")
+		}
+	}()
+	RaisedCosine(0, 2)
+}
+
+func TestMaxAbsArgMax(t *testing.T) {
+	x := []float64{1, -5, 3}
+	if MaxAbs(x) != 5 {
+		t.Error("MaxAbs wrong")
+	}
+	if ArgMax(x) != 2 {
+		t.Error("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 || MaxAbs(nil) != 0 {
+		t.Error("empty-input conventions violated")
+	}
+}
+
+func TestMagnitudeDB(t *testing.T) {
+	db := MagnitudeDB([]complex128{10, 0})
+	if math.Abs(db[0]-20) > 1e-12 {
+		t.Errorf("MagnitudeDB(10) = %g, want 20", db[0])
+	}
+	if math.IsInf(db[1], -1) {
+		t.Error("MagnitudeDB(0) must be floored, not -Inf")
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := rampSignal(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein4095(b *testing.B) {
+	x := rampSignal(4095)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

@@ -1,0 +1,84 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window for spectral analysis.
+type Window int
+
+// Supported windows. Rectangular gives the sharpest main lobe; Hann and
+// Hamming trade main-lobe width for sidelobe suppression, which matters
+// when reading weak echoes next to the line-of-sight peak in the VNA
+// impulse responses.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window samples. n must be positive.
+func (w Window) Coefficients(n int) []float64 {
+	if n <= 0 {
+		panic("dsp: window length must be positive")
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := range out {
+		t := float64(i) / den
+		switch w {
+		case Rectangular:
+			out[i] = 1
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			panic("dsp: unknown window")
+		}
+	}
+	return out
+}
+
+// Apply multiplies x element-wise by the window and returns a new slice.
+func (w Window) Apply(x []complex128) []complex128 {
+	coef := w.Coefficients(len(x))
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] * complex(coef[i], 0)
+	}
+	return out
+}
+
+// CoherentGain returns the window's mean coefficient, i.e. the amplitude
+// scaling it applies to a coherent (DC-like) component. Dividing a
+// windowed spectrum by this restores absolute levels.
+func (w Window) CoherentGain(n int) float64 {
+	coef := w.Coefficients(n)
+	var sum float64
+	for _, c := range coef {
+		sum += c
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each function returns the experiment output as a printable
+// report; cmd/wiboc exposes them on the command line and the repository's
+// top-level benchmarks time them.
+//
+// Monte-Carlo fidelity is controlled by Quality: Smoke keeps everything
+// in CI-friendly seconds, Standard is the EXPERIMENTS.md recording
+// fidelity, Full runs at paper fidelity (BER 1e-5 targets).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Quality selects the Monte-Carlo fidelity of the experiments.
+type Quality int
+
+const (
+	// Smoke targets seconds per experiment (tests and benchmarks).
+	Smoke Quality = iota
+	// Standard targets minutes overall (EXPERIMENTS.md numbers).
+	Standard
+	// Full reproduces the paper's operating points (BER 1e-5).
+	Full
+)
+
+// ParseQuality maps a CLI string to a Quality.
+func ParseQuality(s string) (Quality, error) {
+	switch strings.ToLower(s) {
+	case "smoke":
+		return Smoke, nil
+	case "standard":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	default:
+		return Smoke, fmt.Errorf("experiments: unknown quality %q (smoke|standard|full)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case Smoke:
+		return "smoke"
+	case Standard:
+		return "standard"
+	case Full:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// table is a small helper for aligned text reports.
+type table struct {
+	sb strings.Builder
+}
+
+func (t *table) title(format string, args ...any) {
+	fmt.Fprintf(&t.sb, format+"\n", args...)
+}
+
+func (t *table) row(format string, args ...any) {
+	fmt.Fprintf(&t.sb, format+"\n", args...)
+}
+
+func (t *table) blank() { t.sb.WriteByte('\n') }
+
+func (t *table) String() string { return t.sb.String() }

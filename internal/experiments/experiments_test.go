@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQuality(t *testing.T) {
+	for s, want := range map[string]Quality{
+		"smoke": Smoke, "standard": Standard, "full": Full, "SMOKE": Smoke,
+	} {
+		got, err := ParseQuality(s)
+		if err != nil || got != want {
+			t.Errorf("ParseQuality(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseQuality("bogus"); err == nil {
+		t.Error("bogus quality accepted")
+	}
+	if Smoke.String() != "smoke" || Standard.String() != "standard" ||
+		Full.String() != "full" || Quality(9).String() != "unknown" {
+		t.Error("quality names wrong")
+	}
+}
+
+func TestFig1Content(t *testing.T) {
+	out := Fig1(Smoke)
+	for _, want := range []string{"Fig. 1", "2.000", "freespace model", "copper-board model", "FSPL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+	// The fitted copper exponent should print near 2.04x.
+	if !strings.Contains(out, "10*2.0") {
+		t.Errorf("Fig1 fitted exponent not ~2.0x:\n%s", firstLines(out, 4))
+	}
+}
+
+func TestFig2And3Content(t *testing.T) {
+	for name, out := range map[string]string{"Fig2": Fig2(Smoke), "Fig3": Fig3(Smoke)} {
+		if !strings.Contains(out, "freespace") || !strings.Contains(out, "copper boards") {
+			t.Errorf("%s missing scenarios", name)
+		}
+		if !strings.Contains(out, "tau [ns]") {
+			t.Errorf("%s missing delay axis", name)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out := Table1(Smoke)
+	for _, want := range []string{"59.8", "69.3", "Butler", "323", "kTB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestFig4Content(t *testing.T) {
+	out := Fig4(Smoke)
+	for _, want := range []string{"shortest", "longest", "butler", "4.77"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 missing %q", want)
+		}
+	}
+}
+
+func TestFig5Content(t *testing.T) {
+	out := Fig5(Smoke)
+	for _, want := range []string{"(a)", "(b)", "(c)", "(d)", "rectangular",
+		"symbolwise-optimal", "sequence-optimal", "suboptimal", "tau/T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 missing %q", want)
+		}
+	}
+}
+
+func TestFig6Content(t *testing.T) {
+	out := Fig6(Smoke)
+	for _, want := range []string{"seq-opt", "no-quant", "rect-OS", "35.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 missing %q", want)
+		}
+	}
+}
+
+func TestFig7Content(t *testing.T) {
+	out := Fig7(Smoke)
+	for _, want := range []string{"2D mesh", "star-mesh", "3D mesh", "ciliated", "bisection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 missing %q", want)
+		}
+	}
+}
+
+func TestFig8Content(t *testing.T) {
+	a := Fig8a(Smoke)
+	for _, want := range []string{"8x8 2D mesh", "star-mesh", "3D mesh", "saturated", "saturation"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("Fig8a missing %q", want)
+		}
+	}
+	b := Fig8b(Smoke)
+	for _, want := range []string{"32x16", "8x8x8", "gap"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("Fig8b missing %q", want)
+		}
+	}
+}
+
+func TestFig10SmokeContent(t *testing.T) {
+	out := Fig10(Smoke)
+	if !strings.Contains(out, "LDPC-CC") || !strings.Contains(out, "LDPC-BC") {
+		t.Fatalf("Fig10 missing code families:\n%s", out)
+	}
+	if strings.Count(out, "unreached") > 2 {
+		t.Errorf("Fig10: too many unreached search points:\n%s", out)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	for name, fn := range map[string]func(Quality) string{
+		"service": AblationServiceModel,
+		"pillars": AblationPillars,
+	} {
+		out := fn(Smoke)
+		if len(out) < 50 {
+			t.Errorf("%s ablation output too short", name)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/linkbudget"
+	"repro/internal/vna"
+)
+
+// Fig1 reproduces the pathloss-versus-distance study: the theoretical
+// models (n = 2.000 freespace, n ~ 2.0454 parallel copper boards), the
+// synthetic VNA measurements for both setups, and the freespace
+// reference curves with antenna/array gains.
+func Fig1(q Quality) string {
+	a := vna.New(1)
+	distances := []float64{0.02, 0.03, 0.05, 0.075, 0.1, 0.125, 0.15, 0.2}
+	if q != Smoke {
+		distances = []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.075, 0.09,
+			0.1, 0.115, 0.125, 0.15, 0.175, 0.2}
+	}
+
+	free := a.PathlossSweep(vna.SweepConfig{
+		Distances:          distances,
+		PhaseCenterOffsetM: 0.008,
+	})
+	boards := a.PathlossSweep(vna.SweepConfig{
+		Distances: distances,
+		Copper:    true,
+		Diagonal:  true,
+	})
+	pl := channel.NewFreespacePathloss(a.CentreHz(), 0.1)
+
+	var t table
+	t.title("Fig. 1 — pathloss vs distance, %s band (quality %s)", "220-245 GHz", q)
+	t.row("fitted freespace model:     %s (R^2 %.5f)", free.Fit, free.R2)
+	t.row("fitted copper-board model:  %s (R^2 %.5f)", boards.Fit, boards.R2)
+	t.row("paper reference: n = 2.000 freespace, n = 2.0454 copper boards")
+	t.blank()
+	t.row("%8s %14s %14s %12s %12s %12s", "d [mm]",
+		"meas.free[dB]", "meas.board[dB]", "FSPL[dB]", "+2x9.5dB", "+2x12dB")
+	for i, d := range distances {
+		fspl := pl.LossDB(d)
+		t.row("%8.0f %14.2f %14.2f %12.2f %12.2f %12.2f",
+			d*1e3,
+			-free.Points[i].MeasuredGainDB,
+			-boards.Points[i].MeasuredGainDB,
+			fspl, fspl-19, fspl-24)
+	}
+	return t.String()
+}
+
+// impulseReport renders the delay profile of one measurement geometry.
+func impulseReport(t *table, a *vna.Analyzer, sc channel.Scenario, label string) {
+	ir := a.ImpulseResponse(a.MeasureS21(sc), dsp.Hann)
+	t.row("%s: peak %.2f dB at %.3f ns; strongest echo %.1f dB below peak",
+		label, ir.PeakDB(), ir.PeakDelayS()*1e9,
+		-ir.WorstEchoRelativeDB(3/a.Bandwidth(), 2e-9))
+	t.row("%10s %12s", "tau [ns]", "h [dB]")
+	for i := 0; i < len(ir.TimeS); i += 2 { // every second bin keeps 2 ns compact
+		if ir.TimeS[i] > 2e-9 {
+			break
+		}
+		t.row("%10.3f %12.2f", ir.TimeS[i]*1e9, ir.MagDB[i])
+	}
+	t.blank()
+}
+
+// Fig2 reproduces the 50 mm (ahead link) impulse responses: freespace
+// versus parallel copper boards. All echoes sit >= 15 dB below the line
+// of sight.
+func Fig2(q Quality) string {
+	a := vna.New(2)
+	var t table
+	t.title("Fig. 2 — impulse response at 50 mm antenna distance (quality %s)", q)
+	impulseReport(&t, a, channel.Scenario{
+		LinkDistM: 0.05, TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+	}, "freespace")
+	impulseReport(&t, a, channel.Scenario{
+		LinkDistM: 0.05, CopperBoards: true,
+		TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+	}, "parallel copper boards, shortest link")
+	return t.String()
+}
+
+// Fig3 reproduces the 150 mm diagonal-link impulse responses.
+func Fig3(q Quality) string {
+	a := vna.New(3)
+	var t table
+	t.title("Fig. 3 — impulse response at 150 mm antenna distance, diagonal link (quality %s)", q)
+	impulseReport(&t, a, channel.Scenario{
+		LinkDistM: 0.15, TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+	}, "freespace")
+	impulseReport(&t, a, channel.DiagonalScenario(0.15, 0.05, true),
+		"parallel copper boards, diagonal link")
+	return t.String()
+}
+
+// Table1 reproduces the link-budget parameter table.
+func Table1(Quality) string {
+	var t table
+	t.title("Table I — link budget parameters for board-to-board communications")
+	t.row("%s", linkbudget.TableI().String())
+	b := linkbudget.TableI()
+	t.row("thermal noise floor kTB: %.2f dBm; effective noise: %.2f dBm",
+		b.NoiseFloorDBm(), b.EffectiveNoiseDBm())
+	return t.String()
+}
+
+// Fig4 reproduces the required-transmit-power-versus-SNR curves for the
+// shortest (100 mm), longest (300 mm) and Butler-served longest links.
+func Fig4(q Quality) string {
+	b := linkbudget.TableI()
+	n := 8
+	if q != Smoke {
+		n = 36
+	}
+	pts := b.Fig4Curve(0, 35, n)
+	var t table
+	t.title("Fig. 4 — required transmit power for a target receiver SNR (quality %s)", q)
+	t.row("%8s %16s %16s %24s", "SNR[dB]", "shortest[dBm]", "longest[dBm]", "longest+butler[dBm]")
+	for _, p := range pts {
+		t.row("%8.1f %16.2f %16.2f %24.2f", p.SNRdB, p.ShortestDBm, p.LongestDBm, p.LongestButlerDBm)
+	}
+	t.row("dual-polarised 100 Gbit/s needs SNR %.2f dB per polarisation (Shannon)", b.SNRFor100GbpsDB())
+	return t.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+	"repro/internal/noc/sim"
+)
+
+// Fig7 reports the structural comparison of the four topology types at
+// 64 modules.
+func Fig7(Quality) string {
+	topos := []*noc.Mesh{
+		noc.NewMesh2D(8, 8),
+		noc.NewStarMesh(4, 4, 4),
+		noc.NewMesh3D(4, 4, 4),
+		noc.NewCiliated3D(4, 4, 2, 2),
+	}
+	var t table
+	t.title("Fig. 7 — topology types at 64 modules: structural metrics")
+	t.row("%-30s %8s %8s %9s %9s %9s %8s %10s", "topology",
+		"routers", "modules", "channels", "vertical", "diameter", "avg hops", "bisection")
+	for _, topo := range topos {
+		m := topo.ComputeMetrics()
+		t.row("%-30s %8d %8d %9d %9d %9d %8.2f %10d",
+			m.Name, m.Routers, m.Modules, m.Channels, m.VerticalChannels,
+			m.Diameter, m.AvgHops, m.BisectionChannels)
+	}
+	return t.String()
+}
+
+// fig8Curve renders one latency-versus-injection comparison.
+func fig8Curve(t *table, topos []*noc.Mesh, rates []float64, q Quality) {
+	models := make([]analytic.Model, len(topos))
+	header := "%12s"
+	args := []any{"inj[f/c/m]"}
+	for i, topo := range topos {
+		models[i] = analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+		header += " %22s"
+		args = append(args, topo.Name())
+	}
+	t.row(header, args...)
+	for _, r := range rates {
+		rowFmt := "%12.3f"
+		rowArgs := []any{r}
+		for _, m := range models {
+			lat, ok := m.AvgLatency(r)
+			if !ok {
+				rowFmt += " %22s"
+				rowArgs = append(rowArgs, "saturated")
+			} else {
+				rowFmt += " %22.1f"
+				rowArgs = append(rowArgs, lat)
+			}
+		}
+		t.row(rowFmt, rowArgs...)
+	}
+	for _, m := range models {
+		t.row("saturation %-28s %.3f flits/cycle/module (zero-load %.1f cycles)",
+			m.Topo.Name(), m.SaturationRate(), m.ZeroLoadLatency())
+	}
+
+	// Cross-validate two analytic points against the event simulator.
+	if q != Smoke {
+		t.blank()
+		t.row("event-simulator cross-check (M/D/1-like service):")
+		for _, m := range models {
+			probe := 0.5 * m.SaturationRate()
+			res := sim.Run(sim.Config{
+				Topo: m.Topo, Traffic: noc.Uniform{},
+				InjectionRate: probe, Seed: 11,
+			})
+			ana, _ := m.AvgLatency(probe)
+			anaMD1 := m
+			anaMD1.Service = analytic.MD1
+			md1, _ := anaMD1.AvgLatency(probe)
+			t.row("  %-28s at %.3f: sim %.1f, M/M/1 %.1f, M/D/1 %.1f cycles",
+				m.Topo.Name(), probe, res.MeanLatencyCycles, ana, md1)
+		}
+	}
+}
+
+// Fig8a reproduces the 64-module latency comparison: 8x8 2D mesh vs
+// 4x4 star-mesh (c=4) vs 4x4x4 3D mesh under uniform Poisson traffic.
+func Fig8a(q Quality) string {
+	var t table
+	t.title("Fig. 8a — average packet latency, 64 modules (quality %s)", q)
+	rates := []float64{0.01, 0.05, 0.1, 0.15, 0.19, 0.25, 0.3, 0.41, 0.5, 0.6, 0.7, 0.75}
+	fig8Curve(&t, []*noc.Mesh{
+		noc.NewMesh2D(8, 8),
+		noc.NewStarMesh(4, 4, 4),
+		noc.NewMesh3D(4, 4, 4),
+	}, rates, q)
+	t.blank()
+	t.row("paper reference: 2D mesh 13 cyc / sat 0.41; star-mesh 7 cyc / 0.19;")
+	t.row("3D mesh 10 cyc / 0.75 flits/cycle/module")
+	return t.String()
+}
+
+// Fig8b reproduces the 512-module scaling comparison: 32x16 2D mesh vs
+// 8x8x8 3D mesh; the latency gap widens markedly.
+func Fig8b(q Quality) string {
+	var t table
+	t.title("Fig. 8b — average packet latency, 512 modules (quality %s)", q)
+	rates := []float64{0.01, 0.03, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.39}
+	fig8Curve(&t, []*noc.Mesh{
+		noc.NewMesh2D(32, 16),
+		noc.NewMesh3D(8, 8, 8),
+	}, rates, q)
+
+	gap64 := zeroLoadGap(noc.NewMesh2D(8, 8), noc.NewMesh3D(4, 4, 4))
+	gap512 := zeroLoadGap(noc.NewMesh2D(32, 16), noc.NewMesh3D(8, 8, 8))
+	t.blank()
+	t.row("zero-load latency gap 2D-3D: %.1f cycles at 64 modules -> %.1f at 512",
+		gap64, gap512)
+	return t.String()
+}
+
+func zeroLoadGap(a, b *noc.Mesh) float64 {
+	la := analytic.Model{Topo: a, Traffic: noc.Uniform{}}.ZeroLoadLatency()
+	lb := analytic.Model{Topo: b, Traffic: noc.Uniform{}}.ZeroLoadLatency()
+	return math.Abs(la - lb)
+}
+
+// AblationServiceModel compares M/M/1 and M/D/1 waiting-time assumptions
+// against the event simulator at half saturation (DESIGN.md ablation).
+func AblationServiceModel(q Quality) string {
+	var t table
+	t.title("Ablation — queueing service model vs event simulation (quality %s)", q)
+	topo := noc.NewMesh3D(4, 4, 4)
+	mm1 := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+	md1 := analytic.Model{Topo: topo, Traffic: noc.Uniform{}, Service: analytic.MD1}
+	t.row("%12s %12s %12s %12s", "inj[f/c/m]", "M/M/1", "M/D/1", "simulator")
+	for _, frac := range []float64{0.25, 0.5, 0.75, 0.9} {
+		r := frac * mm1.SaturationRate()
+		a, _ := mm1.AvgLatency(r)
+		b, _ := md1.AvgLatency(r)
+		res := sim.Run(sim.Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: r, Seed: 21})
+		t.row("%12.3f %12.1f %12.1f %12.1f", r, a, b, res.MeanLatencyCycles)
+	}
+	return t.String()
+}
+
+// AblationPillars evaluates the future-work TSV-pillar constraint: 3D
+// meshes where only every k-th router column carries vertical links.
+func AblationPillars(Quality) string {
+	var t table
+	t.title("Ablation — TSV pillar spacing in the 4x4x4 3D mesh (paper outlook)")
+	t.row("%8s %10s %14s %12s", "pillars", "vertical", "zero-load[cyc]", "saturation")
+	for _, every := range []int{1, 2, 4} {
+		topo := noc.NewPillarMesh3D(4, 4, 4, every)
+		m := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+		mt := topo.ComputeMetrics()
+		t.row("%8d %10d %14.1f %12.3f",
+			every, mt.VerticalChannels, m.ZeroLoadLatency(), m.SaturationRate())
+	}
+	return t.String()
+}
+
+// AblationVerticalBandwidth evaluates the paper's outlook that vertical
+// inter-chip links offer more bandwidth than in-plane wires:
+// heterogeneous 3D meshes with faster TSV/wireless vertical channels.
+func AblationVerticalBandwidth(Quality) string {
+	var t table
+	t.title("Ablation — vertical-link bandwidth in the 4x4x4 3D mesh (paper outlook)")
+	t.row("%10s %14s %12s %14s", "vert cap", "zero-load[cyc]", "saturation", "lat@0.5[cyc]")
+	topo := noc.NewMesh3D(4, 4, 4)
+	for _, cap := range []float64{0.5, 1, 2, 4} {
+		m := analytic.Model{Topo: topo, Traffic: noc.Uniform{}, VerticalCapacity: cap}
+		lat, ok := m.AvgLatency(0.5)
+		latStr := "saturated"
+		if ok {
+			latStr = fmt.Sprintf("%.1f", lat)
+		}
+		t.row("%10.1f %14.1f %12.3f %14s", cap, m.ZeroLoadLatency(), m.SaturationRate(), latStr)
+	}
+	t.row("note: uniform XY-Z routing loads in-plane channels hardest, so extra")
+	t.row("vertical bandwidth mainly removes queueing on the layer transitions.")
+	return t.String()
+}

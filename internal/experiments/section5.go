@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ldpc"
+)
+
+// fig10Config maps quality to Monte-Carlo effort for the Fig. 10 study.
+type fig10Config struct {
+	targetBER    float64
+	targetErrors int
+	maxCodewords int
+	ccConfigs    []struct{ n, w int }
+	bcLiftings   []int
+	l            int // termination length
+	maxIter      int
+}
+
+func fig10For(q Quality) fig10Config {
+	switch q {
+	case Full:
+		return fig10Config{
+			targetBER:    1e-5,
+			targetErrors: 80,
+			maxCodewords: 200000,
+			ccConfigs: []struct{ n, w int }{
+				{25, 3}, {25, 4}, {25, 5}, {25, 6}, {25, 7}, {25, 8},
+				{40, 3}, {40, 4}, {40, 5}, {40, 6}, {40, 7}, {40, 8},
+				{60, 4}, {60, 5}, {60, 6},
+			},
+			bcLiftings: []int{50, 75, 100, 150, 200, 300, 400},
+			l:          50,
+			maxIter:    100,
+		}
+	case Standard:
+		return fig10Config{
+			targetBER:    1e-4,
+			targetErrors: 60,
+			maxCodewords: 20000,
+			ccConfigs: []struct{ n, w int }{
+				{25, 3}, {25, 5}, {25, 8},
+				{40, 3}, {40, 5}, {40, 8},
+				{60, 4}, {60, 6},
+			},
+			bcLiftings: []int{75, 150, 200, 300, 400},
+			l:          50,
+			maxIter:    60,
+		}
+	default:
+		return fig10Config{
+			targetBER:    1e-3,
+			targetErrors: 40,
+			maxCodewords: 2500,
+			ccConfigs: []struct{ n, w int }{
+				{25, 3}, {25, 6}, {40, 5},
+			},
+			bcLiftings: []int{75, 200},
+			l:          30,
+			maxIter:    40,
+		}
+	}
+}
+
+// Fig10 reproduces the latency-performance trade-off: required Eb/N0 to
+// reach the target BER versus structural decoding latency, for the
+// paper's (4,8)-regular LDPC-CC family (B0=[2,2], B1=B2=[1,1]) under
+// window decoding and the LDPC-BC baseline (B=[4,4]).
+func Fig10(q Quality) string {
+	cfg := fig10For(q)
+	spreading := ldpc.PaperSpreading()
+	const nv, rate = 2, 0.5
+
+	var t table
+	t.title("Fig. 10 — required Eb/N0 for BER %.0e vs decoding latency (quality %s)", cfg.targetBER, q)
+	t.row("%-14s %6s %6s %14s %16s", "code", "N", "W", "latency[bits]", "req Eb/N0 [dB]")
+
+	search := func(code *ldpc.Code, window int, seed uint64) float64 {
+		return ldpc.RequiredEbN0(ldpc.SearchParams{
+			BERParams: ldpc.BERParams{
+				Code: code, Alg: ldpc.SumProduct, MaxIter: cfg.maxIter,
+				Window: window, Rate: rate,
+				TargetBitErrors: cfg.targetErrors, MaxCodewords: cfg.maxCodewords,
+				Seed: seed,
+			},
+			TargetBER: cfg.targetBER, LoDB: 1, HiDB: 7, TolDB: 0.2,
+		})
+	}
+
+	for i, cc := range cfg.ccConfigs {
+		code := ldpc.LiftConvolutional(spreading, cfg.l, cc.n, 3)
+		req := search(code, cc.w, uint64(40+i))
+		t.row("%-14s %6d %6d %14.0f %16s", "LDPC-CC", cc.n, cc.w,
+			ldpc.WindowLatencyBits(cc.w, cc.n, nv, rate), fmtDB(req))
+	}
+	for i, n := range cfg.bcLiftings {
+		code := ldpc.Lift(ldpc.Regular48(), n, 3)
+		req := search(code, 0, uint64(90+i))
+		t.row("%-14s %6d %6s %14.0f %16s", "LDPC-BC", n, "-",
+			ldpc.BlockLatencyBits(n, nv, rate), fmtDB(req))
+	}
+	t.blank()
+	t.row("paper headline: at Eb/N0 = 3 dB the LDPC-CC reaches BER 1e-5 with")
+	t.row("TWD = 200 info bits where the LDPC-BC needs TB = 400 — a 200-bit gain.")
+	return t.String()
+}
+
+func fmtDB(v float64) string {
+	if math.IsNaN(v) {
+		return "unreached"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// AblationDecoderAlgo compares sum-product and normalised min-sum on the
+// same code and operating point (DESIGN.md ablation).
+func AblationDecoderAlgo(q Quality) string {
+	cfg := fig10For(q)
+	code := ldpc.Lift(ldpc.Regular48(), 150, 3)
+	var t table
+	t.title("Ablation — BP check-node rule at BER target %.0e (quality %s)", cfg.targetBER, q)
+	t.row("%-22s %16s", "algorithm", "req Eb/N0 [dB]")
+	for _, alg := range []ldpc.Algorithm{ldpc.SumProduct, ldpc.MinSum} {
+		req := ldpc.RequiredEbN0(ldpc.SearchParams{
+			BERParams: ldpc.BERParams{
+				Code: code, Alg: alg, MaxIter: cfg.maxIter,
+				TargetBitErrors: cfg.targetErrors, MaxCodewords: cfg.maxCodewords,
+				Seed: 17,
+			},
+			TargetBER: cfg.targetBER, LoDB: 1, HiDB: 7, TolDB: 0.2,
+		})
+		t.row("%-22s %16s", alg, fmtDB(req))
+	}
+	return t.String()
+}
+
+// AblationWindowIterations sweeps the per-position BP iteration budget of
+// the window decoder (a latency/complexity knob the paper's structural
+// metric deliberately excludes).
+func AblationWindowIterations(q Quality) string {
+	cfg := fig10For(q)
+	code := ldpc.LiftConvolutional(ldpc.PaperSpreading(), cfg.l, 40, 3)
+	var t table
+	t.title("Ablation — window-decoder iteration budget, N=40 W=5 (quality %s)", q)
+	t.row("%10s %12s", "max iter", "BER at 3 dB")
+	for _, it := range []int{5, 10, 20, 40} {
+		r := ldpc.SimulateBER(ldpc.BERParams{
+			Code: code, Alg: ldpc.SumProduct, MaxIter: it, Window: 5, Rate: 0.5,
+			EbN0DB: 3, TargetBitErrors: cfg.targetErrors, MaxCodewords: cfg.maxCodewords / 4,
+			Seed: 19,
+		})
+		t.row("%10d %12.2e", it, r.BER)
+	}
+	return t.String()
+}
+
+// AblationBPSchedule compares flooding and layered message passing at a
+// fixed iteration budget — the schedule is a latency lever orthogonal to
+// the window size (DESIGN.md ablation).
+func AblationBPSchedule(q Quality) string {
+	cfg := fig10For(q)
+	code := ldpc.LiftConvolutional(ldpc.PaperSpreading(), cfg.l, 40, 3)
+	var t table
+	t.title("Ablation — BP schedule in the window decoder, N=40 W=5 at 3.5 dB (quality %s)", q)
+	t.row("%-10s %10s %14s", "schedule", "max iter", "BER")
+	for _, sched := range []ldpc.Schedule{ldpc.Flooding, ldpc.Layered} {
+		for _, it := range []int{5, 15, 40} {
+			r := ldpc.SimulateBER(ldpc.BERParams{
+				Code: code, Alg: ldpc.SumProduct, Sched: sched,
+				MaxIter: it, Window: 5, Rate: 0.5,
+				EbN0DB:          3.5,
+				TargetBitErrors: cfg.targetErrors, TargetFrameErrors: 20,
+				MaxCodewords: cfg.maxCodewords / 4, Seed: 23,
+			})
+			t.row("%-10s %10d %14.2e", sched, it, r.BER)
+		}
+	}
+	return t.String()
+}

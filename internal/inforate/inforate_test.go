@@ -1,0 +1,268 @@
+package inforate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/modem"
+	"repro/internal/numeric"
+)
+
+func ask4() modem.Constellation { return modem.NewASK(4) }
+
+func TestTrellisShape(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 4))
+	if tr.NumStates() != 64 { // 4^(4-1)
+		t.Fatalf("states = %d, want 64", tr.NumStates())
+	}
+	if tr.NumBranches() != 256 || tr.OSF() != 5 || tr.Span() != 4 || tr.AlphabetSize() != 4 {
+		t.Fatalf("trellis dims wrong: %+v", tr)
+	}
+}
+
+func TestTrellisNextStateShiftsHistory(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 3)) // 16 states, base-4 digits
+	// From state s (digits d1 d0 encoding x_{t-2}, x_{t-1}... digit0 = x_{t-1}),
+	// input u must lead to a state whose digit0 is u.
+	for s := 0; s < tr.NumStates(); s++ {
+		for u := 0; u < 4; u++ {
+			next := tr.Next(s, u)
+			if next%4 != u {
+				t.Fatalf("Next(%d,%d) = %d: digit0 = %d, want %d", s, u, next, next%4, u)
+			}
+			if next/4 != s%4 {
+				t.Fatalf("Next(%d,%d) = %d: digit1 should be old digit0", s, u, next)
+			}
+		}
+	}
+}
+
+func TestTrellisBranchAmpsMatchModulation(t *testing.T) {
+	c := ask4()
+	p := modem.NewRamp(5, 3)
+	tr := NewTrellis(c, p)
+	// state digits: digit0 = x_{t-1} index, digit1 = x_{t-2} index.
+	x2, x1, u := 3, 1, 2 // x_{t-2}, x_{t-1}, x_t indices
+	state := x2*4 + x1
+	got := tr.BranchAmps(state, u)
+	want := p.BlockAmplitudes([]float64{c.Level(u), c.Level(x1), c.Level(x2)}, nil)
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("branch amp %d = %g, want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestTrellisPanicsOnStateExplosion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized trellis did not panic")
+		}
+	}()
+	NewTrellis(modem.NewASK(16), modem.NewRamp(2, 8)) // 16^7 states
+}
+
+func TestNoOversamplingBinaryClosedForm(t *testing.T) {
+	// 2-ASK with one 1-bit sample is a binary symmetric channel with
+	// crossover eps = Q(1/sigma): I = 1 - H2(eps).
+	for _, snrDB := range []float64{-3, 0, 5, 10} {
+		sigma := modem.NoiseSigmaForSNR(snrDB)
+		eps := numeric.QFunc(1 / sigma)
+		want := 1.0
+		if eps > 0 {
+			want = 1 + eps*math.Log2(eps) + (1-eps)*math.Log2(1-eps)
+		}
+		got := NoOversamplingRate(modem.NewASK(2), snrDB)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("SNR %g: BSC rate = %g, want %g", snrDB, got, want)
+		}
+	}
+}
+
+func TestNoOversampling4ASKBoundedByOneBit(t *testing.T) {
+	// A single sign can never carry more than 1 bit.
+	for _, snrDB := range []float64{0, 10, 20, 35} {
+		got := NoOversamplingRate(ask4(), snrDB)
+		if got > 1+1e-9 {
+			t.Errorf("SNR %g: no-OS rate = %g > 1 bit", snrDB, got)
+		}
+	}
+	// And approaches 1 bit at high SNR.
+	if got := NoOversamplingRate(ask4(), 35); got < 0.95 {
+		t.Errorf("no-OS rate at 35 dB = %g, want ~1", got)
+	}
+}
+
+func TestRectOversamplingHelpsAtLowSNRButSaturatesAtOne(t *testing.T) {
+	// Without ISI the oversampled signs still cannot separate the 4-ASK
+	// magnitudes, so the rate saturates at 1 bpcu; at low SNR the extra
+	// noisy looks give a small dithering gain over a single sample.
+	lowNo := NoOversamplingRate(ask4(), 0)
+	lowOS := RectOversampledRate(ask4(), 5, 0)
+	if lowOS <= lowNo {
+		t.Errorf("5x oversampling did not help at 0 dB: %g vs %g", lowOS, lowNo)
+	}
+	highOS := RectOversampledRate(ask4(), 5, 35)
+	if highOS > 1+1e-9 {
+		t.Errorf("rect 1-bit rate at 35 dB = %g > 1", highOS)
+	}
+	if highOS < 0.95 {
+		t.Errorf("rect 1-bit rate at 35 dB = %g, want ~1", highOS)
+	}
+}
+
+func TestUnquantizedRateKnownValues(t *testing.T) {
+	c := ask4()
+	// Very high SNR: approaches 2 bits.
+	if got := UnquantizedRate(c, 40); got < 1.999 {
+		t.Errorf("unquantised at 40 dB = %g, want ~2", got)
+	}
+	// Very low SNR: near the AWGN capacity 0.5 log2(1+snr) (shaping loss
+	// is negligible there).
+	snrDB := -10.0
+	want := 0.5 * math.Log2(1+math.Pow(10, snrDB/10))
+	if got := UnquantizedRate(c, snrDB); math.Abs(got-want) > 0.01 {
+		t.Errorf("unquantised at -10 dB = %g, want ~%g", got, want)
+	}
+	// Never exceeds the Shannon AWGN capacity at the same SNR.
+	for _, s := range []float64{0, 5, 10, 15, 25} {
+		cap := 0.5 * math.Log2(1+math.Pow(10, s/10))
+		if got := UnquantizedRate(c, s); got > cap+1e-9 {
+			t.Errorf("unquantised rate %g exceeds AWGN capacity %g at %g dB", got, cap, s)
+		}
+	}
+}
+
+func TestDataProcessingOrdering(t *testing.T) {
+	// Quantisation can only destroy information: for the ISI-free pulse,
+	// unquantised >= 1-bit oversampled >= 1-bit single sample.
+	c := ask4()
+	for _, snrDB := range []float64{0, 10, 25} {
+		unq := UnquantizedRate(c, snrDB)
+		os := RectOversampledRate(c, 5, snrDB)
+		no := NoOversamplingRate(c, snrDB)
+		if !(unq >= os-1e-9 && os >= no-1e-9) {
+			t.Errorf("SNR %g: ordering violated: unq=%g os=%g no=%g", snrDB, unq, os, no)
+		}
+	}
+}
+
+func TestSymbolwiseRateMonotoneForISIFreePulse(t *testing.T) {
+	// For binary signalling without ISI the per-symbol channel degrades
+	// cleanly with noise, so the exact rate must be monotone in SNR.
+	// (For 4-ASK even the ISI-free rate is non-monotone: noise dithers
+	// the magnitudes through the 1-bit ADC — see the dedicated test.)
+	tr := NewTrellis(modem.NewASK(2), modem.NewRect(5))
+	prev := -1.0
+	for _, snrDB := range []float64{-5, 0, 5, 10, 15, 20, 25, 30} {
+		got := SymbolwiseRate(tr, snrDB)
+		if got < prev-1e-9 {
+			t.Errorf("ISI-free symbolwise rate decreased at %g dB: %g < %g", snrDB, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRectOversamplingDitheringPeak(t *testing.T) {
+	// The Krone-Fettweis effect (paper ref. [7]): with 4-ASK, 1-bit ADC
+	// and oversampling, moderate noise dithers the magnitudes through the
+	// quantiser, so the rate peaks ABOVE 1 bpcu at finite SNR and decays
+	// back to 1 as the noise vanishes.
+	peak := RectOversampledRate(ask4(), 5, 15)
+	high := RectOversampledRate(ask4(), 5, 35)
+	if peak <= 1.01 {
+		t.Errorf("rect 1-bit OS rate at 15 dB = %g, want a dithering peak > 1", peak)
+	}
+	if high >= peak {
+		t.Errorf("rate at 35 dB (%g) should fall back below the 15 dB peak (%g)", high, peak)
+	}
+}
+
+func TestSequenceRateMatchesExactOnMemorylessChannel(t *testing.T) {
+	// For a span-1 pulse the channel is memoryless and the simulation
+	// estimator must agree with the exact symbolwise rate.
+	c := ask4()
+	tr := NewTrellis(c, modem.NewRect(5))
+	for _, snrDB := range []float64{0, 10, 25} {
+		exact := SymbolwiseRate(tr, snrDB)
+		est := SequenceRate(tr, snrDB, 20000, 42)
+		if math.Abs(est-exact) > 0.03 {
+			t.Errorf("SNR %g: sequence estimate %g vs exact %g", snrDB, est, exact)
+		}
+	}
+}
+
+func TestSequenceRateDeterministic(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 2))
+	a := SequenceRate(tr, 15, 3000, 7)
+	b := SequenceRate(tr, 15, 3000, 7)
+	if a != b {
+		t.Errorf("same seed gave %g and %g", a, b)
+	}
+	c := SequenceRate(tr, 15, 3000, 8)
+	if a == c {
+		t.Error("different seeds gave identical estimates (suspicious)")
+	}
+}
+
+func TestSequenceRateExceedsSymbolwiseWithISI(t *testing.T) {
+	// The paper's key claim: with designed ISI, sequence estimation
+	// exploits the linear combination and beats symbol-by-symbol
+	// detection.
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 3))
+	snrDB := 25.0
+	seq := SequenceRate(tr, snrDB, 30000, 3)
+	sbs := SymbolwiseRate(tr, snrDB)
+	if seq <= sbs {
+		t.Errorf("sequence rate %g not above symbolwise %g at %g dB", seq, sbs, snrDB)
+	}
+}
+
+func TestISIBeatsRectAtHighSNR(t *testing.T) {
+	// With ISI the signs carry magnitude information, so the rate can
+	// exceed the 1 bpcu ceiling of the ISI-free rectangular pulse.
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 3))
+	seq := SequenceRate(tr, 30, 30000, 5)
+	rect := RectOversampledRate(ask4(), 5, 30)
+	if seq <= rect {
+		t.Errorf("ISI sequence rate %g not above rect rate %g", seq, rect)
+	}
+	if seq < 1.05 {
+		t.Errorf("ISI sequence rate %g did not break the 1 bpcu ceiling", seq)
+	}
+}
+
+func TestSequenceRateBounds(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 2))
+	for _, snrDB := range []float64{-10, 0, 35} {
+		r := SequenceRate(tr, snrDB, 2000, 1)
+		if r < 0 || r > 2 {
+			t.Errorf("rate %g outside [0,2] at %g dB", r, snrDB)
+		}
+	}
+}
+
+func TestSequenceRatePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nSymbols=0 did not panic")
+		}
+	}()
+	SequenceRate(NewTrellis(ask4(), modem.NewRect(5)), 10, 0, 1)
+}
+
+func BenchmarkSequenceRate64States(b *testing.B) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SequenceRate(tr, 25, 1000, uint64(i))
+	}
+}
+
+func BenchmarkSymbolwiseRate(b *testing.B) {
+	tr := NewTrellis(ask4(), modem.NewRamp(5, 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SymbolwiseRate(tr, 25)
+	}
+}

@@ -1,0 +1,244 @@
+package inforate
+
+import (
+	"math"
+
+	"repro/internal/modem"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// SequenceRate estimates the information rate I(X;Y) in bits per channel
+// use achievable with sequence estimation over the 1-bit oversampled ISI
+// channel, using the simulation-based method of Arnold & Loeliger:
+//
+//	I = (1/n) [ log2 p(y|x) - log2 p(y) ],
+//
+// with p(y) computed by the forward recursion of the joint input/state
+// trellis over a simulated sequence of nSymbols channel uses. The result
+// is clamped to [0, log2 M]. Deterministic for a fixed seed.
+func SequenceRate(t *Trellis, snrDB float64, nSymbols int, seed uint64) float64 {
+	if nSymbols < 1 {
+		panic("inforate: SequenceRate needs nSymbols >= 1")
+	}
+	sigma := modem.NoiseSigmaForSNR(snrDB)
+	stream := rng.New(seed)
+
+	m, osf, states := t.m, t.osf, t.numStates
+	branches := states * m
+
+	// Per-branch, per-sample log-likelihood lookup tables:
+	// lp[b*osf+k][bit] where bit 1 encodes y=+1.
+	// P(y=+1 | v) = Q(-v/sigma); P(y=-1 | v) = Q(v/sigma).
+	lpPlus := make([]float64, branches*osf)
+	lpMinus := make([]float64, branches*osf)
+	for b := 0; b < branches; b++ {
+		for k := 0; k < osf; k++ {
+			v := t.amps[b*osf+k]
+			lpPlus[b*osf+k] = numeric.LogQ(-v / sigma)
+			lpMinus[b*osf+k] = numeric.LogQ(v / sigma)
+		}
+	}
+
+	// Simulate the true symbol/state path and the quantised observation.
+	state := stream.Intn(states)
+	alpha := make([]float64, states)
+	alphaNext := make([]float64, states)
+	for s := range alpha {
+		alpha[s] = 1 / float64(states)
+	}
+
+	ybits := make([]bool, osf) // true = +1
+	branchLL := make([]float64, branches)
+
+	var logPyGivenX, logPy float64
+	logPrior := -math.Log(float64(m))
+
+	for n := 0; n < nSymbols; n++ {
+		u := stream.Intn(m)
+		b := state*m + u
+		// Generate the quantised noisy observation of the true branch.
+		for k := 0; k < osf; k++ {
+			ybits[k] = t.amps[b*osf+k]+sigma*stream.Norm() >= 0
+		}
+
+		// log p(y_t | true branch).
+		var llTrue float64
+		for k := 0; k < osf; k++ {
+			if ybits[k] {
+				llTrue += lpPlus[b*osf+k]
+			} else {
+				llTrue += lpMinus[b*osf+k]
+			}
+		}
+		logPyGivenX += llTrue
+
+		// Branch log-likelihoods for the forward recursion.
+		maxLL := math.Inf(-1)
+		for bb := 0; bb < branches; bb++ {
+			var ll float64
+			off := bb * osf
+			for k := 0; k < osf; k++ {
+				if ybits[k] {
+					ll += lpPlus[off+k]
+				} else {
+					ll += lpMinus[off+k]
+				}
+			}
+			branchLL[bb] = ll
+			if ll > maxLL {
+				maxLL = ll
+			}
+		}
+
+		// alpha'(s') = sum_{s,u -> s'} alpha(s) P(u) p(y|s,u).
+		for s := range alphaNext {
+			alphaNext[s] = 0
+		}
+		for s := 0; s < states; s++ {
+			a := alpha[s]
+			if a == 0 {
+				continue
+			}
+			for uu := 0; uu < m; uu++ {
+				bb := s*m + uu
+				alphaNext[t.next[bb]] += a * math.Exp(branchLL[bb]-maxLL)
+			}
+		}
+		var norm float64
+		for _, a := range alphaNext {
+			norm += a
+		}
+		if norm <= 0 {
+			// All weighted paths vanished numerically (possible only when
+			// the forward distribution sits entirely on states whose
+			// branches all underflow). Restart the recursion uniformly and
+			// skip this step's contribution.
+			for s := range alphaNext {
+				alphaNext[s] = 1 / float64(states)
+			}
+			logPyGivenX -= llTrue
+			alpha, alphaNext = alphaNext, alpha
+			state = t.next[b]
+			continue
+		}
+		logPy += math.Log(norm) + maxLL + logPrior
+		inv := 1 / norm
+		for s := range alphaNext {
+			alphaNext[s] *= inv
+		}
+		alpha, alphaNext = alphaNext, alpha
+
+		state = t.next[b]
+	}
+
+	rate := (logPyGivenX - logPy) / (float64(nSymbols) * math.Ln2)
+	return numeric.Clamp(rate, 0, math.Log2(float64(m)))
+}
+
+// SymbolwiseRate returns the exact mutual information I(X_t; Y_t) of the
+// marginal per-symbol channel: the receiver observes only the OSF
+// quantised samples of one symbol period and treats the interfering
+// neighbour symbols as i.i.d. dithering. This is the rate of the
+// symbol-by-symbol detector of Fig. 5(b)/Fig. 6.
+func SymbolwiseRate(t *Trellis, snrDB float64) float64 {
+	sigma := modem.NoiseSigmaForSNR(snrDB)
+	m, osf, states := t.m, t.osf, t.numStates
+	ny := 1 << osf
+
+	// q(y|x) = E_states P(y | state, x); exact enumeration.
+	qyx := make([]float64, m*ny)
+	for u := 0; u < m; u++ {
+		for s := 0; s < states; s++ {
+			amps := t.BranchAmps(s, u)
+			for y := 0; y < ny; y++ {
+				p := 1.0
+				for k := 0; k < osf; k++ {
+					v := amps[k]
+					if y&(1<<k) != 0 {
+						p *= numeric.QFunc(-v / sigma)
+					} else {
+						p *= numeric.QFunc(v / sigma)
+					}
+				}
+				qyx[u*ny+y] += p
+			}
+		}
+	}
+	invStates := 1 / float64(states)
+	for i := range qyx {
+		qyx[i] *= invStates
+	}
+
+	// Marginal q(y) with uniform inputs.
+	qy := make([]float64, ny)
+	for u := 0; u < m; u++ {
+		for y := 0; y < ny; y++ {
+			qy[y] += qyx[u*ny+y] / float64(m)
+		}
+	}
+
+	var info float64
+	for u := 0; u < m; u++ {
+		for y := 0; y < ny; y++ {
+			p := qyx[u*ny+y]
+			if p <= 0 {
+				continue
+			}
+			info += p / float64(m) * math.Log2(p/qy[y])
+		}
+	}
+	return numeric.Clamp(info, 0, math.Log2(float64(m)))
+}
+
+// RectOversampledRate returns the exact rate of the ISI-free rectangular
+// pulse with osf-fold oversampling and 1-bit quantisation ("Rect 1Bit-OS"
+// in Fig. 6). The channel is memoryless, so the symbolwise rate is the
+// full information rate.
+func RectOversampledRate(c modem.Constellation, osf int, snrDB float64) float64 {
+	t := NewTrellis(c, modem.NewRect(osf))
+	return SymbolwiseRate(t, snrDB)
+}
+
+// NoOversamplingRate returns the exact rate with one 1-bit sample per
+// symbol ("1Bit No-OS" in Fig. 6). It is bounded by 1 bit regardless of
+// the constellation size.
+func NoOversamplingRate(c modem.Constellation, snrDB float64) float64 {
+	return RectOversampledRate(c, 1, snrDB)
+}
+
+// UnquantizedRate returns the mutual information of the constellation
+// over the AWGN channel without quantisation ("No Quantization" in
+// Fig. 6), computed with Gauss-Hermite quadrature:
+//
+//	I = h(Y) - h(Y|X),  h(Y|X) = 0.5 log2(2 pi e sigma^2).
+func UnquantizedRate(c modem.Constellation, snrDB float64) float64 {
+	sigma := modem.NoiseSigmaForSNR(snrDB)
+	m := c.Size()
+	gh := numeric.NewGaussHermite(64)
+
+	// p(y) = (1/m) sum_x N(y; x, sigma^2).
+	py := func(y float64) float64 {
+		var p float64
+		for i := 0; i < m; i++ {
+			d := (y - c.Level(i)) / sigma
+			p += math.Exp(-0.5*d*d) / (sigma * math.Sqrt(2*math.Pi))
+		}
+		return p / float64(m)
+	}
+
+	// h(Y) = E[-log2 p(Y)], with Y = x + noise, averaged over x.
+	var hY float64
+	for i := 0; i < m; i++ {
+		x := c.Level(i)
+		hY += gh.ExpectGaussian(func(y float64) float64 {
+			p := py(y)
+			if p <= 0 {
+				return 0
+			}
+			return -math.Log2(p)
+		}, x, sigma) / float64(m)
+	}
+	hYgivenX := 0.5 * math.Log2(2*math.Pi*math.E*sigma*sigma)
+	return numeric.Clamp(hY-hYgivenX, 0, math.Log2(float64(m)))
+}

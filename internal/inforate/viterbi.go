@@ -1,0 +1,148 @@
+package inforate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/modem"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// SequenceDetector is a maximum-likelihood (Viterbi) sequence estimator
+// for the 1-bit oversampled ISI channel — the receiver whose achievable
+// rate SequenceRate computes. Branch metrics are the exact log-
+// likelihoods of the quantised observations given the trellis branch at
+// the configured SNR.
+type SequenceDetector struct {
+	t *Trellis
+	// lpPlus/lpMinus[b*osf+k] = log P(y_k = +-1 | branch b sample k).
+	lpPlus, lpMinus []float64
+}
+
+// NewSequenceDetector prepares the branch-metric tables for the SNR
+// (dB, matched-filter convention of package modem).
+func NewSequenceDetector(t *Trellis, snrDB float64) *SequenceDetector {
+	sigma := modem.NoiseSigmaForSNR(snrDB)
+	branches := t.NumBranches()
+	d := &SequenceDetector{
+		t:       t,
+		lpPlus:  make([]float64, branches*t.osf),
+		lpMinus: make([]float64, branches*t.osf),
+	}
+	for b := 0; b < branches; b++ {
+		for k := 0; k < t.osf; k++ {
+			v := t.amps[b*t.osf+k]
+			d.lpPlus[b*t.osf+k] = numeric.LogQ(-v / sigma)
+			d.lpMinus[b*t.osf+k] = numeric.LogQ(v / sigma)
+		}
+	}
+	return d
+}
+
+// Detect returns the maximum-likelihood symbol indices for a sequence of
+// quantised blocks: bits holds n*OSF one-bit samples (+1/-1), block
+// t being bits[t*OSF:(t+1)*OSF]. The initial channel state is unknown
+// (uniform prior).
+func (d *SequenceDetector) Detect(bits []int8) []int {
+	t := d.t
+	if len(bits)%t.osf != 0 {
+		panic(fmt.Sprintf("inforate: %d samples is not a multiple of OSF %d", len(bits), t.osf))
+	}
+	n := len(bits) / t.osf
+	if n == 0 {
+		return nil
+	}
+	m, states := t.m, t.numStates
+
+	metric := make([]float64, states)
+	next := make([]float64, states)
+	// back[t*states+s] encodes the winning (prevState*m + input).
+	back := make([]int32, n*states)
+
+	for step := 0; step < n; step++ {
+		for s := range next {
+			next[s] = math.Inf(-1)
+		}
+		yOff := step * t.osf
+		for s := 0; s < states; s++ {
+			base := metric[s]
+			if math.IsInf(base, -1) {
+				continue
+			}
+			for u := 0; u < m; u++ {
+				b := s*m + u
+				ll := base
+				off := b * t.osf
+				for k := 0; k < t.osf; k++ {
+					if bits[yOff+k] > 0 {
+						ll += d.lpPlus[off+k]
+					} else {
+						ll += d.lpMinus[off+k]
+					}
+				}
+				ns := t.next[b]
+				if ll > next[ns] {
+					next[ns] = ll
+					back[step*states+ns] = int32(b)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Traceback from the best final state.
+	best := 0
+	for s := 1; s < states; s++ {
+		if metric[s] > metric[best] {
+			best = s
+		}
+	}
+	out := make([]int, n)
+	state := best
+	for step := n - 1; step >= 0; step-- {
+		b := int(back[step*states+state])
+		out[step] = b % m
+		state = b / m
+	}
+	return out
+}
+
+// SimulateSER measures the symbol error rate of maximum-likelihood
+// sequence detection over nSymbols random symbols at the given SNR,
+// using the same finite-state channel as SequenceRate. Deterministic
+// for a fixed seed.
+func SimulateSER(t *Trellis, snrDB float64, nSymbols int, seed uint64) float64 {
+	if nSymbols < 1 {
+		panic("inforate: SimulateSER needs nSymbols >= 1")
+	}
+	det := NewSequenceDetector(t, snrDB)
+	sigma := modem.NoiseSigmaForSNR(snrDB)
+	stream := rng.New(seed)
+
+	m := t.m
+	state := stream.Intn(t.numStates)
+	tx := make([]int, nSymbols)
+	bits := make([]int8, nSymbols*t.osf)
+	for step := 0; step < nSymbols; step++ {
+		u := stream.Intn(m)
+		tx[step] = u
+		b := state*m + u
+		for k := 0; k < t.osf; k++ {
+			if t.amps[b*t.osf+k]+sigma*stream.Norm() >= 0 {
+				bits[step*t.osf+k] = 1
+			} else {
+				bits[step*t.osf+k] = -1
+			}
+		}
+		state = t.next[b]
+	}
+	rx := det.Detect(bits)
+	errs := 0
+	for i := range tx {
+		if rx[i] != tx[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(nSymbols)
+}

@@ -1,0 +1,111 @@
+package inforate
+
+import (
+	"testing"
+
+	"repro/internal/modem"
+)
+
+// suboptPulse returns a uniquely detectable span-2 staircase (the output
+// of isidesign.Suboptimal with seed 1, hard-coded here because isidesign
+// imports this package). Its unique-detection property is asserted
+// indirectly by TestViterbiPerfectAtHighSNRWithUniquePulse.
+func suboptPulse(t *testing.T) modem.Pulse {
+	t.Helper()
+	return modem.NewPulse([]float64{
+		0.185, -0.327, -0.060, -0.295, -0.317,
+		0.095, 0.221, 0.282, 0.504, -0.525,
+	}, 5)
+}
+
+func TestViterbiPerfectAtHighSNRWithUniquePulse(t *testing.T) {
+	// A uniquely detectable pulse makes noise-free sign patterns
+	// injective, so ML sequence detection at very high SNR must be
+	// error-free.
+	tr := NewTrellis(ask4(), suboptPulse(t))
+	if ser := SimulateSER(tr, 45, 4000, 3); ser != 0 {
+		t.Errorf("SER at 45 dB = %g, want 0 for a uniquely detectable pulse", ser)
+	}
+}
+
+func TestViterbiRectPulseCannotSeparateMagnitudes(t *testing.T) {
+	// Without ISI the signs carry only the symbol sign: the two positive
+	// (and two negative) amplitudes collide, so the SER floor is ~1/2
+	// even at high SNR.
+	tr := NewTrellis(ask4(), modem.NewRect(5))
+	ser := SimulateSER(tr, 40, 4000, 4)
+	if ser < 0.3 || ser > 0.7 {
+		t.Errorf("rect-pulse SER at 40 dB = %g, want ~0.5 (magnitude ambiguity)", ser)
+	}
+}
+
+func TestViterbiSERDecreasesWithSNR(t *testing.T) {
+	tr := NewTrellis(ask4(), suboptPulse(t))
+	low := SimulateSER(tr, 5, 6000, 5)
+	mid := SimulateSER(tr, 15, 6000, 5)
+	high := SimulateSER(tr, 30, 6000, 5)
+	if !(low > mid && mid > high) {
+		t.Errorf("SER not decreasing: %g, %g, %g at 5/15/30 dB", low, mid, high)
+	}
+	if high > 0.025 {
+		t.Errorf("SER at 30 dB = %g, want < 2.5%% (weakest-sample margin bound)", high)
+	}
+}
+
+func TestViterbiDeterministic(t *testing.T) {
+	tr := NewTrellis(ask4(), suboptPulse(t))
+	if SimulateSER(tr, 12, 2000, 7) != SimulateSER(tr, 12, 2000, 7) {
+		t.Error("SER simulation not reproducible")
+	}
+}
+
+func TestViterbiDetectPanicsOnBadLength(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRect(5))
+	det := NewSequenceDetector(tr, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad sample count did not panic")
+		}
+	}()
+	det.Detect(make([]int8, 7))
+}
+
+func TestViterbiEmptyInput(t *testing.T) {
+	tr := NewTrellis(ask4(), modem.NewRect(5))
+	det := NewSequenceDetector(tr, 10)
+	if out := det.Detect(nil); out != nil {
+		t.Errorf("Detect(nil) = %v, want nil", out)
+	}
+}
+
+func TestViterbiConsistentWithInformationRate(t *testing.T) {
+	// Where the information rate approaches log2(M), the ML detector's
+	// SER must be small; where the rate is far below, the SER is large.
+	tr := NewTrellis(ask4(), suboptPulse(t))
+	rate25 := SequenceRate(tr, 25, 20000, 11)
+	ser25 := SimulateSER(tr, 25, 20000, 11)
+	if rate25 > 1.8 && ser25 > 0.05 {
+		t.Errorf("rate %.2f bpcu but SER %.3f — detector inconsistent with rate", rate25, ser25)
+	}
+	ser0 := SimulateSER(tr, 0, 20000, 11)
+	if ser0 < 0.1 {
+		t.Errorf("SER at 0 dB = %g, implausibly low", ser0)
+	}
+}
+
+func BenchmarkViterbiDetect(b *testing.B) {
+	tr := NewTrellis(modem.NewASK(4), modem.NewRamp(5, 2))
+	det := NewSequenceDetector(tr, 20)
+	bits := make([]int8, 1000*5)
+	for i := range bits {
+		if i%3 == 0 {
+			bits[i] = -1
+		} else {
+			bits[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det.Detect(bits)
+	}
+}

@@ -1,0 +1,189 @@
+// Package intrastack models the vertical intra-connect alternatives the
+// paper lists for communicating between the chiplets of a 3D stack
+// (Sec. I): galvanic through-silicon vias (TSVs), and the two wireless
+// alternatives — inductive and capacitive coupling. Ref. [3] anchors the
+// capacitive option (a 90 Gbit/s source-synchronous capacitively driven
+// link in 65 nm CMOS).
+//
+// The models are first-order physical scalings calibrated to published
+// operating points; they let the NiCS layer reason about which vertical
+// technology can realise a link of a given reach and rate, and at what
+// energy and area cost — the trade the paper's outlook raises ("the
+// large area of TSVs will probably not allow to equip every router with
+// a vertical link").
+package intrastack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology identifies a vertical link realisation.
+type Technology int
+
+const (
+	// TSV is a galvanic through-silicon via.
+	TSV Technology = iota
+	// Capacitive is plate-coupled signalling between adjacent face-to-
+	// face dies (paper ref. [3]).
+	Capacitive
+	// Inductive is coil-coupled signalling, able to cross several
+	// thinned dies.
+	Inductive
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case TSV:
+		return "TSV"
+	case Capacitive:
+		return "capacitive coupling"
+	case Inductive:
+		return "inductive coupling"
+	default:
+		return "unknown"
+	}
+}
+
+// Technologies lists all supported realisations.
+func Technologies() []Technology { return []Technology{TSV, Capacitive, Inductive} }
+
+// Calibration anchors (documented literature-order operating points).
+const (
+	// tsvEnergyPJPerBit: galvanic vias are the cheapest to drive.
+	tsvEnergyPJPerBit = 0.05
+	// capEnergyPJPerBit: ref. [3] class capacitive links run well below
+	// 1 pJ/bit at 90 Gbit/s.
+	capEnergyPJPerBit = 0.2
+	// indEnergyPJPerBit: inductive transceivers burn the most per bit.
+	indEnergyPJPerBit = 0.8
+
+	// Reach: the maximum die-to-die span each technology bridges.
+	tsvReachUM = 200 // one thinned die per via hop
+	capReachUM = 5   // face-to-face micro-gap only
+	indReachUM = 120 // several thinned dies
+
+	// Area per link (pad/coil/via keep-out), um^2.
+	tsvAreaUM2 = 450 // via + keep-out: the paper's area concern
+	capAreaUM2 = 100
+	indAreaUM2 = 2500 // coils dwarf everything
+
+	// Per-link sustainable data rate, Gbit/s.
+	tsvRateGbps = 40
+	capRateGbps = 90 // ref. [3]
+	indRateGbps = 12
+)
+
+// EnergyPJPerBit returns the switching energy per transported bit.
+func (t Technology) EnergyPJPerBit() float64 {
+	switch t {
+	case TSV:
+		return tsvEnergyPJPerBit
+	case Capacitive:
+		return capEnergyPJPerBit
+	case Inductive:
+		return indEnergyPJPerBit
+	}
+	panic(fmt.Sprintf("intrastack: unknown technology %d", t))
+}
+
+// ReachUM returns the maximum vertical span in micrometres.
+func (t Technology) ReachUM() float64 {
+	switch t {
+	case TSV:
+		return tsvReachUM
+	case Capacitive:
+		return capReachUM
+	case Inductive:
+		return indReachUM
+	}
+	panic(fmt.Sprintf("intrastack: unknown technology %d", t))
+}
+
+// AreaUM2 returns the silicon area one link occupies.
+func (t Technology) AreaUM2() float64 {
+	switch t {
+	case TSV:
+		return tsvAreaUM2
+	case Capacitive:
+		return capAreaUM2
+	case Inductive:
+		return indAreaUM2
+	}
+	panic(fmt.Sprintf("intrastack: unknown technology %d", t))
+}
+
+// RateGbps returns the per-link sustainable data rate.
+func (t Technology) RateGbps() float64 {
+	switch t {
+	case TSV:
+		return tsvRateGbps
+	case Capacitive:
+		return capRateGbps
+	case Inductive:
+		return indRateGbps
+	}
+	panic(fmt.Sprintf("intrastack: unknown technology %d", t))
+}
+
+// Feasible reports whether the technology can bridge gapUM micrometres.
+func (t Technology) Feasible(gapUM float64) bool {
+	return gapUM > 0 && gapUM <= t.ReachUM()
+}
+
+// LinkPlan sizes a vertical connection of a given aggregate rate.
+type LinkPlan struct {
+	Tech Technology
+	// Lanes is the number of parallel links needed for the rate.
+	Lanes int
+	// PowerMW is the switching power at full utilisation.
+	PowerMW float64
+	// AreaUM2 is the total pad/coil/via area.
+	AreaUM2 float64
+}
+
+// Plan returns the lane count, power and area to carry rateGbps across
+// gapUM with the technology, or an error when the reach is insufficient.
+func Plan(t Technology, gapUM, rateGbps float64) (LinkPlan, error) {
+	if rateGbps <= 0 {
+		return LinkPlan{}, fmt.Errorf("intrastack: non-positive rate %g Gbit/s", rateGbps)
+	}
+	if !t.Feasible(gapUM) {
+		return LinkPlan{}, fmt.Errorf("intrastack: %s cannot bridge %.0f um (reach %.0f um)",
+			t, gapUM, t.ReachUM())
+	}
+	lanes := int(math.Ceil(rateGbps / t.RateGbps()))
+	return LinkPlan{
+		Tech:    t,
+		Lanes:   lanes,
+		PowerMW: rateGbps * 1e9 * t.EnergyPJPerBit() * 1e-12 * 1e3,
+		AreaUM2: float64(lanes) * t.AreaUM2(),
+	}, nil
+}
+
+// Best returns the feasible plan with the lowest energy per bit whose
+// area fits areaBudgetUM2 (0 = unconstrained). It returns an error when
+// no technology qualifies.
+func Best(gapUM, rateGbps, areaBudgetUM2 float64) (LinkPlan, error) {
+	var best LinkPlan
+	found := false
+	for _, t := range Technologies() {
+		p, err := Plan(t, gapUM, rateGbps)
+		if err != nil {
+			continue
+		}
+		if areaBudgetUM2 > 0 && p.AreaUM2 > areaBudgetUM2 {
+			continue
+		}
+		if !found || p.Tech.EnergyPJPerBit() < best.Tech.EnergyPJPerBit() {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return LinkPlan{}, fmt.Errorf("intrastack: no technology bridges %.0f um at %.0f Gbit/s within %.0f um^2",
+			gapUM, rateGbps, areaBudgetUM2)
+	}
+	return best, nil
+}

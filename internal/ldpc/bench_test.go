@@ -1,0 +1,79 @@
+package ldpc
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func noisyLLR(code *Code, ebN0DB float64, seed uint64) []float64 {
+	sigma := NoiseSigma(ebN0DB, 0.5)
+	scale := 2 / (sigma * sigma)
+	stream := rng.New(seed)
+	llr := make([]float64, code.NumVars)
+	for i := range llr {
+		llr[i] = scale * (1 + sigma*stream.Norm())
+	}
+	return llr
+}
+
+func BenchmarkLiftConvolutional(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LiftConvolutional(PaperSpreading(), 50, 40, 3)
+	}
+}
+
+func BenchmarkDecodeFloodingMinSum(b *testing.B) {
+	code := Lift(Regular48(), 200, 3)
+	dec := NewDecoder(code, MinSum, 50)
+	llr := noisyLLR(code, 2.5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(llr)
+	}
+}
+
+func BenchmarkDecodeLayeredMinSum(b *testing.B) {
+	code := Lift(Regular48(), 200, 3)
+	dec := NewDecoder(code, MinSum, 50)
+	dec.Sched = Layered
+	llr := noisyLLR(code, 2.5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(llr)
+	}
+}
+
+func BenchmarkDecodeSumProduct(b *testing.B) {
+	code := Lift(Regular48(), 200, 3)
+	dec := NewDecoder(code, SumProduct, 50)
+	llr := noisyLLR(code, 2.5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(llr)
+	}
+}
+
+func BenchmarkWindowDecode(b *testing.B) {
+	code := LiftConvolutional(PaperSpreading(), 50, 40, 3)
+	wd := NewWindowDecoder(code, 5, SumProduct, 40)
+	llr := noisyLLR(code, 3.5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wd.Decode(llr)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	code := LiftConvolutional(PaperSpreading(), 30, 40, 3)
+	enc := NewEncoder(code)
+	info := make([]uint8, enc.InfoLen())
+	for i := range info {
+		info[i] = uint8(i & 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(info)
+	}
+}

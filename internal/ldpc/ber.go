@@ -1,0 +1,224 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// BERParams configures a Monte-Carlo bit-error-rate measurement over
+// BPSK/AWGN (the board-to-board channel of Sec. II reduced to its AWGN
+// core, as Sec. V assumes).
+type BERParams struct {
+	// Code under test (shared read-only across workers).
+	Code *Code
+	// Alg selects the BP variant.
+	Alg Algorithm
+	// Sched selects the message-passing schedule.
+	Sched Schedule
+	// MaxIter bounds BP iterations (per window position if windowed).
+	MaxIter int
+	// Window selects sliding-window decoding with that size; 0 decodes
+	// the full code at once.
+	Window int
+	// EbN0DB is the operating point.
+	EbN0DB float64
+	// Rate used for the Eb/N0-to-noise conversion. Zero means the code's
+	// design rate.
+	Rate float64
+	// TargetBitErrors is the bit-error stopping target (0 = 50).
+	TargetBitErrors int
+	// TargetFrameErrors is the frame-error stopping target (0 = 25).
+	// Window-decoded convolutional codes fail in bursts, so a sound BER
+	// estimate must accumulate enough independent frame events — the
+	// simulation stops early only once BOTH error targets are reached.
+	TargetFrameErrors int
+	// MaxCodewords bounds the simulation (0 = 4000).
+	MaxCodewords int
+	// Seed makes the run reproducible independent of worker count.
+	Seed uint64
+	// Workers sets the parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (p BERParams) defaults() BERParams {
+	if p.MaxIter == 0 {
+		p.MaxIter = 50
+	}
+	if p.Rate == 0 {
+		p.Rate = p.Code.Rate()
+	}
+	if p.TargetBitErrors == 0 {
+		p.TargetBitErrors = 50
+	}
+	if p.TargetFrameErrors == 0 {
+		p.TargetFrameErrors = 25
+	}
+	if p.MaxCodewords == 0 {
+		p.MaxCodewords = 4000
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// BERResult summarises a measurement.
+type BERResult struct {
+	BitErrors   int
+	Bits        int
+	Codewords   int
+	FrameErrors int
+	// BER is BitErrors/Bits (0 when no bits were simulated).
+	BER float64
+}
+
+// NoiseSigma returns the AWGN standard deviation for BPSK at the given
+// Eb/N0 (dB) and code rate: sigma^2 = 1 / (2 R Eb/N0).
+func NoiseSigma(ebN0DB, rate float64) float64 {
+	if rate <= 0 || rate >= 1 {
+		panic(fmt.Sprintf("ldpc: rate %g outside (0,1)", rate))
+	}
+	ebN0 := math.Pow(10, ebN0DB/10)
+	return math.Sqrt(1 / (2 * rate * ebN0))
+}
+
+// SimulateBER transmits all-zero codewords (valid for any linear code on
+// the output-symmetric BPSK/AWGN channel) and counts post-decoding bit
+// errors. The run is deterministic for a fixed Seed regardless of
+// Workers: codewords are processed in fixed batches with per-codeword
+// random streams.
+func SimulateBER(p BERParams) BERResult {
+	p = p.defaults()
+	sigma := NoiseSigma(p.EbN0DB, p.Rate)
+	llrScale := 2 / (sigma * sigma)
+	n := p.Code.NumVars
+
+	type cwResult struct {
+		bitErrs int
+	}
+	var res BERResult
+
+	batch := p.Workers
+	results := make([]cwResult, batch)
+	var wg sync.WaitGroup
+
+	decoders := make([]*Decoder, p.Workers)
+	windows := make([]*WindowDecoder, p.Workers)
+	for w := 0; w < p.Workers; w++ {
+		if p.Window > 0 {
+			windows[w] = NewWindowDecoder(p.Code, p.Window, p.Alg, p.MaxIter)
+			windows[w].SetSchedule(p.Sched)
+		} else {
+			decoders[w] = NewDecoder(p.Code, p.Alg, p.MaxIter)
+			decoders[w].Sched = p.Sched
+		}
+	}
+
+	done := func() bool {
+		return res.BitErrors >= p.TargetBitErrors && res.FrameErrors >= p.TargetFrameErrors
+	}
+	for start := 0; start < p.MaxCodewords && !done(); start += batch {
+		count := batch
+		if start+count > p.MaxCodewords {
+			count = p.MaxCodewords - start
+		}
+		wg.Add(count)
+		for i := 0; i < count; i++ {
+			go func(worker, cwIdx int) {
+				defer wg.Done()
+				stream := rng.New(p.Seed).Split(uint64(cwIdx) + 1)
+				llr := make([]float64, n)
+				for v := range llr {
+					llr[v] = llrScale * (1 + sigma*stream.Norm())
+				}
+				var hard []uint8
+				if p.Window > 0 {
+					hard = windows[worker].Decode(llr)
+				} else {
+					hard = decoders[worker].Decode(llr).Hard
+				}
+				errs := 0
+				for _, b := range hard {
+					if b != 0 {
+						errs++
+					}
+				}
+				results[worker] = cwResult{bitErrs: errs}
+			}(i, start+i)
+		}
+		wg.Wait()
+		for i := 0; i < count; i++ {
+			res.Codewords++
+			res.Bits += n
+			res.BitErrors += results[i].bitErrs
+			if results[i].bitErrs > 0 {
+				res.FrameErrors++
+			}
+		}
+	}
+	if res.Bits > 0 {
+		res.BER = float64(res.BitErrors) / float64(res.Bits)
+	}
+	return res
+}
+
+// SearchParams configures a required-Eb/N0 search (the y-axis of
+// Fig. 10).
+type SearchParams struct {
+	BERParams
+	// TargetBER is the quality target (1e-5 in Fig. 10).
+	TargetBER float64
+	// LoDB and HiDB bracket the search (defaults 1 and 8 dB).
+	LoDB, HiDB float64
+	// TolDB is the search resolution (default 0.1 dB).
+	TolDB float64
+}
+
+// RequiredEbN0 returns the smallest Eb/N0 (dB) at which the measured BER
+// is at or below the target, found by bisection on the monotone BER
+// curve. Returns NaN when even HiDB misses the target.
+func RequiredEbN0(p SearchParams) float64 {
+	if p.TargetBER <= 0 {
+		panic("ldpc: target BER must be positive")
+	}
+	if p.LoDB == 0 && p.HiDB == 0 {
+		p.LoDB, p.HiDB = 1, 8
+	}
+	if p.TolDB == 0 {
+		p.TolDB = 0.1
+	}
+	measure := func(db float64) float64 {
+		bp := p.BERParams.defaults()
+		bp.EbN0DB = db
+		// Conclusive-evidence cap: once enough bits have been simulated
+		// that a true BER at the target would have produced ~3x the bit
+		// error budget, the point is decisively below target — no need
+		// to run to the configured codeword cap.
+		conclusive := int(3*float64(bp.TargetBitErrors)/(p.TargetBER*float64(bp.Code.NumVars))) + 1
+		if conclusive < bp.MaxCodewords {
+			bp.MaxCodewords = conclusive
+		}
+		r := SimulateBER(bp)
+		return r.BER
+	}
+	if measure(p.HiDB) > p.TargetBER {
+		return math.NaN()
+	}
+	lo, hi := p.LoDB, p.HiDB
+	if measure(lo) <= p.TargetBER {
+		return lo
+	}
+	for hi-lo > p.TolDB {
+		mid := 0.5 * (lo + hi)
+		if measure(mid) <= p.TargetBER {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

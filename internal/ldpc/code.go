@@ -1,0 +1,342 @@
+package ldpc
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Code is a lifted binary LDPC code in sparse parity-check form, ready
+// for belief-propagation decoding.
+type Code struct {
+	// NumVars and NumChecks give the lifted dimensions.
+	NumVars, NumChecks int
+	// Lifting is the permutation (circulant) size N.
+	Lifting int
+	// BlockLen is the number of code bits per coupled codeword position
+	// (N*nv); 0 block structure means an uncoupled block code.
+	BlockLen int
+	// CheckBlockLen is the number of checks per position (N*nc).
+	CheckBlockLen int
+	// Memory is mcc for convolutional codes (0 for block codes).
+	Memory int
+	// Positions is L for convolutional codes (1 for block codes).
+	Positions int
+
+	// checkPtr/checkVar give, per check, the adjacent variable indices:
+	// edges of check c are checkVar[checkPtr[c]:checkPtr[c+1]].
+	checkPtr []int32
+	checkVar []int32
+	// varPtr/varEdge give, per variable, the edge ids (check-major
+	// positions in checkVar) incident to it.
+	varPtr  []int32
+	varEdge []int32
+}
+
+// NumEdges returns the Tanner-graph edge count.
+func (c *Code) NumEdges() int { return len(c.checkVar) }
+
+// Rate returns the design rate 1 - checks/vars.
+func (c *Code) Rate() float64 {
+	return 1 - float64(c.NumChecks)/float64(c.NumVars)
+}
+
+// CheckNeighbors returns the variables adjacent to check chk (no copy).
+func (c *Code) CheckNeighbors(chk int) []int32 {
+	return c.checkVar[c.checkPtr[chk]:c.checkPtr[chk+1]]
+}
+
+// VarEdges returns the incident edge ids of variable v (no copy).
+func (c *Code) VarEdges(v int) []int32 {
+	return c.varEdge[c.varPtr[v]:c.varPtr[v+1]]
+}
+
+// liftCandidates is the number of seeded shift assignments Lift and
+// LiftConvolutional evaluate before keeping the one with the fewest
+// 4-cycles. Short cycles dominate the BP error floor of small-N lifts
+// (N = 25..60 in Fig. 10), so the search pays for itself immediately.
+const liftCandidates = 24
+
+// Lift expands a protograph into a quasi-cyclic code with circulant size
+// N. Each base-matrix entry of multiplicity k becomes k superimposed
+// circulants with distinct shifts. Among liftCandidates deterministic
+// shift assignments derived from the seed, the one whose lifted Tanner
+// graph has the fewest 4-cycles is kept (stopping early at zero).
+func Lift(b BaseMatrix, N int, seed uint64) *Code {
+	if N < 1 {
+		panic(fmt.Sprintf("ldpc: lifting factor %d < 1", N))
+	}
+	var best *Code
+	bestCycles := -1
+	for k := uint64(0); k < liftCandidates; k++ {
+		c := liftOnce(b, N, seed+k)
+		cycles := Count4Cycles(c)
+		if bestCycles < 0 || cycles < bestCycles {
+			best, bestCycles = c, cycles
+			if cycles == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func liftOnce(b BaseMatrix, N int, seed uint64) *Code {
+	nc, nv := b.NumChecks(), b.NumVars()
+	shifts := chooseShifts(b, N, seed)
+	code := &Code{
+		NumVars:   nv * N,
+		NumChecks: nc * N,
+		Lifting:   N,
+		BlockLen:  nv * N,
+		Positions: 1,
+	}
+	code.CheckBlockLen = nc * N
+	buildAdjacency(code, nc, nv, N, shifts)
+	return code
+}
+
+// Count4Cycles counts length-4 cycles in the lifted Tanner graph: pairs
+// of checks sharing two or more variables.
+func Count4Cycles(c *Code) int {
+	pairCount := map[[2]int32]int32{}
+	for v := 0; v < c.NumVars; v++ {
+		edges := c.VarEdges(v)
+		for i := 0; i < len(edges); i++ {
+			ci := int32(c.CheckOfEdge(edges[i]))
+			for j := i + 1; j < len(edges); j++ {
+				cj := int32(c.CheckOfEdge(edges[j]))
+				a, b := ci, cj
+				if a > b {
+					a, b = b, a
+				}
+				pairCount[[2]int32{a, b}]++
+			}
+		}
+	}
+	cycles := 0
+	for _, n := range pairCount {
+		cycles += int(n*(n-1)) / 2
+	}
+	return cycles
+}
+
+// LiftConvolutional expands a terminated convolutional protograph (from
+// EdgeSpreading.ConvProtograph) time-invariantly: every codeword position
+// reuses the same component shifts, preserving the convolutional
+// structure the window decoder exploits. As in Lift, several seeded
+// shift assignments are tried and the fewest-4-cycle graph is kept.
+func LiftConvolutional(s EdgeSpreading, L, N int, seed uint64) *Code {
+	if N < 1 {
+		panic(fmt.Sprintf("ldpc: lifting factor %d < 1", N))
+	}
+	var best *Code
+	bestCycles := -1
+	for k := uint64(0); k < liftCandidates; k++ {
+		c := liftConvOnce(s, L, N, seed+k)
+		cycles := Count4Cycles(c)
+		if bestCycles < 0 || cycles < bestCycles {
+			best, bestCycles = c, cycles
+			if cycles == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func liftConvOnce(s EdgeSpreading, L, N int, seed uint64) *Code {
+	mcc := s.Memory()
+	nc := s.Components[0].NumChecks()
+	nv := s.Components[0].NumVars()
+
+	// Shifts per component, shared across positions (time-invariant).
+	compShifts := make([]map[[2]int][]int, len(s.Components))
+	stream := rng.New(seed)
+	for i, comp := range s.Components {
+		compShifts[i] = chooseShiftsStream(comp, N, stream)
+	}
+
+	code := &Code{
+		NumVars:       L * nv * N,
+		NumChecks:     (L + mcc) * nc * N,
+		Lifting:       N,
+		BlockLen:      nv * N,
+		CheckBlockLen: nc * N,
+		Memory:        mcc,
+		Positions:     L,
+	}
+
+	// Adjacency: check block r couples variable block r-i through
+	// component i.
+	type entry struct {
+		colBlock int // variable block index (position * nv + varType)
+		shifts   []int
+	}
+	rowEntries := make([][]entry, (L+mcc)*nc)
+	for t := 0; t < L; t++ {
+		for i, comp := range s.Components {
+			r := t + i
+			for c := 0; c < nc; c++ {
+				for v := 0; v < nv; v++ {
+					if comp[c][v] == 0 {
+						continue
+					}
+					rowEntries[r*nc+c] = append(rowEntries[r*nc+c], entry{
+						colBlock: t*nv + v,
+						shifts:   compShifts[i][[2]int{c, v}],
+					})
+				}
+			}
+		}
+	}
+
+	checkPtr := make([]int32, code.NumChecks+1)
+	var checkVar []int32
+	for rowBlock, entries := range rowEntries {
+		for j := 0; j < N; j++ { // row within circulant
+			chk := rowBlock*N + j
+			checkPtr[chk] = int32(len(checkVar))
+			for _, e := range entries {
+				for _, sh := range e.shifts {
+					checkVar = append(checkVar, int32(e.colBlock*N+(j+sh)%N))
+				}
+			}
+		}
+	}
+	checkPtr[code.NumChecks] = int32(len(checkVar))
+	code.checkPtr = checkPtr
+	code.checkVar = checkVar
+	code.buildVarIndex()
+	return code
+}
+
+// chooseShifts draws circulant shifts for every base entry.
+func chooseShifts(b BaseMatrix, N int, seed uint64) map[[2]int][]int {
+	return chooseShiftsStream(b, N, rng.New(seed))
+}
+
+func chooseShiftsStream(b BaseMatrix, N int, stream *rng.Stream) map[[2]int][]int {
+	shifts := map[[2]int][]int{}
+	for c := range b {
+		for v, mult := range b[c] {
+			if mult == 0 {
+				continue
+			}
+			if mult > N {
+				panic(fmt.Sprintf("ldpc: multiplicity %d exceeds lifting %d at (%d,%d)", mult, N, c, v))
+			}
+			used := map[int]bool{}
+			var list []int
+			for k := 0; k < mult; k++ {
+				best := -1
+				for try := 0; try < 32; try++ {
+					s := stream.Intn(N)
+					if used[s] {
+						continue
+					}
+					best = s
+					// Avoid short cycles within this entry: two shifts
+					// s1, s2 and another pair in the same row/col pair
+					// form 4-cycles when differences collide.
+					ok := true
+					for _, prev := range list {
+						d := (s - prev + N) % N
+						if d == 0 || (2*d)%N == 0 {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						break
+					}
+				}
+				if best < 0 {
+					// Fall back to the first unused shift.
+					for s := 0; s < N; s++ {
+						if !used[s] {
+							best = s
+							break
+						}
+					}
+				}
+				used[best] = true
+				list = append(list, best)
+			}
+			shifts[[2]int{c, v}] = list
+		}
+	}
+	return shifts
+}
+
+// buildAdjacency fills the sparse structure for a single-position code.
+func buildAdjacency(code *Code, nc, nv, N int, shifts map[[2]int][]int) {
+	checkPtr := make([]int32, code.NumChecks+1)
+	var checkVar []int32
+	for c := 0; c < nc; c++ {
+		for j := 0; j < N; j++ {
+			chk := c*N + j
+			checkPtr[chk] = int32(len(checkVar))
+			for v := 0; v < nv; v++ {
+				for _, sh := range shifts[[2]int{c, v}] {
+					checkVar = append(checkVar, int32(v*N+(j+sh)%N))
+				}
+			}
+		}
+	}
+	checkPtr[code.NumChecks] = int32(len(checkVar))
+	code.checkPtr = checkPtr
+	code.checkVar = checkVar
+	code.buildVarIndex()
+}
+
+// buildVarIndex derives the variable-major edge index from the
+// check-major adjacency.
+func (c *Code) buildVarIndex() {
+	degree := make([]int32, c.NumVars)
+	for _, v := range c.checkVar {
+		degree[v]++
+	}
+	c.varPtr = make([]int32, c.NumVars+1)
+	for v := 0; v < c.NumVars; v++ {
+		c.varPtr[v+1] = c.varPtr[v] + degree[v]
+	}
+	c.varEdge = make([]int32, len(c.checkVar))
+	fill := make([]int32, c.NumVars)
+	for e, v := range c.checkVar {
+		c.varEdge[c.varPtr[v]+fill[v]] = int32(e)
+		fill[v]++
+	}
+}
+
+// CheckOfEdge returns the check node an edge id belongs to (by binary
+// search over the check pointers).
+func (c *Code) CheckOfEdge(e int32) int {
+	lo, hi := 0, c.NumChecks
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.checkPtr[mid+1] <= e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Syndrome reports whether hard decisions satisfy all parity checks.
+func (c *Code) Syndrome(hard []uint8) bool {
+	if len(hard) != c.NumVars {
+		panic("ldpc: syndrome length mismatch")
+	}
+	for chk := 0; chk < c.NumChecks; chk++ {
+		var parity uint8
+		for _, v := range c.CheckNeighbors(chk) {
+			parity ^= hard[v]
+		}
+		if parity != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package ldpc
+
+import (
+	"testing"
+)
+
+func TestLiftRegular48(t *testing.T) {
+	for _, N := range []int{25, 40, 60} {
+		c := Lift(Regular48(), N, 1)
+		if c.NumVars != 2*N || c.NumChecks != N {
+			t.Fatalf("N=%d: dims %dx%d, want %dx%d", N, c.NumChecks, c.NumVars, N, 2*N)
+		}
+		if c.NumEdges() != 8*N {
+			t.Errorf("N=%d: edges = %d, want %d", N, c.NumEdges(), 8*N)
+		}
+		// (4,8)-regular after lifting.
+		for chk := 0; chk < c.NumChecks; chk++ {
+			if len(c.CheckNeighbors(chk)) != 8 {
+				t.Fatalf("check %d degree %d, want 8", chk, len(c.CheckNeighbors(chk)))
+			}
+		}
+		for v := 0; v < c.NumVars; v++ {
+			if len(c.VarEdges(v)) != 4 {
+				t.Fatalf("var %d degree %d, want 4", v, len(c.VarEdges(v)))
+			}
+		}
+	}
+}
+
+func TestLiftDistinctNeighbors(t *testing.T) {
+	// Distinct circulant shifts must never duplicate an edge.
+	c := Lift(Regular48(), 40, 7)
+	for chk := 0; chk < c.NumChecks; chk++ {
+		seen := map[int32]bool{}
+		for _, v := range c.CheckNeighbors(chk) {
+			if seen[v] {
+				t.Fatalf("check %d has duplicate neighbour %d", chk, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLiftPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"liftZero": func() { Lift(Regular48(), 0, 1) },
+		"multTooBig": func() {
+			Lift(NewBaseMatrix([][]int{{5, 5}}), 3, 1) // multiplicity 5 > N=3
+		},
+		"convLiftZero": func() { LiftConvolutional(PaperSpreading(), 10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLiftConvolutionalStructure(t *testing.T) {
+	const L, N = 10, 25
+	c := LiftConvolutional(PaperSpreading(), L, N, 3)
+	if c.NumVars != L*2*N || c.NumChecks != (L+2)*N {
+		t.Fatalf("dims %dx%d, want %dx%d", c.NumChecks, c.NumVars, (L+2)*N, 2*L*N)
+	}
+	if c.Memory != 2 || c.Positions != L || c.BlockLen != 2*N || c.CheckBlockLen != N {
+		t.Fatalf("structure fields wrong: %+v", c)
+	}
+	// All variables are degree 4 (termination preserves degrees, Eq. 3).
+	for v := 0; v < c.NumVars; v++ {
+		if len(c.VarEdges(v)) != 4 {
+			t.Fatalf("var %d degree %d, want 4", v, len(c.VarEdges(v)))
+		}
+	}
+	// Interior checks degree 8; first/last check blocks reduced.
+	for chk := 2 * N; chk < L*N; chk++ {
+		if len(c.CheckNeighbors(chk)) != 8 {
+			t.Fatalf("interior check %d degree %d, want 8", chk, len(c.CheckNeighbors(chk)))
+		}
+	}
+	if len(c.CheckNeighbors(0)) != 4 {
+		t.Errorf("first check degree %d, want 4", len(c.CheckNeighbors(0)))
+	}
+	if len(c.CheckNeighbors((L+2)*N-1)) != 2 {
+		t.Errorf("last check degree %d, want 2", len(c.CheckNeighbors((L+2)*N-1)))
+	}
+}
+
+func TestLiftConvolutionalLocality(t *testing.T) {
+	// Check block r may only touch variable blocks r-2..r: the coupling
+	// memory bound that the window decoder relies on.
+	const L, N = 8, 20
+	c := LiftConvolutional(PaperSpreading(), L, N, 5)
+	for chk := 0; chk < c.NumChecks; chk++ {
+		rBlock := chk / c.CheckBlockLen
+		for _, v := range c.CheckNeighbors(chk) {
+			vBlock := int(v) / c.BlockLen
+			if vBlock > rBlock || vBlock < rBlock-2 {
+				t.Fatalf("check block %d touches variable block %d", rBlock, vBlock)
+			}
+		}
+	}
+}
+
+func TestCheckOfEdge(t *testing.T) {
+	c := Lift(Regular48(), 10, 1)
+	for chk := 0; chk < c.NumChecks; chk++ {
+		for e := c.checkPtr[chk]; e < c.checkPtr[chk+1]; e++ {
+			if got := c.CheckOfEdge(e); got != chk {
+				t.Fatalf("CheckOfEdge(%d) = %d, want %d", e, got, chk)
+			}
+		}
+	}
+}
+
+func TestSyndromeAllZeroValid(t *testing.T) {
+	c := Lift(Regular48(), 25, 1)
+	if !c.Syndrome(make([]uint8, c.NumVars)) {
+		t.Error("all-zero word fails the syndrome")
+	}
+	// Flipping one bit must violate some check (every var has degree 4).
+	w := make([]uint8, c.NumVars)
+	w[7] = 1
+	if c.Syndrome(w) {
+		t.Error("single-bit error passes the syndrome")
+	}
+}
+
+func TestSyndromePanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Lift(Regular48(), 10, 1).Syndrome(make([]uint8, 3))
+}
+
+func TestLiftDeterministicPerSeed(t *testing.T) {
+	a := Lift(Regular48(), 30, 9)
+	b := Lift(Regular48(), 30, 9)
+	for chk := 0; chk < a.NumChecks; chk++ {
+		na, nb := a.CheckNeighbors(chk), b.CheckNeighbors(chk)
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("same seed produced different lifts")
+			}
+		}
+	}
+	// Seeds must be further apart than the candidate window the girth
+	// search scans (liftCandidates), or the assignments can coincide.
+	c := Lift(Regular48(), 30, 500)
+	same := true
+	for chk := 0; chk < a.NumChecks && same; chk++ {
+		na, nc := a.CheckNeighbors(chk), c.CheckNeighbors(chk)
+		for i := range na {
+			if na[i] != nc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical lifts")
+	}
+}
+
+func TestEncoderProducesValidCodewords(t *testing.T) {
+	for _, code := range []*Code{
+		Lift(Regular48(), 30, 2),
+		LiftConvolutional(PaperSpreading(), 8, 15, 2),
+	} {
+		enc := NewEncoder(code)
+		if enc.CodeLen() != code.NumVars {
+			t.Fatal("encoder code length mismatch")
+		}
+		// Rank of H can be slightly below NumChecks; info length must be
+		// at least NumVars - NumChecks.
+		if enc.InfoLen() < code.NumVars-code.NumChecks {
+			t.Errorf("info length %d below %d", enc.InfoLen(), code.NumVars-code.NumChecks)
+		}
+		stream := newTestBits(42)
+		for trial := 0; trial < 5; trial++ {
+			info := stream.bits(enc.InfoLen())
+			cw := enc.Encode(info)
+			if !code.Syndrome(cw) {
+				t.Fatalf("trial %d: encoded word fails the syndrome", trial)
+			}
+			back := enc.ExtractInfo(cw)
+			for i := range info {
+				if back[i] != info[i] {
+					t.Fatalf("trial %d: info round trip failed", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestEncoderActualRateNearDesign(t *testing.T) {
+	enc := NewEncoder(LiftConvolutional(PaperSpreading(), 20, 20, 2))
+	want := PaperSpreading().TerminatedRate(20)
+	if enc.ActualRate() < want-1e-9 {
+		t.Errorf("actual rate %.3f below terminated design rate %.3f", enc.ActualRate(), want)
+	}
+	if enc.ActualRate() > want+0.05 {
+		t.Errorf("actual rate %.3f suspiciously above design %.3f (rank collapse?)", enc.ActualRate(), want)
+	}
+}
+
+func TestEncoderPanicsOnBadInfoLength(t *testing.T) {
+	enc := NewEncoder(Lift(Regular48(), 10, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad info length did not panic")
+		}
+	}()
+	enc.Encode(make([]uint8, 1))
+}
+
+// newTestBits is a tiny deterministic bit source for encoder tests.
+type testBits struct{ state uint64 }
+
+func newTestBits(seed uint64) *testBits { return &testBits{state: seed} }
+
+func (t *testBits) bits(n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		t.state = t.state*6364136223846793005 + 1442695040888963407
+		out[i] = uint8(t.state >> 62 & 1)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm selects the check-node update rule of the BP decoder.
+type Algorithm int
+
+const (
+	// SumProduct is the exact tanh-rule update (best BER, slowest).
+	SumProduct Algorithm = iota
+	// MinSum is the normalised min-sum approximation with scale 0.8
+	// (hardware-friendly; a few tenths of a dB behind sum-product).
+	MinSum
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SumProduct:
+		return "sum-product"
+	case MinSum:
+		return "normalised min-sum"
+	default:
+		return "unknown"
+	}
+}
+
+// minSumScale is the normalisation factor of the min-sum approximation.
+const minSumScale = 0.8
+
+// llrClamp bounds message magnitudes for numerical stability.
+const llrClamp = 30.0
+
+// Decoder runs iterative belief propagation on a Code. It owns reusable
+// message buffers, so one Decoder instance serves many decode calls
+// without allocating; it is not safe for concurrent use (create one per
+// worker).
+type Decoder struct {
+	code *Code
+	// Alg selects the check update rule.
+	Alg Algorithm
+	// Sched selects the message-passing schedule (default Flooding).
+	Sched Schedule
+	// MaxIter bounds the iterations (default 50).
+	MaxIter int
+
+	chkToVar  []float64
+	varToChk  []float64
+	posterior []float64
+	hard      []uint8
+}
+
+// NewDecoder creates a decoder for the code.
+func NewDecoder(code *Code, alg Algorithm, maxIter int) *Decoder {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	return &Decoder{
+		code:      code,
+		Alg:       alg,
+		MaxIter:   maxIter,
+		chkToVar:  make([]float64, code.NumEdges()),
+		varToChk:  make([]float64, code.NumEdges()),
+		posterior: make([]float64, code.NumVars),
+		hard:      make([]uint8, code.NumVars),
+	}
+}
+
+// Result reports a decode outcome.
+type Result struct {
+	// Hard holds the bit decisions (valid until the next Decode call).
+	Hard []uint8
+	// Converged is true when the syndrome check passed.
+	Converged bool
+	// Iterations actually run.
+	Iterations int
+}
+
+// Decode runs flooding BP on channel LLRs (positive = bit 0 more likely)
+// and returns hard decisions. Early-terminates on a zero syndrome.
+func (d *Decoder) Decode(channelLLR []float64) Result {
+	c := d.code
+	if len(channelLLR) != c.NumVars {
+		panic(fmt.Sprintf("ldpc: LLR length %d, want %d", len(channelLLR), c.NumVars))
+	}
+	return d.decodeRange(channelLLR, 0, c.NumChecks, 0, c.NumVars)
+}
+
+// decodeRange runs BP using only checks in [chkLo, chkHi) and variables
+// in [varLo, varHi) — the full code for Decode, a window for the window
+// decoder. Messages for edges outside the range stay zero and do not
+// perturb the posterior.
+func (d *Decoder) decodeRange(channelLLR []float64, chkLo, chkHi, varLo, varHi int) Result {
+	if d.Sched == Layered {
+		return d.decodeLayered(channelLLR, chkLo, chkHi, varLo, varHi)
+	}
+	c := d.code
+
+	// Clear residual check messages on every edge touching the active
+	// variables (stale messages from a previous window position would
+	// otherwise leak into the posteriors), then initialise the
+	// variable-to-check messages with the channel LLRs.
+	for v := varLo; v < varHi; v++ {
+		for _, e := range c.VarEdges(v) {
+			d.chkToVar[e] = 0
+		}
+	}
+	for chk := chkLo; chk < chkHi; chk++ {
+		for e := c.checkPtr[chk]; e < c.checkPtr[chk+1]; e++ {
+			d.varToChk[e] = channelLLR[c.checkVar[e]]
+		}
+	}
+
+	iters := 0
+	for iter := 0; iter < d.MaxIter; iter++ {
+		iters = iter + 1
+		// Check-node update.
+		for chk := chkLo; chk < chkHi; chk++ {
+			lo, hi := c.checkPtr[chk], c.checkPtr[chk+1]
+			switch d.Alg {
+			case SumProduct:
+				d.updateCheckSumProduct(lo, hi)
+			default:
+				d.updateCheckMinSum(lo, hi)
+			}
+		}
+		converged := d.updateVarsAndCheckSyndrome(channelLLR, chkLo, chkHi, varLo, varHi)
+		if converged {
+			return Result{Hard: d.hard, Converged: true, Iterations: iters}
+		}
+	}
+	return Result{Hard: d.hard, Converged: false, Iterations: iters}
+}
+
+// updateCheckSumProduct applies the tanh rule to one check's edges.
+func (d *Decoder) updateCheckSumProduct(lo, hi int32) {
+	prod := 1.0
+	for e := lo; e < hi; e++ {
+		prod *= math.Tanh(0.5 * d.varToChk[e])
+	}
+	for e := lo; e < hi; e++ {
+		t := math.Tanh(0.5 * d.varToChk[e])
+		var other float64
+		if math.Abs(t) > 1e-12 {
+			other = prod / t
+		} else {
+			// Recompute excluding e to avoid division blow-up.
+			other = 1
+			for e2 := lo; e2 < hi; e2++ {
+				if e2 != e {
+					other *= math.Tanh(0.5 * d.varToChk[e2])
+				}
+			}
+		}
+		other = clamp(other, -0.999999999999, 0.999999999999)
+		d.chkToVar[e] = clamp(2*math.Atanh(other), -llrClamp, llrClamp)
+	}
+}
+
+// updateCheckMinSum applies the normalised min-sum rule to one check.
+func (d *Decoder) updateCheckMinSum(lo, hi int32) {
+	min1, min2 := math.Inf(1), math.Inf(1)
+	var minEdge int32 = -1
+	sign := 1.0
+	for e := lo; e < hi; e++ {
+		v := d.varToChk[e]
+		if v < 0 {
+			sign = -sign
+		}
+		a := math.Abs(v)
+		if a < min1 {
+			min2 = min1
+			min1 = a
+			minEdge = e
+		} else if a < min2 {
+			min2 = a
+		}
+	}
+	for e := lo; e < hi; e++ {
+		mag := min1
+		if e == minEdge {
+			mag = min2
+		}
+		s := sign
+		if d.varToChk[e] < 0 {
+			s = -s
+		}
+		d.chkToVar[e] = clamp(minSumScale*s*mag, -llrClamp, llrClamp)
+	}
+}
+
+// updateVarsAndCheckSyndrome refreshes variable messages, posteriors and
+// hard decisions for the active variable range, returning true when all
+// active checks are satisfied.
+func (d *Decoder) updateVarsAndCheckSyndrome(channelLLR []float64, chkLo, chkHi, varLo, varHi int) bool {
+	c := d.code
+	for v := varLo; v < varHi; v++ {
+		sum := channelLLR[v]
+		for _, e := range c.VarEdges(v) {
+			sum += d.chkToVar[e]
+		}
+		d.posterior[v] = sum
+		if sum < 0 {
+			d.hard[v] = 1
+		} else {
+			d.hard[v] = 0
+		}
+		// Extrinsic messages for the next iteration.
+		for _, e := range c.VarEdges(v) {
+			d.varToChk[e] = clamp(sum-d.chkToVar[e], -llrClamp, llrClamp)
+		}
+	}
+	for chk := chkLo; chk < chkHi; chk++ {
+		var parity uint8
+		for _, v := range c.CheckNeighbors(chk) {
+			parity ^= d.hard[v]
+		}
+		if parity != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Posterior returns the last decode's posterior LLRs (valid until the
+// next Decode call).
+func (d *Decoder) Posterior() []float64 { return d.posterior }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,236 @@
+package ldpc
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDecodeNoiselessAllZero(t *testing.T) {
+	code := Lift(Regular48(), 25, 1)
+	llr := make([]float64, code.NumVars)
+	for i := range llr {
+		llr[i] = 10 // strongly bit 0
+	}
+	for _, alg := range []Algorithm{SumProduct, MinSum} {
+		res := NewDecoder(code, alg, 50).Decode(llr)
+		if !res.Converged || res.Iterations != 1 {
+			t.Errorf("%v: noiseless decode: converged=%v iters=%d", alg, res.Converged, res.Iterations)
+		}
+		for _, b := range res.Hard {
+			if b != 0 {
+				t.Fatalf("%v: noiseless decode flipped a bit", alg)
+			}
+		}
+	}
+}
+
+func TestDecodeCorrectsErasuresAndFlips(t *testing.T) {
+	code := Lift(Regular48(), 40, 3)
+	llr := make([]float64, code.NumVars)
+	for i := range llr {
+		llr[i] = 6
+	}
+	// Erase a handful of bits and flip a couple.
+	llr[3], llr[17], llr[40] = 0, 0, 0
+	llr[5], llr[60] = -4, -3
+	for _, alg := range []Algorithm{SumProduct, MinSum} {
+		res := NewDecoder(code, alg, 50).Decode(llr)
+		if !res.Converged {
+			t.Errorf("%v: did not converge", alg)
+		}
+		for i, b := range res.Hard {
+			if b != 0 {
+				t.Fatalf("%v: residual error at bit %d", alg, i)
+			}
+		}
+	}
+}
+
+func TestDecodePanicsOnBadLength(t *testing.T) {
+	code := Lift(Regular48(), 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad LLR length did not panic")
+		}
+	}()
+	NewDecoder(code, MinSum, 10).Decode(make([]float64, 3))
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if SumProduct.String() != "sum-product" || MinSum.String() != "normalised min-sum" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(9).String() != "unknown" {
+		t.Error("unknown algorithm name wrong")
+	}
+}
+
+func TestSumProductBeatsMinSumAtLowSNR(t *testing.T) {
+	// The classic ordering: exact sum-product converges on more noisy
+	// frames than normalised min-sum at the same Eb/N0.
+	code := Lift(Regular48(), 40, 3)
+	sigma := NoiseSigma(2.0, 0.5)
+	scale := 2 / (sigma * sigma)
+
+	frames, spOK, msOK := 120, 0, 0
+	sp := NewDecoder(code, SumProduct, 60)
+	ms := NewDecoder(code, MinSum, 60)
+	llr := make([]float64, code.NumVars)
+	for f := 0; f < frames; f++ {
+		stream := rng.New(900).Split(uint64(f))
+		for i := range llr {
+			llr[i] = scale * (1 + sigma*stream.Norm())
+		}
+		if r := sp.Decode(llr); r.Converged && allZero(r.Hard) {
+			spOK++
+		}
+		if r := ms.Decode(llr); r.Converged && allZero(r.Hard) {
+			msOK++
+		}
+	}
+	// Normalised min-sum with scale 0.8 tracks sum-product closely, so a
+	// small statistical slack is allowed; a large gap in min-sum's favour
+	// would indicate a broken tanh-rule implementation.
+	if spOK < msOK-6 {
+		t.Errorf("sum-product solved %d frames, min-sum %d — ordering violated", spOK, msOK)
+	}
+	if spOK == 0 {
+		t.Error("sum-product solved no frames at 2 dB — decoder broken?")
+	}
+}
+
+func allZero(bits []uint8) bool {
+	for _, b := range bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPosteriorSignsMatchHard(t *testing.T) {
+	code := Lift(Regular48(), 20, 2)
+	dec := NewDecoder(code, SumProduct, 20)
+	llr := make([]float64, code.NumVars)
+	stream := rng.New(5)
+	for i := range llr {
+		llr[i] = 4 + stream.Norm()
+	}
+	res := dec.Decode(llr)
+	for v, p := range dec.Posterior() {
+		want := uint8(0)
+		if p < 0 {
+			want = 1
+		}
+		if res.Hard[v] != want {
+			t.Fatalf("hard[%d] inconsistent with posterior", v)
+		}
+	}
+}
+
+func TestWindowDecoderAllZeroNoiseless(t *testing.T) {
+	code := LiftConvolutional(PaperSpreading(), 12, 15, 2)
+	wd := NewWindowDecoder(code, 4, MinSum, 20)
+	llr := make([]float64, code.NumVars)
+	for i := range llr {
+		llr[i] = 8
+	}
+	out := wd.Decode(llr)
+	if !allZero(out) {
+		t.Error("window decoder corrupted a noiseless word")
+	}
+}
+
+func TestWindowDecoderCorrectsNoise(t *testing.T) {
+	code := LiftConvolutional(PaperSpreading(), 16, 25, 2)
+	wd := NewWindowDecoder(code, 10, SumProduct, 40)
+	sigma := NoiseSigma(3.5, code.Rate())
+	scale := 2 / (sigma * sigma)
+	llr := make([]float64, code.NumVars)
+	errs := 0
+	const frames = 20
+	for f := 0; f < frames; f++ {
+		stream := rng.New(31).Split(uint64(f))
+		for i := range llr {
+			llr[i] = scale * (1 + sigma*stream.Norm())
+		}
+		out := wd.Decode(llr)
+		for _, b := range out {
+			if b != 0 {
+				errs++
+			}
+		}
+	}
+	ber := float64(errs) / float64(frames*code.NumVars)
+	if ber > 1e-3 {
+		t.Errorf("window decoder BER %.2g at 3.5 dB, want < 1e-3", ber)
+	}
+}
+
+func TestWindowDecoderPanics(t *testing.T) {
+	conv := LiftConvolutional(PaperSpreading(), 10, 10, 1)
+	block := Lift(Regular48(), 10, 1)
+	for name, fn := range map[string]func(){
+		"blockCode": func() { NewWindowDecoder(block, 3, MinSum, 10) },
+		"wTooSmall": func() { NewWindowDecoder(conv, 2, MinSum, 10) }, // mcc+1 = 3
+		"wTooBig":   func() { NewWindowDecoder(conv, 11, MinSum, 10) },
+		"badLLRLen": func() { NewWindowDecoder(conv, 4, MinSum, 10).Decode(make([]float64, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLargerWindowDecodesMoreNoise(t *testing.T) {
+	// Fig. 10's driving effect: increasing W improves performance for
+	// the same code. Compare bit errors at a stressed operating point.
+	code := LiftConvolutional(PaperSpreading(), 20, 20, 4)
+	sigma := NoiseSigma(2.2, code.Rate())
+	scale := 2 / (sigma * sigma)
+
+	countErrs := func(w int) int {
+		wd := NewWindowDecoder(code, w, SumProduct, 40)
+		llr := make([]float64, code.NumVars)
+		errs := 0
+		for f := 0; f < 30; f++ {
+			stream := rng.New(77).Split(uint64(f))
+			for i := range llr {
+				llr[i] = scale * (1 + sigma*stream.Norm())
+			}
+			for _, b := range wd.Decode(llr) {
+				if b != 0 {
+					errs++
+				}
+			}
+		}
+		return errs
+	}
+	small, large := countErrs(3), countErrs(8)
+	if large >= small {
+		t.Errorf("W=8 errors (%d) not below W=3 errors (%d)", large, small)
+	}
+}
+
+func TestLatencyFormulas(t *testing.T) {
+	// Eq. 4 / Eq. 5 with the paper's example: N=40-class code at rate
+	// 1/2 and nv=2: TWD = W*N, TB = N.
+	if got := WindowLatencyBits(5, 40, 2, 0.5); got != 200 {
+		t.Errorf("TWD = %g, want 200", got)
+	}
+	if got := BlockLatencyBits(400, 2, 0.5); got != 400 {
+		t.Errorf("TB = %g, want 400", got)
+	}
+	// The paper's headline: LDPC-CC at Eb/N0 = 3 dB needs TWD = 200
+	// info bits where the block code needs TB = 400 — the formulas place
+	// W=5, N=40 CC at exactly half the N=400 block code's latency.
+	if WindowLatencyBits(5, 40, 2, 0.5)*2 != BlockLatencyBits(400, 2, 0.5) {
+		t.Error("latency relation broken")
+	}
+}

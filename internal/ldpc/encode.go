@@ -1,0 +1,152 @@
+package ldpc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Encoder maps information bits to codewords of a Code by Gaussian
+// elimination over GF(2): the parity-check matrix is brought to row
+// echelon form once, after which each encode is a back-substitution.
+type Encoder struct {
+	code *Code
+	// rows are the echelon rows of H as bitsets over the NumVars columns.
+	rows [][]uint64
+	// pivotCol[i] is the pivot column of echelon row i (parity position).
+	pivotCol []int
+	// infoCols are the non-pivot columns, in ascending order.
+	infoCols []int
+}
+
+const wordBits = 64
+
+func bitsetLen(n int) int { return (n + wordBits - 1) / wordBits }
+
+func getBit(row []uint64, i int) uint8 {
+	return uint8(row[i/wordBits] >> (uint(i) % wordBits) & 1)
+}
+
+func flipBit(row []uint64, i int) {
+	row[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+// NewEncoder performs the one-time elimination. Rank-deficient
+// parity-check matrices are handled: dependent rows are dropped, which
+// only increases the information length.
+func NewEncoder(code *Code) *Encoder {
+	nv := code.NumVars
+	words := bitsetLen(nv)
+	rows := make([][]uint64, code.NumChecks)
+	for chk := 0; chk < code.NumChecks; chk++ {
+		row := make([]uint64, words)
+		for _, v := range code.CheckNeighbors(chk) {
+			flipBit(row, int(v)) // XOR handles repeated edges correctly
+		}
+		rows[chk] = row
+	}
+
+	var echelon [][]uint64
+	var pivots []int
+	isPivot := make([]bool, nv)
+	for col := 0; col < nv && len(rows) > 0; col++ {
+		// Find a row with a 1 in col.
+		found := -1
+		for r := range rows {
+			if getBit(rows[r], col) == 1 {
+				found = r
+				break
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		pivot := rows[found]
+		rows = append(rows[:found], rows[found+1:]...)
+		// Eliminate col from the remaining rows.
+		kept := rows[:0]
+		for _, r := range rows {
+			if getBit(r, col) == 1 {
+				for w := range r {
+					r[w] ^= pivot[w]
+				}
+			}
+			if !isZero(r) {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		echelon = append(echelon, pivot)
+		pivots = append(pivots, col)
+		isPivot[col] = true
+	}
+
+	var infoCols []int
+	for col := 0; col < nv; col++ {
+		if !isPivot[col] {
+			infoCols = append(infoCols, col)
+		}
+	}
+	return &Encoder{code: code, rows: echelon, pivotCol: pivots, infoCols: infoCols}
+}
+
+func isZero(row []uint64) bool {
+	for _, w := range row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InfoLen returns the number of information bits per codeword.
+func (e *Encoder) InfoLen() int { return len(e.infoCols) }
+
+// CodeLen returns the codeword length.
+func (e *Encoder) CodeLen() int { return e.code.NumVars }
+
+// ActualRate returns the true code rate InfoLen/CodeLen (the design rate
+// minus the termination loss and any rank slack).
+func (e *Encoder) ActualRate() float64 {
+	return float64(e.InfoLen()) / float64(e.CodeLen())
+}
+
+// Encode maps info bits to a codeword satisfying H c = 0.
+func (e *Encoder) Encode(info []uint8) []uint8 {
+	if len(info) != e.InfoLen() {
+		panic(fmt.Sprintf("ldpc: info length %d, want %d", len(info), e.InfoLen()))
+	}
+	cw := make([]uint8, e.code.NumVars)
+	for i, col := range e.infoCols {
+		cw[col] = info[i] & 1
+	}
+	// Back substitution from the last echelon row: each row determines
+	// its pivot from columns that are either info bits or later pivots.
+	for i := len(e.rows) - 1; i >= 0; i-- {
+		row := e.rows[i]
+		var acc uint8
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				col := w*wordBits + b
+				if col != e.pivotCol[i] {
+					acc ^= cw[col]
+				}
+			}
+		}
+		cw[e.pivotCol[i]] = acc
+	}
+	return cw
+}
+
+// ExtractInfo recovers the information bits from a codeword.
+func (e *Encoder) ExtractInfo(cw []uint8) []uint8 {
+	if len(cw) != e.code.NumVars {
+		panic("ldpc: codeword length mismatch")
+	}
+	out := make([]uint8, len(e.infoCols))
+	for i, col := range e.infoCols {
+		out[i] = cw[col] & 1
+	}
+	return out
+}

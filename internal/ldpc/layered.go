@@ -1,0 +1,161 @@
+package ldpc
+
+import "math"
+
+// Schedule selects the message-passing order of the BP decoder.
+type Schedule int
+
+const (
+	// Flooding updates all checks, then all variables, per iteration.
+	Flooding Schedule = iota
+	// Layered sweeps the checks sequentially, folding each check's new
+	// messages into the variable posteriors immediately. It typically
+	// converges in about half the iterations of flooding, an attractive
+	// property for the latency-constrained decoders of Sec. V.
+	Layered
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Flooding:
+		return "flooding"
+	case Layered:
+		return "layered"
+	default:
+		return "unknown"
+	}
+}
+
+// decodeLayered is the layered-schedule counterpart of decodeRange: the
+// posterior array is the working state, and check updates are applied
+// in place, one check at a time.
+func (d *Decoder) decodeLayered(channelLLR []float64, chkLo, chkHi, varLo, varHi int) Result {
+	c := d.code
+
+	for v := varLo; v < varHi; v++ {
+		for _, e := range c.VarEdges(v) {
+			d.chkToVar[e] = 0
+		}
+		d.posterior[v] = channelLLR[v]
+	}
+
+	// scratch holds the extrinsic inputs of one check.
+	scratch := d.varToChk[:0]
+
+	iters := 0
+	for iter := 0; iter < d.MaxIter; iter++ {
+		iters = iter + 1
+		for chk := chkLo; chk < chkHi; chk++ {
+			lo, hi := c.checkPtr[chk], c.checkPtr[chk+1]
+			deg := int(hi - lo)
+			scratch = scratch[:0]
+			for e := lo; e < hi; e++ {
+				scratch = append(scratch, d.posterior[c.checkVar[e]]-d.chkToVar[e])
+			}
+			switch d.Alg {
+			case SumProduct:
+				layeredSumProduct(scratch)
+			default:
+				layeredMinSum(scratch)
+			}
+			for k := 0; k < deg; k++ {
+				e := lo + int32(k)
+				v := c.checkVar[e]
+				newMsg := clamp(scratch[k], -llrClamp, llrClamp)
+				d.posterior[v] += newMsg - d.chkToVar[e]
+				d.chkToVar[e] = newMsg
+			}
+		}
+		// Hard decisions and syndrome.
+		for v := varLo; v < varHi; v++ {
+			if d.posterior[v] < 0 {
+				d.hard[v] = 1
+			} else {
+				d.hard[v] = 0
+			}
+		}
+		ok := true
+		for chk := chkLo; chk < chkHi && ok; chk++ {
+			var parity uint8
+			for _, v := range c.CheckNeighbors(chk) {
+				parity ^= d.hard[v]
+			}
+			if parity != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return Result{Hard: d.hard, Converged: true, Iterations: iters}
+		}
+	}
+	return Result{Hard: d.hard, Converged: false, Iterations: iters}
+}
+
+// layeredSumProduct replaces each entry of msgs with the tanh-rule
+// extrinsic output computed from the other entries.
+func layeredSumProduct(msgs []float64) {
+	prod := 1.0
+	anyZero := -1
+	for i, m := range msgs {
+		t := math.Tanh(0.5 * m)
+		if math.Abs(t) < 1e-15 {
+			if anyZero >= 0 {
+				// Two zero inputs: every output is zero.
+				for j := range msgs {
+					msgs[j] = 0
+				}
+				return
+			}
+			anyZero = i
+			continue
+		}
+		prod *= t
+	}
+	for i, m := range msgs {
+		t := math.Tanh(0.5 * m)
+		var other float64
+		switch {
+		case anyZero == i:
+			other = prod
+		case anyZero >= 0:
+			other = 0
+		default:
+			other = prod / t
+		}
+		other = clamp(other, -0.999999999999, 0.999999999999)
+		msgs[i] = 2 * math.Atanh(other)
+	}
+}
+
+// layeredMinSum replaces each entry of msgs with the normalised min-sum
+// extrinsic output computed from the other entries.
+func layeredMinSum(msgs []float64) {
+	min1, min2 := math.Inf(1), math.Inf(1)
+	minIdx := -1
+	sign := 1.0
+	for i, m := range msgs {
+		if m < 0 {
+			sign = -sign
+		}
+		a := math.Abs(m)
+		if a < min1 {
+			min2 = min1
+			min1 = a
+			minIdx = i
+		} else if a < min2 {
+			min2 = a
+		}
+	}
+	for i, m := range msgs {
+		mag := min1
+		if i == minIdx {
+			mag = min2
+		}
+		s := sign
+		if m < 0 {
+			s = -s
+		}
+		msgs[i] = minSumScale * s * mag
+	}
+}

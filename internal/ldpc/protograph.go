@@ -1,0 +1,166 @@
+// Package ldpc implements the low-latency error-correction study of the
+// paper's Sec. V: protograph-based LDPC block and convolutional codes
+// (LDPC-CC), quasi-cyclic lifting, belief-propagation decoding, the
+// sliding window decoder of Fig. 9, and the Monte-Carlo harness behind
+// Fig. 10 (required Eb/N0 at a target BER versus structural decoding
+// latency).
+package ldpc
+
+import "fmt"
+
+// BaseMatrix is a protograph bi-adjacency matrix: entry (c, v) counts the
+// edges between check type c and variable type v.
+type BaseMatrix [][]int
+
+// NewBaseMatrix validates and wraps a rectangular non-negative matrix.
+func NewBaseMatrix(rows [][]int) BaseMatrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("ldpc: empty base matrix")
+	}
+	nv := len(rows[0])
+	for r, row := range rows {
+		if len(row) != nv {
+			panic(fmt.Sprintf("ldpc: ragged base matrix at row %d", r))
+		}
+		for _, e := range row {
+			if e < 0 {
+				panic("ldpc: negative edge multiplicity")
+			}
+		}
+	}
+	return BaseMatrix(rows)
+}
+
+// NumChecks returns nc, the number of check-node types.
+func (b BaseMatrix) NumChecks() int { return len(b) }
+
+// NumVars returns nv, the number of variable-node types.
+func (b BaseMatrix) NumVars() int { return len(b[0]) }
+
+// Rate returns the design rate 1 - nc/nv of the protograph.
+func (b BaseMatrix) Rate() float64 {
+	return 1 - float64(b.NumChecks())/float64(b.NumVars())
+}
+
+// VarDegrees returns the column sums (variable-node degrees).
+func (b BaseMatrix) VarDegrees() []int {
+	out := make([]int, b.NumVars())
+	for _, row := range b {
+		for v, e := range row {
+			out[v] += e
+		}
+	}
+	return out
+}
+
+// CheckDegrees returns the row sums (check-node degrees).
+func (b BaseMatrix) CheckDegrees() []int {
+	out := make([]int, b.NumChecks())
+	for c, row := range b {
+		for _, e := range row {
+			out[c] += e
+		}
+	}
+	return out
+}
+
+// Regular48 is the paper's (4,8)-regular block-code protograph B = [4 4].
+func Regular48() BaseMatrix { return NewBaseMatrix([][]int{{4, 4}}) }
+
+// EdgeSpreading is a decomposition B = sum_i B_i of a protograph into
+// component matrices B_0..B_mcc that couple consecutive codewords of an
+// LDPC convolutional code (Eq. 2); mcc is the coupling memory.
+type EdgeSpreading struct {
+	Components []BaseMatrix
+}
+
+// PaperSpreading is the edge spreading used in Fig. 10:
+// B0 = [2 2], B1 = B2 = [1 1] (mcc = 2), a valid spreading of [4 4].
+func PaperSpreading() EdgeSpreading {
+	return EdgeSpreading{Components: []BaseMatrix{
+		NewBaseMatrix([][]int{{2, 2}}),
+		NewBaseMatrix([][]int{{1, 1}}),
+		NewBaseMatrix([][]int{{1, 1}}),
+	}}
+}
+
+// Memory returns mcc, the maximal coupling distance.
+func (s EdgeSpreading) Memory() int { return len(s.Components) - 1 }
+
+// Sum returns the recombined protograph sum_i B_i.
+func (s EdgeSpreading) Sum() BaseMatrix {
+	if len(s.Components) == 0 {
+		panic("ldpc: empty edge spreading")
+	}
+	nc, nv := s.Components[0].NumChecks(), s.Components[0].NumVars()
+	sum := make([][]int, nc)
+	for c := range sum {
+		sum[c] = make([]int, nv)
+	}
+	for _, comp := range s.Components {
+		if comp.NumChecks() != nc || comp.NumVars() != nv {
+			panic("ldpc: edge-spreading component shape mismatch")
+		}
+		for c := 0; c < nc; c++ {
+			for v := 0; v < nv; v++ {
+				sum[c][v] += comp[c][v]
+			}
+		}
+	}
+	return BaseMatrix(sum)
+}
+
+// Validate checks the edge-spreading condition sum_i B_i = B (Eq. 2).
+func (s EdgeSpreading) Validate(b BaseMatrix) error {
+	sum := s.Sum()
+	if sum.NumChecks() != b.NumChecks() || sum.NumVars() != b.NumVars() {
+		return fmt.Errorf("ldpc: spreading shape %dx%d does not match base %dx%d",
+			sum.NumChecks(), sum.NumVars(), b.NumChecks(), b.NumVars())
+	}
+	for c := range sum {
+		for v := range sum[c] {
+			if sum[c][v] != b[c][v] {
+				return fmt.Errorf("ldpc: spreading sum %d != base %d at (%d,%d)",
+					sum[c][v], b[c][v], c, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ConvProtograph builds the terminated convolutional protograph B[1,L] of
+// Eq. 3: L coupled codeword positions give an ((L+mcc)*nc) x (L*nv)
+// protograph whose last mcc check rows cause the termination rate loss.
+func (s EdgeSpreading) ConvProtograph(L int) BaseMatrix {
+	if L < 1 {
+		panic(fmt.Sprintf("ldpc: termination length %d < 1", L))
+	}
+	mcc := s.Memory()
+	nc := s.Components[0].NumChecks()
+	nv := s.Components[0].NumVars()
+	rows := make([][]int, (L+mcc)*nc)
+	for r := range rows {
+		rows[r] = make([]int, L*nv)
+	}
+	for t := 0; t < L; t++ { // codeword position (column block)
+		for i, comp := range s.Components {
+			rBlock := t + i
+			for c := 0; c < nc; c++ {
+				for v := 0; v < nv; v++ {
+					rows[rBlock*nc+c][t*nv+v] = comp[c][v]
+				}
+			}
+		}
+	}
+	return BaseMatrix(rows)
+}
+
+// TerminatedRate returns the design rate of the terminated LDPC-CC with
+// L coupled blocks: (L*nv - (L+mcc)*nc) / (L*nv), which approaches the
+// uncoupled rate as L grows (the termination rate loss of Sec. V-A).
+func (s EdgeSpreading) TerminatedRate(L int) float64 {
+	mcc := s.Memory()
+	nc := s.Components[0].NumChecks()
+	nv := s.Components[0].NumVars()
+	return float64(L*nv-(L+mcc)*nc) / float64(L*nv)
+}

@@ -1,0 +1,141 @@
+package ldpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegular48Protograph(t *testing.T) {
+	b := Regular48()
+	if b.NumChecks() != 1 || b.NumVars() != 2 {
+		t.Fatalf("shape = %dx%d, want 1x2", b.NumChecks(), b.NumVars())
+	}
+	if d := b.VarDegrees(); d[0] != 4 || d[1] != 4 {
+		t.Errorf("variable degrees = %v, want [4 4]", d)
+	}
+	if d := b.CheckDegrees(); d[0] != 8 {
+		t.Errorf("check degree = %v, want [8]", d)
+	}
+	if r := b.Rate(); math.Abs(r-0.5) > 1e-15 {
+		t.Errorf("rate = %g, want 0.5", r)
+	}
+}
+
+func TestBaseMatrixPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { NewBaseMatrix(nil) },
+		"ragged": func() { NewBaseMatrix([][]int{{1, 2}, {1}}) },
+		"neg":    func() { NewBaseMatrix([][]int{{-1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPaperSpreadingSatisfiesEq2(t *testing.T) {
+	s := PaperSpreading()
+	if s.Memory() != 2 {
+		t.Fatalf("mcc = %d, want 2", s.Memory())
+	}
+	// Eq. 2: sum of components must equal the (4,8) base matrix.
+	if err := s.Validate(Regular48()); err != nil {
+		t.Fatalf("paper spreading invalid: %v", err)
+	}
+}
+
+func TestSpreadingValidationCatchesMismatch(t *testing.T) {
+	s := EdgeSpreading{Components: []BaseMatrix{
+		NewBaseMatrix([][]int{{2, 2}}),
+		NewBaseMatrix([][]int{{1, 1}}),
+	}}
+	if err := s.Validate(Regular48()); err == nil {
+		t.Error("short spreading accepted")
+	}
+	if err := s.Validate(NewBaseMatrix([][]int{{3, 3}})); err != nil {
+		t.Errorf("valid spreading of [3 3] rejected: %v", err)
+	}
+}
+
+func TestConvProtographShape(t *testing.T) {
+	// Eq. 3: (L+mcc)*nc x L*nv.
+	s := PaperSpreading()
+	L := 5
+	b := s.ConvProtograph(L)
+	if b.NumChecks() != (L+2)*1 || b.NumVars() != L*2 {
+		t.Fatalf("shape = %dx%d, want %dx%d", b.NumChecks(), b.NumVars(), L+2, 2*L)
+	}
+	// Column block t has B0 at row t, B1 at t+1, B2 at t+2.
+	for tpos := 0; tpos < L; tpos++ {
+		for i, comp := range s.Components {
+			for v := 0; v < 2; v++ {
+				if b[tpos+i][tpos*2+v] != comp[0][v] {
+					t.Fatalf("component %d misplaced at position %d", i, tpos)
+				}
+			}
+		}
+	}
+	// Every variable keeps full degree 4 thanks to termination checks.
+	for v, d := range b.VarDegrees() {
+		if d != 4 {
+			t.Errorf("variable %d degree = %d, want 4", v, d)
+		}
+	}
+}
+
+func TestTerminatedRate(t *testing.T) {
+	s := PaperSpreading()
+	// (L*nv - (L+mcc)*nc)/(L*nv) = (2L - L - 2)/(2L) = (L-2)/(2L).
+	for _, L := range []int{3, 10, 50, 1000} {
+		want := float64(L-2) / float64(2*L)
+		if got := s.TerminatedRate(L); math.Abs(got-want) > 1e-15 {
+			t.Errorf("L=%d: rate %g, want %g", L, got, want)
+		}
+	}
+	// Rate loss vanishes with L (Sec. V-A).
+	if s.TerminatedRate(1000) < 0.49 {
+		t.Error("termination rate loss does not vanish with L")
+	}
+}
+
+func TestConvProtographPanicsOnBadL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L=0 did not panic")
+		}
+	}()
+	PaperSpreading().ConvProtograph(0)
+}
+
+// Property: any ConvProtograph of the paper spreading is (4,8)-regular in
+// the variables and has the exact termination structure in the checks.
+func TestPropertyConvProtographDegrees(t *testing.T) {
+	s := PaperSpreading()
+	f := func(raw uint8) bool {
+		L := int(raw)%20 + 3
+		b := s.ConvProtograph(L)
+		for _, d := range b.VarDegrees() {
+			if d != 4 {
+				return false
+			}
+		}
+		cd := b.CheckDegrees()
+		// Interior checks have degree 8; the first two and last two rows
+		// are degree-reduced by the termination.
+		for r := 2; r < L; r++ {
+			if cd[r] != 8 {
+				return false
+			}
+		}
+		return cd[0] == 4 && cd[1] == 6 && cd[L] == 4 && cd[L+1] == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

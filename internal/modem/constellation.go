@@ -1,0 +1,78 @@
+// Package modem provides the transmit-side signal model of the paper's
+// Sec. III: M-ASK constellations, staircase transmit pulses spanning
+// several symbol periods (the designed inter-symbol interference of
+// Fig. 5), oversampled waveform synthesis and the 1-bit receiver
+// quantiser.
+//
+// Conventions: constellations are normalised to unit average symbol
+// energy and pulses to unit energy, so SNR = 1/sigma^2 where sigma is the
+// per-sample noise standard deviation times sqrt(oversampling) — i.e. the
+// matched-filter SNR a full-resolution receiver would see.
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constellation is a real amplitude-shift-keying symbol alphabet with
+// unit average energy.
+type Constellation struct {
+	levels []float64
+}
+
+// NewASK returns the m-ASK constellation with equidistant levels
+// {-(m-1), ..., -1, +1, ..., +(m-1)} scaled to unit average energy.
+// m must be an even integer >= 2 (the paper uses 4-ASK).
+func NewASK(m int) Constellation {
+	if m < 2 || m%2 != 0 {
+		panic(fmt.Sprintf("modem: ASK order must be even and >= 2, got %d", m))
+	}
+	levels := make([]float64, m)
+	var energy float64
+	for i := 0; i < m; i++ {
+		levels[i] = float64(2*i - m + 1)
+		energy += levels[i] * levels[i]
+	}
+	scale := 1 / math.Sqrt(energy/float64(m))
+	for i := range levels {
+		levels[i] *= scale
+	}
+	return Constellation{levels: levels}
+}
+
+// Size returns the alphabet size.
+func (c Constellation) Size() int { return len(c.levels) }
+
+// Level returns the amplitude of symbol index i (sorted ascending).
+func (c Constellation) Level(i int) float64 { return c.levels[i] }
+
+// Levels returns a copy of the amplitude alphabet.
+func (c Constellation) Levels() []float64 {
+	return append([]float64(nil), c.levels...)
+}
+
+// AvgEnergy returns the mean squared amplitude (1 by construction).
+func (c Constellation) AvgEnergy() float64 {
+	var e float64
+	for _, l := range c.levels {
+		e += l * l
+	}
+	return e / float64(len(c.levels))
+}
+
+// MinDistance returns the minimum distance between two levels.
+func (c Constellation) MinDistance() float64 {
+	min := math.Inf(1)
+	for i := 1; i < len(c.levels); i++ {
+		if d := c.levels[i] - c.levels[i-1]; d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// BitsPerSymbol returns log2 of the alphabet size.
+func (c Constellation) BitsPerSymbol() float64 {
+	return math.Log2(float64(len(c.levels)))
+}

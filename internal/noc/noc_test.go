@@ -1,0 +1,294 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshCounts(t *testing.T) {
+	cases := []struct {
+		m        *Mesh
+		routers  int
+		modules  int
+		channels int
+	}{
+		// 8x8 2D mesh: 2*2*(7*8) = 224 directed channels.
+		{NewMesh2D(8, 8), 64, 64, 224},
+		// 4x4 star-mesh c=4: 64 modules on 16 routers, 2*2*(3*4) = 48.
+		{NewStarMesh(4, 4, 4), 16, 64, 48},
+		// 4x4x4 3D mesh: 3 dims * 2 dirs * 3*4*4 = 288.
+		{NewMesh3D(4, 4, 4), 64, 64, 288},
+		// 32x16 2D mesh (512 modules).
+		{NewMesh2D(32, 16), 512, 512, 2*31*16 + 2*15*32},
+		// 8x8x8 3D mesh.
+		{NewMesh3D(8, 8, 8), 512, 512, 3 * 2 * 7 * 64},
+		// Ciliated 3D mesh: 4x4x2 with c=2 = 64 modules.
+		{NewCiliated3D(4, 4, 2, 2), 32, 64, 2*2*3*4*2 + 2*16},
+	}
+	for _, c := range cases {
+		if got := c.m.NumRouters(); got != c.routers {
+			t.Errorf("%s: routers = %d, want %d", c.m.Name(), got, c.routers)
+		}
+		if got := c.m.NumModules(); got != c.modules {
+			t.Errorf("%s: modules = %d, want %d", c.m.Name(), got, c.modules)
+		}
+		if got := c.m.NumChannels(); got != c.channels {
+			t.Errorf("%s: channels = %d, want %d", c.m.Name(), got, c.channels)
+		}
+	}
+}
+
+func TestMeshPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zeroDim":    func() { NewMesh2D(0, 4) },
+		"zeroConc":   func() { NewStarMesh(4, 4, 0) },
+		"zeroPillar": func() { NewPillarMesh3D(4, 4, 2, 0) },
+		"routeOOR":   func() { NewMesh2D(2, 2).Route(0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	m := NewMesh3D(3, 4, 5)
+	for r := 0; r < m.NumRouters(); r++ {
+		x, y, z := m.Coords(r)
+		if m.RouterAt(x, y, z) != r {
+			t.Fatalf("coords round trip failed for router %d", r)
+		}
+	}
+}
+
+func TestRouterOf(t *testing.T) {
+	m := NewStarMesh(4, 4, 4)
+	if m.RouterOf(0) != 0 || m.RouterOf(3) != 0 || m.RouterOf(4) != 1 || m.RouterOf(63) != 15 {
+		t.Error("module-to-router attachment wrong")
+	}
+}
+
+func TestDimensionOrderRoute(t *testing.T) {
+	m := NewMesh3D(4, 4, 4)
+	src := m.RouterAt(0, 0, 0)
+	dst := m.RouterAt(2, 3, 1)
+	path := m.Route(src, dst)
+	// X first (2 hops), then Y (3), then Z (1): 7 channels, 8 routers.
+	if len(path) != 7 {
+		t.Fatalf("path length = %d, want 7", len(path))
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatal("path endpoints wrong")
+	}
+	// Verify X-then-Y-then-Z order... wait: Z is routed before the final
+	// XY walk only when a pillar detour applies; with pillars everywhere
+	// the order is X, Y after Z? Check monotone per-dimension progress.
+	for i := 1; i < len(path); i++ {
+		if m.ChannelID(path[i-1], path[i]) < 0 {
+			t.Fatalf("non-adjacent step %d -> %d", path[i-1], path[i])
+		}
+	}
+	if m.Hops(src, dst) != 6 {
+		t.Errorf("hops = %d, want 6 (Manhattan distance)", m.Hops(src, dst))
+	}
+}
+
+func TestRouteSelfIsSingleton(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	if p := m.Route(5, 5); len(p) != 1 || p[0] != 5 {
+		t.Errorf("self route = %v", p)
+	}
+	if len(m.RouteChannels(5, 5)) != 0 {
+		t.Error("self route has channels")
+	}
+}
+
+func TestRouteHopsEqualManhattan(t *testing.T) {
+	m := NewMesh3D(4, 4, 4)
+	for s := 0; s < m.NumRouters(); s += 7 {
+		for d := 0; d < m.NumRouters(); d += 5 {
+			sx, sy, sz := m.Coords(s)
+			dx, dy, dz := m.Coords(d)
+			want := abs(sx-dx) + abs(sy-dy) + abs(sz-dz)
+			if got := m.Hops(s, d); got != want {
+				t.Fatalf("hops(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPillarMeshRouting(t *testing.T) {
+	// Pillars every 2: router (1,1,0) has no vertical link; a layer
+	// change detours via pillar (0,0).
+	m := NewPillarMesh3D(4, 4, 2, 2)
+	src := m.RouterAt(1, 1, 0)
+	dst := m.RouterAt(1, 1, 1)
+	path := m.Route(src, dst)
+	// Detour: (1,1,0)->(0,1,0)->(0,0,0)->(0,0,1)->(0,1,1)->(1,1,1).
+	if len(path) != 6 {
+		t.Fatalf("pillar route length = %d, want 6: %v", len(path), path)
+	}
+	// Every step must be a real channel (vertical only at pillars).
+	for i := 1; i < len(path); i++ {
+		if m.ChannelID(path[i-1], path[i]) < 0 {
+			t.Fatalf("pillar route uses missing channel %d -> %d", path[i-1], path[i])
+		}
+	}
+	// Fewer vertical channels than the full mesh.
+	full := NewMesh3D(4, 4, 2).ComputeMetrics().VerticalChannels
+	sparse := m.ComputeMetrics().VerticalChannels
+	if sparse >= full {
+		t.Errorf("pillar mesh vertical channels %d not below full %d", sparse, full)
+	}
+}
+
+func TestMetricsFig7(t *testing.T) {
+	// Structural comparison behind Fig. 7 at 64 modules.
+	mesh2d := NewMesh2D(8, 8).ComputeMetrics()
+	star := NewStarMesh(4, 4, 4).ComputeMetrics()
+	mesh3d := NewMesh3D(4, 4, 4).ComputeMetrics()
+
+	// Diameters: 14 (8x8), 6 (4x4), 9 (4x4x4).
+	if mesh2d.Diameter != 14 || star.Diameter != 6 || mesh3d.Diameter != 9 {
+		t.Errorf("diameters = %d/%d/%d, want 14/6/9",
+			mesh2d.Diameter, star.Diameter, mesh3d.Diameter)
+	}
+	// Average hops over distinct module pairs: 8x8 mesh 16/3; 4x4x4 mesh
+	// 3.75 * 4096/4032; star-mesh a bit above 2.5 (same-router module
+	// pairs count zero hops but so do fewer of them than self-pairs
+	// would).
+	if math.Abs(mesh2d.AvgHops-16.0/3) > 1e-9 {
+		t.Errorf("2D avg hops = %g, want %g", mesh2d.AvgHops, 16.0/3)
+	}
+	if math.Abs(mesh3d.AvgHops-3.75*4096/4032) > 1e-9 {
+		t.Errorf("3D avg hops = %g, want %g", mesh3d.AvgHops, 3.75*4096/4032)
+	}
+	if star.AvgHops >= 2.6 || star.AvgHops <= 2.0 {
+		t.Errorf("star-mesh avg hops = %g, want in (2.0, 2.6)", star.AvgHops)
+	}
+	// Bisection: 3D mesh has twice the 2D mesh's cut (32 vs 16 directed),
+	// star-mesh only 8.
+	if mesh2d.BisectionChannels != 16 || mesh3d.BisectionChannels != 32 || star.BisectionChannels != 8 {
+		t.Errorf("bisections = %d/%d/%d, want 16/32/8",
+			mesh2d.BisectionChannels, mesh3d.BisectionChannels, star.BisectionChannels)
+	}
+	// The 3D mesh has only vertical channels between layers.
+	if mesh3d.VerticalChannels != 2*3*16 {
+		t.Errorf("3D vertical channels = %d, want 96", mesh3d.VerticalChannels)
+	}
+	if mesh2d.VerticalChannels != 0 {
+		t.Error("2D mesh reports vertical channels")
+	}
+}
+
+func TestUniformTrafficShares(t *testing.T) {
+	u := Uniform{}
+	n := 64
+	var sum float64
+	for d := 0; d < n; d++ {
+		sum += u.Share(5, d, n)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("uniform shares sum to %g", sum)
+	}
+	if u.Share(5, 5, n) != 0 {
+		t.Error("self-traffic nonzero")
+	}
+}
+
+func TestHotspotTrafficShares(t *testing.T) {
+	h := Hotspot{Module: 0, Fraction: 0.5}
+	n := 16
+	for _, src := range []int{0, 3, 7} {
+		var sum float64
+		for d := 0; d < n; d++ {
+			sum += h.Share(src, d, n)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("hotspot shares from %d sum to %g", src, sum)
+		}
+	}
+	// Hot destination receives more than a uniform share.
+	if h.Share(3, 0, n) <= 1.0/15 {
+		t.Error("hotspot share not elevated")
+	}
+}
+
+func TestHotspotPanicsOnBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad hotspot fraction did not panic")
+		}
+	}()
+	Hotspot{Module: 0, Fraction: 1.5}.Share(1, 0, 4)
+}
+
+func TestBitComplementShares(t *testing.T) {
+	b := BitComplement{}
+	n := 8
+	for src := 0; src < n; src++ {
+		var sum float64
+		for d := 0; d < n; d++ {
+			sum += b.Share(src, d, n)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("bit-complement shares from %d sum to %g", src, sum)
+		}
+	}
+}
+
+// Property: routes are always valid channel sequences of Manhattan length
+// on full meshes.
+func TestPropertyRoutesValid(t *testing.T) {
+	m := NewMesh3D(3, 3, 3)
+	f := func(a, b uint8) bool {
+		s := int(a) % m.NumRouters()
+		d := int(b) % m.NumRouters()
+		chans := m.RouteChannels(s, d)
+		sx, sy, sz := m.Coords(s)
+		dx, dy, dz := m.Coords(d)
+		return len(chans) == abs(sx-dx)+abs(sy-dy)+abs(sz-dz)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: traffic shares are a probability distribution for any source.
+func TestPropertyTrafficNormalised(t *testing.T) {
+	patterns := []TrafficPattern{Uniform{}, Hotspot{Module: 2, Fraction: 0.3}, BitComplement{}}
+	f := func(rawSrc uint8) bool {
+		n := 32
+		src := int(rawSrc) % n
+		for _, p := range patterns {
+			var sum float64
+			for d := 0; d < n; d++ {
+				s := p.Share(src, d, n)
+				if s < 0 {
+					return false
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

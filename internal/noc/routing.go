@@ -1,0 +1,143 @@
+package noc
+
+import "fmt"
+
+// Route returns the router sequence from src to dst under deterministic
+// dimension-order (X, then Y, then Z) routing. On pillar-constrained
+// meshes, packets needing a layer change first detour in-plane to the
+// pillar of the source's block. The result includes both endpoints;
+// src == dst yields a single-element path.
+func (m *Mesh) Route(src, dst int) []int {
+	if src < 0 || src >= m.NumRouters() || dst < 0 || dst >= m.NumRouters() {
+		panic(fmt.Sprintf("noc: route endpoints (%d, %d) out of range", src, dst))
+	}
+	path := []int{src}
+	x, y, z := m.Coords(src)
+	dx, dy, dz := m.Coords(dst)
+
+	step := func(nx, ny, nz int) {
+		x, y, z = nx, ny, nz
+		path = append(path, m.RouterAt(x, y, z))
+	}
+	walkXY := func(tx, ty int) {
+		for x != tx {
+			if x < tx {
+				step(x+1, y, z)
+			} else {
+				step(x-1, y, z)
+			}
+		}
+		for y != ty {
+			if y < ty {
+				step(x, y+1, z)
+			} else {
+				step(x, y-1, z)
+			}
+		}
+	}
+
+	if z != dz && !m.hasPillar(x, y) {
+		// Detour to the source block's TSV pillar first.
+		px := x - x%m.verticalEvery
+		py := y - y%m.verticalEvery
+		walkXY(px, py)
+	}
+	if z != dz {
+		for z != dz {
+			if z < dz {
+				step(x, y, z+1)
+			} else {
+				step(x, y, z-1)
+			}
+		}
+	}
+	walkXY(dx, dy)
+	return path
+}
+
+// RouteChannels returns the channel ids traversed from src to dst.
+func (m *Mesh) RouteChannels(src, dst int) []int {
+	path := m.Route(src, dst)
+	out := make([]int, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		id := m.ChannelID(path[i-1], path[i])
+		if id < 0 {
+			panic(fmt.Sprintf("noc: route step %d -> %d has no channel", path[i-1], path[i]))
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Hops returns the channel count of the route from src to dst.
+func (m *Mesh) Hops(src, dst int) int { return len(m.Route(src, dst)) - 1 }
+
+// Metrics summarises a topology's structural properties (the Fig. 7
+// comparison).
+type Metrics struct {
+	Name              string
+	Routers           int
+	Modules           int
+	Channels          int
+	VerticalChannels  int
+	Diameter          int     // max router hops over module pairs
+	AvgHops           float64 // mean router hops over distinct module pairs
+	BisectionChannels int     // directed channels cut by the widest-dimension bisection
+}
+
+// ComputeMetrics evaluates the structural metrics.
+func (m *Mesh) ComputeMetrics() Metrics {
+	mt := Metrics{
+		Name:     m.name,
+		Routers:  m.NumRouters(),
+		Modules:  m.NumModules(),
+		Channels: m.NumChannels(),
+	}
+	for _, c := range m.channels {
+		if c.Vertical {
+			mt.VerticalChannels++
+		}
+	}
+
+	// Hop statistics over router pairs, weighted by module count: with
+	// concentration c, each router pair corresponds to c*c module pairs
+	// and same-router pairs to c*(c-1).
+	n := m.NumRouters()
+	conc := float64(m.concentration)
+	var sum, pairs float64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				pairs += conc * (conc - 1)
+				continue // zero hops between co-located modules
+			}
+			h := m.Hops(s, d)
+			if h > mt.Diameter {
+				mt.Diameter = h
+			}
+			sum += float64(h) * conc * conc
+			pairs += conc * conc
+		}
+	}
+	if pairs > 0 {
+		mt.AvgHops = sum / pairs
+	}
+
+	// Bisection across the largest dimension.
+	bestDim, bestExt := 0, 0
+	for i, e := range m.dims {
+		if e > bestExt {
+			bestDim, bestExt = i, e
+		}
+	}
+	cut := bestExt / 2
+	for _, c := range m.channels {
+		var a, b [3]int
+		a[0], a[1], a[2] = m.Coords(c.From)
+		b[0], b[1], b[2] = m.Coords(c.To)
+		if (a[bestDim] < cut) != (b[bestDim] < cut) {
+			mt.BisectionChannels++
+		}
+	}
+	return mt
+}

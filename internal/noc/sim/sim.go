@@ -1,0 +1,266 @@
+// Package sim is an event-driven flit-level NoC simulator used to
+// cross-validate the analytic queueing model of package analytic (the
+// paper's ref. [14] validates its model the same way).
+//
+// The service discipline mirrors the analytic model: each traversed
+// router costs a fixed pipeline delay, each channel is a FIFO server
+// whose occupancy per flit is 1/ChannelEfficiency cycles, and modules
+// inject single-flit packets as independent Poisson processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/noc"
+	"repro/internal/rng"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	Topo    *noc.Mesh
+	Traffic noc.TrafficPattern
+	// InjectionRate is in flits/cycle/module.
+	InjectionRate float64
+	// RouterDelayCycles is the per-router pipeline cost (0 means 2),
+	// matching analytic.Model.
+	RouterDelayCycles float64
+	// ChannelEfficiency derates channel capacity (0 means 0.8), matching
+	// analytic.Model.
+	ChannelEfficiency float64
+	// VerticalCapacity scales vertical-channel bandwidth (0 means 1),
+	// matching analytic.Model.
+	VerticalCapacity float64
+	// WarmupCycles are simulated but not measured (0 means 2000).
+	WarmupCycles float64
+	// MeasureCycles is the measurement window (0 means 10000).
+	MeasureCycles float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// SatLatencyCycles declares saturation when the mean delivered
+	// latency exceeds it (0 means 500).
+	SatLatencyCycles float64
+}
+
+func (c Config) defaults() Config {
+	if c.RouterDelayCycles == 0 {
+		c.RouterDelayCycles = 2
+	}
+	if c.ChannelEfficiency == 0 {
+		c.ChannelEfficiency = 0.8
+	}
+	if c.VerticalCapacity == 0 {
+		c.VerticalCapacity = 1
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 10000
+	}
+	if c.SatLatencyCycles == 0 {
+		c.SatLatencyCycles = 500
+	}
+	return c
+}
+
+// Result summarises a run.
+type Result struct {
+	// MeanLatencyCycles is the average injection-to-delivery latency of
+	// packets injected during the measurement window.
+	MeanLatencyCycles float64
+	// P95LatencyCycles is the 95th percentile latency (approximate, from
+	// a fixed-resolution histogram).
+	P95LatencyCycles float64
+	// Injected and Delivered count measurement-window packets.
+	Injected, Delivered int
+	// ThroughputPerModule is delivered flits/cycle/module.
+	ThroughputPerModule float64
+	// Saturated is set when latency diverged or deliveries lagged
+	// injections by more than 10%.
+	Saturated bool
+}
+
+// event is a packet becoming ready at a router.
+type event struct {
+	time float64
+	seq  int64 // tie-break for determinism
+	pkt  int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type packet struct {
+	injected float64
+	route    []int // channel ids, consumed front to back
+	hop      int32
+	measured bool
+}
+
+// Run executes the simulation.
+func Run(cfg Config) Result {
+	cfg = cfg.defaults()
+	if cfg.InjectionRate < 0 {
+		panic(fmt.Sprintf("sim: negative injection rate %g", cfg.InjectionRate))
+	}
+	topo := cfg.Topo
+	n := topo.NumModules()
+	horizon := cfg.WarmupCycles + cfg.MeasureCycles
+	rd := cfg.RouterDelayCycles
+	// Per-channel service time: vertical links may be faster.
+	serviceOf := make([]float64, topo.NumChannels())
+	for i, ch := range topo.Channels() {
+		s := 1 / cfg.ChannelEfficiency
+		if ch.Vertical {
+			s /= cfg.VerticalCapacity
+		}
+		serviceOf[i] = s
+	}
+
+	// Route cache per router pair.
+	routes := make(map[[2]int][]int)
+	routeOf := func(rs, rdst int) []int {
+		key := [2]int{rs, rdst}
+		if r, ok := routes[key]; ok {
+			return r
+		}
+		r := topo.RouteChannels(rs, rdst)
+		routes[key] = r
+		return r
+	}
+
+	// Pre-generate Poisson injections.
+	var packets []packet
+	var events eventHeap
+	var seq int64
+	if cfg.InjectionRate > 0 {
+		for mod := 0; mod < n; mod++ {
+			stream := rng.New(cfg.Seed).Split(uint64(mod) + 1)
+			t := stream.Exp(cfg.InjectionRate)
+			for ; t < horizon; t += stream.Exp(cfg.InjectionRate) {
+				// Destination by traffic shares.
+				dst := drawDestination(stream, cfg.Traffic, mod, n)
+				if dst < 0 {
+					continue
+				}
+				rs, rdst := topo.RouterOf(mod), topo.RouterOf(dst)
+				p := packet{
+					injected: t,
+					route:    routeOf(rs, rdst),
+					measured: t >= cfg.WarmupCycles,
+				}
+				packets = append(packets, p)
+				events = append(events, event{time: t + rd, seq: seq, pkt: int32(len(packets) - 1)})
+				seq++
+			}
+		}
+	}
+	heap.Init(&events)
+
+	chanFree := make([]float64, topo.NumChannels())
+	const histRes = 0.5
+	var hist []int
+	var injectedMeasured, delivered int
+	var latencySum float64
+
+	for _, p := range packets {
+		if p.measured {
+			injectedMeasured++
+		}
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		p := &packets[e.pkt]
+		if int(p.hop) == len(p.route) {
+			// Ready at the destination router: delivered.
+			if p.measured {
+				delivered++
+				lat := e.time - p.injected
+				latencySum += lat
+				bucket := int(lat / histRes)
+				if bucket >= len(hist) {
+					hist = append(hist, make([]int, bucket-len(hist)+1)...)
+				}
+				hist[bucket]++
+			}
+			continue
+		}
+		c := p.route[p.hop]
+		depart := e.time
+		if chanFree[c] > depart {
+			depart = chanFree[c]
+		}
+		chanFree[c] = depart + serviceOf[c]
+		p.hop++
+		heap.Push(&events, event{time: depart + rd, seq: seq, pkt: e.pkt})
+		seq++
+	}
+
+	res := Result{Injected: injectedMeasured, Delivered: delivered}
+	if delivered > 0 {
+		res.MeanLatencyCycles = latencySum / float64(delivered)
+		res.P95LatencyCycles = percentileFromHist(hist, delivered, 0.95) * histRes
+		res.ThroughputPerModule = float64(delivered) / (cfg.MeasureCycles * float64(n))
+	}
+	// The event loop drains every packet eventually (infinite queues), so
+	// saturation shows up as diverging latency rather than lost packets.
+	if res.MeanLatencyCycles > cfg.SatLatencyCycles ||
+		(injectedMeasured > 0 && float64(delivered) < 0.9*float64(injectedMeasured)) {
+		res.Saturated = true
+	}
+	if math.IsNaN(res.MeanLatencyCycles) {
+		res.Saturated = true
+	}
+	return res
+}
+
+// drawDestination samples a destination module according to the traffic
+// shares; returns -1 when the module emits no traffic.
+func drawDestination(stream *rng.Stream, tp noc.TrafficPattern, src, n int) int {
+	u := stream.Float64()
+	var acc float64
+	for d := 0; d < n; d++ {
+		acc += tp.Share(src, d, n)
+		if u < acc {
+			return d
+		}
+	}
+	if acc == 0 {
+		return -1
+	}
+	// Rounding residue: assign to the last destination with a share.
+	for d := n - 1; d >= 0; d-- {
+		if tp.Share(src, d, n) > 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+func percentileFromHist(hist []int, total int, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(total)))
+	var acc int
+	for b, c := range hist {
+		acc += c
+		if acc >= target {
+			return float64(b)
+		}
+	}
+	return float64(len(hist) - 1)
+}

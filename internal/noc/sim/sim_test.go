@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+)
+
+func TestZeroLoadLatencyMatchesAnalytic(t *testing.T) {
+	// At very light load the simulator must land on the analytic
+	// zero-load floor for all three Fig. 8a topologies.
+	for _, topo := range []*noc.Mesh{
+		noc.NewMesh2D(8, 8),
+		noc.NewStarMesh(4, 4, 4),
+		noc.NewMesh3D(4, 4, 4),
+	} {
+		want := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.ZeroLoadLatency()
+		res := Run(Config{
+			Topo: topo, Traffic: noc.Uniform{},
+			InjectionRate: 0.01, Seed: 1,
+		})
+		if res.Saturated {
+			t.Fatalf("%s: saturated at 0.01", topo.Name())
+		}
+		if math.Abs(res.MeanLatencyCycles-want) > 0.1*want {
+			t.Errorf("%s: sim latency %.2f, analytic floor %.2f",
+				topo.Name(), res.MeanLatencyCycles, want)
+		}
+	}
+}
+
+func TestMidLoadLatencyBracketedByServiceModels(t *testing.T) {
+	// The simulator uses deterministic service, so its latency should lie
+	// near the analytic M/D/1 prediction and below M/M/1 at mid load.
+	topo := noc.NewMesh3D(4, 4, 4)
+	rate := 0.4
+	mm1, _ := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.AvgLatency(rate)
+	md1, _ := analytic.Model{Topo: topo, Traffic: noc.Uniform{}, Service: analytic.MD1}.AvgLatency(rate)
+	res := Run(Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: rate, Seed: 2})
+	if res.Saturated {
+		t.Fatal("saturated at 0.4 on the 3D mesh")
+	}
+	if res.MeanLatencyCycles < md1*0.9 || res.MeanLatencyCycles > mm1*1.15 {
+		t.Errorf("sim latency %.2f outside [0.9*M/D/1=%.2f, 1.15*M/M/1=%.2f]",
+			res.MeanLatencyCycles, md1*0.9, mm1*1.15)
+	}
+}
+
+func TestSaturationDetection(t *testing.T) {
+	// Driving the star-mesh far above its 0.19 saturation must flag.
+	topo := noc.NewStarMesh(4, 4, 4)
+	res := Run(Config{
+		Topo: topo, Traffic: noc.Uniform{},
+		InjectionRate: 0.35, Seed: 3,
+		WarmupCycles: 1000, MeasureCycles: 6000,
+	})
+	if !res.Saturated {
+		t.Errorf("star-mesh at 0.35 not flagged saturated (latency %.1f)", res.MeanLatencyCycles)
+	}
+	// And below saturation it must not flag.
+	res = Run(Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: 0.12, Seed: 3})
+	if res.Saturated {
+		t.Error("star-mesh at 0.12 wrongly flagged saturated")
+	}
+}
+
+func TestThroughputTracksOfferedLoadBelowSaturation(t *testing.T) {
+	topo := noc.NewMesh2D(8, 8)
+	rate := 0.2
+	res := Run(Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: rate, Seed: 4})
+	if math.Abs(res.ThroughputPerModule-rate) > 0.05*rate {
+		t.Errorf("throughput %.3f, offered %.3f", res.ThroughputPerModule, rate)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		Topo: noc.NewMesh2D(4, 4), Traffic: noc.Uniform{},
+		InjectionRate: 0.2, Seed: 9,
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a.MeanLatencyCycles != b.MeanLatencyCycles || a.Delivered != b.Delivered {
+		t.Error("simulation not reproducible for fixed seed")
+	}
+}
+
+func TestZeroInjection(t *testing.T) {
+	res := Run(Config{Topo: noc.NewMesh2D(2, 2), Traffic: noc.Uniform{}, InjectionRate: 0})
+	if res.Injected != 0 || res.Delivered != 0 || res.Saturated {
+		t.Errorf("zero injection run = %+v", res)
+	}
+}
+
+func TestNegativeInjectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative injection did not panic")
+		}
+	}()
+	Run(Config{Topo: noc.NewMesh2D(2, 2), Traffic: noc.Uniform{}, InjectionRate: -1})
+}
+
+func TestP95AboveMean(t *testing.T) {
+	res := Run(Config{
+		Topo: noc.NewMesh2D(8, 8), Traffic: noc.Uniform{},
+		InjectionRate: 0.3, Seed: 5,
+	})
+	if res.P95LatencyCycles < res.MeanLatencyCycles {
+		t.Errorf("p95 %.1f below mean %.1f", res.P95LatencyCycles, res.MeanLatencyCycles)
+	}
+}
+
+func TestHotspotWorseThanUniform(t *testing.T) {
+	topo := noc.NewMesh2D(8, 8)
+	uni := Run(Config{Topo: topo, Traffic: noc.Uniform{}, InjectionRate: 0.15, Seed: 6})
+	hot := Run(Config{
+		Topo: topo, Traffic: noc.Hotspot{Module: 27, Fraction: 0.4},
+		InjectionRate: 0.15, Seed: 6,
+	})
+	if !hot.Saturated && hot.MeanLatencyCycles <= uni.MeanLatencyCycles {
+		t.Errorf("hotspot latency %.1f not above uniform %.1f",
+			hot.MeanLatencyCycles, uni.MeanLatencyCycles)
+	}
+}
+
+func BenchmarkSim64Modules(b *testing.B) {
+	cfg := Config{
+		Topo: noc.NewMesh3D(4, 4, 4), Traffic: noc.Uniform{},
+		InjectionRate: 0.3, WarmupCycles: 500, MeasureCycles: 2000, Seed: 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		Run(cfg)
+	}
+}

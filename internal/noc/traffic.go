@@ -1,0 +1,78 @@
+package noc
+
+import "fmt"
+
+// TrafficPattern assigns each ordered module pair a share of the source
+// module's injected traffic. Shares from one source over all
+// destinations sum to 1.
+type TrafficPattern interface {
+	// Share returns the fraction of src's traffic addressed to dst
+	// (0 for dst == src).
+	Share(src, dst, numModules int) float64
+	// String names the pattern for reports.
+	String() string
+}
+
+// Uniform is the paper's global uniform traffic: every module addresses
+// all other modules with equal probability.
+type Uniform struct{}
+
+// Share implements TrafficPattern.
+func (Uniform) Share(src, dst, numModules int) float64 {
+	if src == dst || numModules < 2 {
+		return 0
+	}
+	return 1 / float64(numModules-1)
+}
+
+func (Uniform) String() string { return "uniform" }
+
+// Hotspot sends a fixed fraction of every module's traffic to one hot
+// module and spreads the rest uniformly.
+type Hotspot struct {
+	// Module is the hot destination.
+	Module int
+	// Fraction in [0, 1] is the share addressed to the hot module.
+	Fraction float64
+}
+
+// Share implements TrafficPattern.
+func (h Hotspot) Share(src, dst, numModules int) float64 {
+	if src == dst || numModules < 2 {
+		return 0
+	}
+	if h.Fraction < 0 || h.Fraction > 1 {
+		panic(fmt.Sprintf("noc: hotspot fraction %g outside [0,1]", h.Fraction))
+	}
+	uniformShare := (1 - h.Fraction) / float64(numModules-1)
+	if dst == h.Module {
+		if src == h.Module {
+			return 0
+		}
+		return h.Fraction + uniformShare
+	}
+	// Sources other than the hotspot spread the remainder; the hotspot
+	// module itself sends uniformly.
+	if src == h.Module {
+		return 1 / float64(numModules-1)
+	}
+	return uniformShare
+}
+
+func (h Hotspot) String() string {
+	return fmt.Sprintf("hotspot(module %d, %.0f%%)", h.Module, 100*h.Fraction)
+}
+
+// BitComplement sends all traffic of module i to module N-1-i — a
+// worst-case permutation that stresses the bisection.
+type BitComplement struct{}
+
+// Share implements TrafficPattern.
+func (BitComplement) Share(src, dst, numModules int) float64 {
+	if dst == numModules-1-src && dst != src {
+		return 1
+	}
+	return 0
+}
+
+func (BitComplement) String() string { return "bit-complement" }

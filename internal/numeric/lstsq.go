@@ -1,0 +1,138 @@
+package numeric
+
+import "math"
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b and the coefficient of determination R^2.
+// It panics if the inputs differ in length or hold fewer than two points:
+// an under-determined fit is a programming error in this library.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) {
+		panic("numeric: LinearFit length mismatch")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		panic("numeric: LinearFit needs at least two points")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("numeric: LinearFit with degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2
+}
+
+// SolveLinearSystem solves A x = b by Gaussian elimination with partial
+// pivoting. A is row-major n x n and is not modified. It returns false if
+// the system is (numerically) singular.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, false
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, false
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= m[col][c] * x[c]
+		}
+		x[col] = sum / m[col][col]
+	}
+	return x, true
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be >= 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,321 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQFuncKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.158655},
+		{2, 0.0227501},
+		{3, 0.00134990},
+		{-1, 0.841345},
+	}
+	for _, c := range cases {
+		if got := QFunc(c.x); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Q(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQInvRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.01, 1e-5, 0.9} {
+		x := QInv(p)
+		if got := QFunc(x); math.Abs(got-p) > 1e-9*p+1e-12 {
+			t.Errorf("Q(QInv(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsNaN(QInv(0)) || !math.IsNaN(QInv(1)) {
+		t.Error("QInv outside (0,1) should be NaN")
+	}
+}
+
+func TestLogQMatchesDirectAndTail(t *testing.T) {
+	for _, x := range []float64{-3, 0, 1, 5, 10} {
+		want := math.Log(QFunc(x))
+		if got := LogQ(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("LogQ(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Far tail: Q(40) underflows; LogQ must stay finite and negative.
+	lq := LogQ(40)
+	if math.IsInf(lq, 0) || math.IsNaN(lq) {
+		t.Fatalf("LogQ(40) = %g, want finite", lq)
+	}
+	// Q(40) ~ phi(40)/40 -> log ~ -0.5*1600 - log(40) - 0.5 log(2pi).
+	want := -0.5*1600 - math.Log(40) - 0.5*math.Log(2*math.Pi)
+	if math.Abs(lq-want) > 0.01 {
+		t.Errorf("LogQ(40) = %g, want ~%g", lq, want)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp(math.Log(2), math.Log(3))
+	if math.Abs(got-math.Log(5)) > 1e-12 {
+		t.Errorf("LogSumExp(log2, log3) = %g, want log5", got)
+	}
+	// Extreme magnitudes must not overflow.
+	if got := LogSumExp(1000, 0); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("LogSumExp(1000,0) = %g", got)
+	}
+	if got := LogSumExp(math.Inf(-1), 7); got != 7 {
+		t.Errorf("LogSumExp(-Inf,7) = %g", got)
+	}
+}
+
+func TestLogSumExpSlice(t *testing.T) {
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExpSlice(xs); math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExpSlice = %g, want log6", got)
+	}
+	if got := LogSumExpSlice(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExpSlice(nil) = %g, want -Inf", got)
+	}
+}
+
+func TestGoldenSectionFindsParabolaPeak(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 1.7) * (x - 1.7) }
+	x := GoldenSection(f, -10, 10, 1e-8)
+	if math.Abs(x-1.7) > 1e-6 {
+		t.Errorf("GoldenSection peak = %g, want 1.7", x)
+	}
+}
+
+func TestBisectFindsRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 2 }
+	root := Bisect(f, 0, 2, 1e-12)
+	if math.Abs(root-math.Cbrt(2)) > 1e-9 {
+		t.Errorf("Bisect root = %g, want %g", root, math.Cbrt(2))
+	}
+	if !math.IsNaN(Bisect(f, 5, 6, 1e-9)) {
+		t.Error("Bisect without sign change should return NaN")
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return -((x[0]-1)*(x[0]-1) + 2*(x[1]+0.5)*(x[1]+0.5))
+	}
+	x, v := NelderMead(f, []float64{5, 5}, NelderMeadOptions{MaxEvals: 4000, Tol: 1e-12})
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]+0.5) > 1e-4 {
+		t.Errorf("NelderMead argmax = %v, want (1, -0.5)", x)
+	}
+	if v < -1e-6 {
+		t.Errorf("NelderMead max = %g, want ~0", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	// Maximise the negated Rosenbrock function; optimum at (1,1).
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return -(a*a + 100*b*b)
+	}
+	x, _ := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxEvals: 20000, Tol: 1e-14, Step: 0.5})
+	if math.Abs(x[0]-1) > 1e-2 || math.Abs(x[1]-1) > 1e-2 {
+		t.Errorf("Rosenbrock argmax = %v, want (1,1)", x)
+	}
+}
+
+func TestCoordinateAscent(t *testing.T) {
+	f := func(x []float64) float64 {
+		return -((x[0]-0.3)*(x[0]-0.3) + (x[1]-0.6)*(x[1]-0.6))
+	}
+	x, _ := CoordinateAscent(f, []float64{0, 0}, CoordinateAscentOptions{Sweeps: 60, MinStep: 1e-6})
+	if math.Abs(x[0]-0.3) > 1e-3 || math.Abs(x[1]-0.6) > 1e-3 {
+		t.Errorf("CoordinateAscent = %v, want (0.3, 0.6)", x)
+	}
+}
+
+func TestCoordinateAscentRespectsClamp(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] } // unbounded upward
+	x, _ := CoordinateAscent(f, []float64{0}, CoordinateAscentOptions{
+		Sweeps: 50, Lo: -1, Hi: 1,
+	})
+	if x[0] > 1+1e-12 {
+		t.Errorf("CoordinateAscent exceeded clamp: %g", x[0])
+	}
+}
+
+func TestGaussHermiteIntegratesPolynomials(t *testing.T) {
+	gh := NewGaussHermite(20)
+	// E[Z^2] = sigma^2 for N(0, sigma).
+	got := gh.ExpectGaussian(func(x float64) float64 { return x * x }, 0, 3)
+	if math.Abs(got-9) > 1e-9 {
+		t.Errorf("E[Z^2] = %g, want 9", got)
+	}
+	// E[Z^4] = 3 sigma^4.
+	got = gh.ExpectGaussian(func(x float64) float64 { return x * x * x * x }, 0, 1)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("E[Z^4] = %g, want 3", got)
+	}
+	// Shifted mean: E[Z] = mu.
+	got = gh.ExpectGaussian(func(x float64) float64 { return x }, 2.5, 1)
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("E[Z] = %g, want 2.5", got)
+	}
+}
+
+func TestGaussHermiteWeightsSumToSqrtPi(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		gh := NewGaussHermite(n)
+		var sum float64
+		for _, w := range gh.Weights {
+			sum += w
+		}
+		if math.Abs(sum-math.Sqrt(math.Pi)) > 1e-9 {
+			t.Errorf("order %d: weight sum = %g, want sqrt(pi)", n, sum)
+		}
+	}
+}
+
+func TestGaussHermitePanicsOnZeroOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGaussHermite(0) did not panic")
+		}
+	}()
+	NewGaussHermite(0)
+}
+
+func TestSimpsonIntegratesSine(t *testing.T) {
+	got := Simpson(math.Sin, 0, math.Pi, 128)
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("Simpson(sin, 0, pi) = %g, want 2", got)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	got := AdaptiveSimpson(func(x float64) float64 { return math.Exp(-x * x) }, -8, 8, 1e-10)
+	if math.Abs(got-math.Sqrt(math.Pi)) > 1e-8 {
+		t.Errorf("integral of exp(-x^2) = %g, want sqrt(pi)", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("LinearFit = (%g, %g, %g), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatch": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"short":    func() { LinearFit([]float64{1}, []float64{1}) },
+		"constx":   func() { LinearFit([]float64{2, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinearFit %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, ok := SolveLinearSystem(a, b)
+	if !ok {
+		t.Fatal("solver reported singular for a regular system")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, ok := SolveLinearSystem(a, []float64{1, 2}); ok {
+		t.Error("singular system reported solvable")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Errorf("Linspace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty-input conventions violated")
+	}
+}
+
+// Property: Q(x) + Q(-x) = 1 (symmetry of the Gaussian).
+func TestPropertyQSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 35 {
+			return true
+		}
+		return math.Abs(QFunc(x)+QFunc(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LogSumExp is commutative and >= max of its arguments.
+func TestPropertyLogSumExp(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e300 || math.Abs(b) > 1e300 {
+			return true
+		}
+		ab := LogSumExp(a, b)
+		ba := LogSumExp(b, a)
+		return math.Abs(ab-ba) < 1e-9 && ab >= math.Max(a, b)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linear fit recovers arbitrary slopes/intercepts exactly from
+// noiseless data.
+func TestPropertyLinearFitRecovers(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		xs := []float64{0, 1, 2, 3, 4}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a + b*x
+		}
+		ga, gb, _ := LinearFit(xs, ys)
+		tol := 1e-9 * (1 + math.Abs(a) + math.Abs(b))
+		return math.Abs(ga-a) < tol && math.Abs(gb-b) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package vna
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// SweepConfig describes a pathloss-versus-distance measurement campaign
+// (the experiment behind Fig. 1).
+type SweepConfig struct {
+	// Distances are the port-to-port separations in metres, set by the
+	// stepping motor in the physical experiment.
+	Distances []float64
+	// Copper selects the parallel-copper-board setup; false selects the
+	// freespace reference with ground absorbers.
+	Copper bool
+	// Diagonal models the diagonal links by rotating the boards (only
+	// meaningful with Copper). The shortest distance is taken as the
+	// ahead link.
+	Diagonal bool
+	// PhaseCenterOffsetM is the distance from a horn's aperture reference
+	// plane to its effective phase centre. The true radiating path is the
+	// port distance plus twice this offset; the paper's "effective phase
+	// center" correction removes it before fitting.
+	PhaseCenterOffsetM float64
+	// RefDistM anchors the fitted model (0.1 m in Table I). Zero means
+	// 0.1 m.
+	RefDistM float64
+}
+
+// SweepPoint is one measured distance of a campaign.
+type SweepPoint struct {
+	// DistM is the port-to-port distance set by the stepping motor.
+	DistM float64
+	// MeasuredGainDB is the band-averaged |S21|^2 level in dB (antenna
+	// gains included), as read from the instrument.
+	MeasuredGainDB float64
+	// PathlossDB is the extracted pathloss after removing the nominal
+	// antenna gains.
+	PathlossDB float64
+}
+
+// Sweep is the result of a measurement campaign: the per-distance data
+// and the fitted log-distance model.
+type Sweep struct {
+	Points []SweepPoint
+	// Fit is the log-distance model fitted to the phase-centre-corrected
+	// distances (n = 2.000 freespace, n = 2.0454 copper boards in the
+	// paper).
+	Fit channel.Pathloss
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// PathlossSweep runs the campaign. Antenna gains are the 9.5 dB standard
+// horns of the measurement setup.
+func (a *Analyzer) PathlossSweep(cfg SweepConfig) Sweep {
+	if len(cfg.Distances) < 2 {
+		panic(fmt.Sprintf("vna: pathloss sweep needs >= 2 distances, got %d", len(cfg.Distances)))
+	}
+	if cfg.RefDistM == 0 {
+		cfg.RefDistM = 0.1
+	}
+	ahead := cfg.Distances[0]
+	for _, d := range cfg.Distances {
+		if d < ahead {
+			ahead = d
+		}
+	}
+
+	sweep := Sweep{Points: make([]SweepPoint, len(cfg.Distances))}
+	fitDist := make([]float64, len(cfg.Distances))
+	fitLoss := make([]float64, len(cfg.Distances))
+	for i, d := range cfg.Distances {
+		radiating := d + 2*cfg.PhaseCenterOffsetM
+		var sc channel.Scenario
+		if cfg.Diagonal && cfg.Copper {
+			sc = channel.DiagonalScenario(radiating, ahead+2*cfg.PhaseCenterOffsetM, true)
+		} else {
+			sc = channel.Scenario{
+				LinkDistM:    radiating,
+				CopperBoards: cfg.Copper,
+				TXGainDB:     channel.HornGainDB,
+				RXGainDB:     channel.HornGainDB,
+			}
+		}
+		gain := sc.BandAveragedGainDB(a.StartHz, a.StopHz, 128)
+		sweep.Points[i] = SweepPoint{
+			DistM:          d,
+			MeasuredGainDB: gain,
+			PathlossDB:     -(gain - 2*channel.HornGainDB),
+		}
+		// Fit against the phase-centre-corrected distance, mirroring the
+		// paper's "effective phase center" step.
+		fitDist[i] = radiating
+		fitLoss[i] = sweep.Points[i].PathlossDB
+	}
+	sweep.Fit, sweep.R2 = channel.FitPathloss(fitDist, fitLoss, cfg.RefDistM)
+	return sweep
+}

@@ -1,0 +1,207 @@
+// Package vna implements a synthetic vector network analyser that stands
+// in for the R&S ZVA24 (with 220-245 GHz extension) used in the paper's
+// board-to-board measurements (Sec. II-A).
+//
+// The instrument sweeps a frequency grid (4096 points across 220-245 GHz
+// in the paper), is calibrated by a direct waveguide thru connection, and
+// captures S21 of a channel.Scenario with a realistic noise floor and a
+// systematic (pre-calibration) frequency response. Impulse responses are
+// obtained by windowed inverse DFT, exactly as the paper derives Figs. 2-3
+// from the frequency-domain data.
+package vna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/rng"
+)
+
+// Analyzer is a synthetic VNA. The zero value is not usable; construct
+// with New.
+type Analyzer struct {
+	// StartHz, StopHz delimit the sweep band.
+	StartHz, StopHz float64
+	// Points is the number of frequency samples.
+	Points int
+	// NoiseFloorDB is the per-point measurement noise level relative to a
+	// 0 dB thru (receiver dynamic range).
+	NoiseFloorDB float64
+	// Seed makes the synthetic measurement noise reproducible.
+	Seed uint64
+
+	calibrated bool
+	// sysResponse models cables/waveguides before calibration: a smooth
+	// complex ripple that a thru calibration removes.
+	sysResponse []complex128
+}
+
+// New returns an analyser configured exactly as in the paper:
+// 220-245 GHz, 4096 points, calibrated by a waveguide thru.
+func New(seed uint64) *Analyzer {
+	a := &Analyzer{
+		StartHz:      220e9,
+		StopHz:       245e9,
+		Points:       4096,
+		NoiseFloorDB: -95,
+		Seed:         seed,
+	}
+	a.initSystematics()
+	a.Calibrate()
+	return a
+}
+
+// NewUncalibrated returns the same instrument before the thru calibration,
+// for exercising the calibration path.
+func NewUncalibrated(seed uint64) *Analyzer {
+	a := New(seed)
+	a.calibrated = false
+	return a
+}
+
+// initSystematics builds the smooth systematic response of the test set.
+func (a *Analyzer) initSystematics() {
+	a.sysResponse = make([]complex128, a.Points)
+	for i := range a.sysResponse {
+		t := float64(i) / float64(a.Points-1)
+		// A gentle 1.5 dB amplitude tilt plus a slow phase ripple, typical
+		// of waveguide runs.
+		ampDB := -0.75 + 1.5*t + 0.4*math.Sin(2*math.Pi*3*t)
+		phase := 0.8*math.Sin(2*math.Pi*2*t) - 2*math.Pi*5*t
+		amp := math.Pow(10, ampDB/20)
+		a.sysResponse[i] = cmplx.Rect(amp, phase)
+	}
+}
+
+// Frequencies returns the sweep grid.
+func (a *Analyzer) Frequencies() []float64 {
+	out := make([]float64, a.Points)
+	for i := range out {
+		out[i] = a.StartHz + (a.StopHz-a.StartHz)*float64(i)/float64(a.Points-1)
+	}
+	return out
+}
+
+// Bandwidth returns the swept bandwidth in Hz.
+func (a *Analyzer) Bandwidth() float64 { return a.StopHz - a.StartHz }
+
+// CentreHz returns the sweep centre frequency (232.5 GHz in the paper).
+func (a *Analyzer) CentreHz() float64 { return 0.5 * (a.StartHz + a.StopHz) }
+
+// Calibrate performs the thru calibration: the systematic response is
+// measured on a direct waveguide connection and subsequently divided out
+// of every measurement.
+func (a *Analyzer) Calibrate() {
+	a.calibrated = true
+}
+
+// Calibrated reports whether the thru calibration has been applied.
+func (a *Analyzer) Calibrated() bool { return a.calibrated }
+
+// MeasureThru measures a direct waveguide connection (ideal S21 = 1).
+// After calibration this is flat at 0 dB up to the noise floor.
+func (a *Analyzer) MeasureThru() []complex128 {
+	return a.measure(func([]float64) []complex128 {
+		out := make([]complex128, a.Points)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	})
+}
+
+// MeasureS21 captures the channel scenario on the sweep grid.
+func (a *Analyzer) MeasureS21(sc channel.Scenario) []complex128 {
+	return a.measure(func(freqs []float64) []complex128 {
+		return sc.FrequencyResponse(freqs)
+	})
+}
+
+func (a *Analyzer) measure(truth func([]float64) []complex128) []complex128 {
+	freqs := a.Frequencies()
+	h := truth(freqs)
+	stream := rng.New(a.Seed)
+	noiseAmp := math.Pow(10, a.NoiseFloorDB/20)
+	out := make([]complex128, a.Points)
+	for i := range out {
+		raw := h[i] * a.sysResponse[i]
+		raw += complex(stream.Norm()*noiseAmp/math.Sqrt2, stream.Norm()*noiseAmp/math.Sqrt2)
+		if a.calibrated {
+			raw /= a.sysResponse[i]
+		}
+		out[i] = raw
+	}
+	return out
+}
+
+// ImpulseResponse is a time-domain channel profile derived from a sweep.
+type ImpulseResponse struct {
+	// TimeS holds the delay axis in seconds (resolution 1/bandwidth).
+	TimeS []float64
+	// MagDB holds 20 log10 |h(tau)|, window coherent gain removed.
+	MagDB []float64
+}
+
+// ImpulseResponse converts a measured S21 to the delay domain using the
+// given window (the paper's Figs. 2-3 use exactly this windowed IDFT).
+// It panics if the sweep length does not match the instrument.
+func (a *Analyzer) ImpulseResponse(s21 []complex128, win dsp.Window) ImpulseResponse {
+	if len(s21) != a.Points {
+		panic(fmt.Sprintf("vna: sweep length %d does not match %d-point instrument", len(s21), a.Points))
+	}
+	windowed := win.Apply(s21)
+	h := dsp.IFFT(windowed)
+	gain := win.CoherentGain(a.Points)
+	dt := 1 / a.Bandwidth()
+	ir := ImpulseResponse{
+		TimeS: make([]float64, a.Points),
+		MagDB: make([]float64, a.Points),
+	}
+	const floor = 1e-30
+	for i := range h {
+		ir.TimeS[i] = float64(i) * dt
+		m := cmplx.Abs(h[i]) / gain
+		if m < floor {
+			m = floor
+		}
+		ir.MagDB[i] = 20 * math.Log10(m)
+	}
+	return ir
+}
+
+// PeakDelayS returns the delay of the strongest tap.
+func (ir ImpulseResponse) PeakDelayS() float64 {
+	return ir.TimeS[dsp.ArgMax(ir.MagDB)]
+}
+
+// PeakDB returns the magnitude of the strongest tap in dB.
+func (ir ImpulseResponse) PeakDB() float64 {
+	return ir.MagDB[dsp.ArgMax(ir.MagDB)]
+}
+
+// WorstEchoRelativeDB returns the strongest tap outside a guard interval
+// around the main peak, relative to the peak (negative when echoes are
+// weaker). guardS is the absolute delay guard on each side of the peak;
+// the search is limited to delays below maxDelayS to stay clear of the
+// IDFT noise floor wrap-around.
+func (ir ImpulseResponse) WorstEchoRelativeDB(guardS, maxDelayS float64) float64 {
+	peakIdx := dsp.ArgMax(ir.MagDB)
+	peakT := ir.TimeS[peakIdx]
+	peakDB := ir.MagDB[peakIdx]
+	worst := math.Inf(-1)
+	for i, t := range ir.TimeS {
+		if t > maxDelayS {
+			break
+		}
+		if math.Abs(t-peakT) <= guardS {
+			continue
+		}
+		if ir.MagDB[i] > worst {
+			worst = ir.MagDB[i]
+		}
+	}
+	return worst - peakDB
+}

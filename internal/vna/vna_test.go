@@ -1,0 +1,196 @@
+package vna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+)
+
+func TestFrequencyGridMatchesPaper(t *testing.T) {
+	a := New(1)
+	freqs := a.Frequencies()
+	if len(freqs) != 4096 {
+		t.Fatalf("points = %d, want 4096", len(freqs))
+	}
+	if freqs[0] != 220e9 || freqs[len(freqs)-1] != 245e9 {
+		t.Errorf("band = [%g, %g], want [220e9, 245e9]", freqs[0], freqs[len(freqs)-1])
+	}
+	if got := a.CentreHz(); got != 232.5e9 {
+		t.Errorf("centre = %g, want 232.5 GHz", got)
+	}
+	if got := a.Bandwidth(); got != 25e9 {
+		t.Errorf("bandwidth = %g, want 25 GHz", got)
+	}
+}
+
+func TestCalibratedThruIsFlat(t *testing.T) {
+	a := New(2)
+	thru := a.MeasureThru()
+	for i, v := range thru {
+		db := 20 * math.Log10(cmplx.Abs(v))
+		if math.Abs(db) > 0.1 {
+			t.Fatalf("calibrated thru bin %d = %.3f dB, want ~0", i, db)
+		}
+	}
+}
+
+func TestUncalibratedThruShowsSystematics(t *testing.T) {
+	a := NewUncalibrated(2)
+	if a.Calibrated() {
+		t.Fatal("NewUncalibrated returned a calibrated instrument")
+	}
+	thru := a.MeasureThru()
+	var minDB, maxDB = math.Inf(1), math.Inf(-1)
+	for _, v := range thru {
+		db := 20 * math.Log10(cmplx.Abs(v))
+		minDB = math.Min(minDB, db)
+		maxDB = math.Max(maxDB, db)
+	}
+	if maxDB-minDB < 0.5 {
+		t.Errorf("uncalibrated thru ripple %.2f dB, expected visible systematics", maxDB-minDB)
+	}
+	a.Calibrate()
+	if !a.Calibrated() {
+		t.Error("Calibrate did not take effect")
+	}
+}
+
+func TestMeasurementReproducible(t *testing.T) {
+	sc := channel.Scenario{LinkDistM: 0.05, TXGainDB: 9.5, RXGainDB: 9.5}
+	a1, a2 := New(7), New(7)
+	m1, m2 := a1.MeasureS21(sc), a2.MeasureS21(sc)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("same seed produced different measurements")
+		}
+	}
+}
+
+func TestImpulseResponsePeakAtLoSDelay(t *testing.T) {
+	// Fig. 2 setup: 50 mm antenna distance. LoS delay = 0.167 ns.
+	a := New(3)
+	sc := channel.Scenario{
+		LinkDistM: 0.05, CopperBoards: true,
+		TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+	}
+	ir := a.ImpulseResponse(a.MeasureS21(sc), dsp.Hann)
+	wantDelay := 0.05 / 299792458.0
+	if got := ir.PeakDelayS(); math.Abs(got-wantDelay) > 1.5/a.Bandwidth() {
+		t.Errorf("peak delay = %g s, want %g within resolution", got, wantDelay)
+	}
+	// Peak level should be near the LoS budget: -(PL at 50mm) + 19 dB.
+	pl := channel.NewFreespacePathloss(a.CentreHz(), 0.1).LossDB(0.05)
+	want := -pl + 19
+	if math.Abs(ir.PeakDB()-want) > 2 {
+		t.Errorf("peak level = %.1f dB, want ~%.1f", ir.PeakDB(), want)
+	}
+}
+
+func TestImpulseResponseEchoes15dBDown(t *testing.T) {
+	// The paper's conclusion from Figs. 2-3, now verified through the
+	// full instrument chain (sweep, window, IDFT).
+	a := New(4)
+	for _, d := range []float64{0.05, 0.15} {
+		sc := channel.Scenario{
+			LinkDistM: d, CopperBoards: true,
+			TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+		}
+		ir := a.ImpulseResponse(a.MeasureS21(sc), dsp.Hann)
+		guard := 3 / a.Bandwidth() // main-lobe guard of the Hann window
+		rel := ir.WorstEchoRelativeDB(guard, 2e-9)
+		if rel > -15 {
+			t.Errorf("d=%.2f: worst in-window echo %.1f dB, want <= -15", d, rel)
+		}
+		if rel < -45 {
+			t.Errorf("d=%.2f: echoes %.1f dB — lost in the floor, model broken?", d, rel)
+		}
+	}
+}
+
+func TestImpulseResponseEchoDelays(t *testing.T) {
+	// The first reverberation arrives at 3x the LoS delay.
+	a := New(5)
+	sc := channel.Scenario{
+		LinkDistM: 0.05, CopperBoards: true,
+		TXGainDB: channel.HornGainDB, RXGainDB: channel.HornGainDB,
+	}
+	ir := a.ImpulseResponse(a.MeasureS21(sc), dsp.Hann)
+	losDelay := 0.05 / 299792458.0
+	// Find the strongest tap within +-60 ps of 3x LoS delay.
+	target := 3 * losDelay
+	best := math.Inf(-1)
+	for i, tt := range ir.TimeS {
+		if math.Abs(tt-target) < 60e-12 && ir.MagDB[i] > best {
+			best = ir.MagDB[i]
+		}
+	}
+	if best-ir.PeakDB() < -30 || best-ir.PeakDB() > -10 {
+		t.Errorf("first reverberation at 3x delay is %.1f dB relative, want in (-30, -10)", best-ir.PeakDB())
+	}
+}
+
+func TestImpulseResponsePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	New(1).ImpulseResponse(make([]complex128, 7), dsp.Hann)
+}
+
+func TestFreespaceSweepFitsN2(t *testing.T) {
+	// Fig. 1: computed pathloss (n=2.000) matches the freespace
+	// measurement after phase-centre correction.
+	a := New(11)
+	sweep := a.PathlossSweep(SweepConfig{
+		Distances:          []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.13, 0.16, 0.2},
+		PhaseCenterOffsetM: 0.008,
+	})
+	if math.Abs(sweep.Fit.Exponent-2.0) > 0.01 {
+		t.Errorf("freespace fitted n = %.4f, want 2.000", sweep.Fit.Exponent)
+	}
+	if sweep.R2 < 0.999 {
+		t.Errorf("fit R^2 = %g", sweep.R2)
+	}
+	// Reference loss at 0.1 m should be near Table I's 59.8 dB.
+	if math.Abs(sweep.Fit.RefLossDB-59.8) > 1.0 {
+		t.Errorf("fitted PL(0.1 m) = %.2f dB, want ~59.8", sweep.Fit.RefLossDB)
+	}
+}
+
+func TestCopperBoardSweepFitsPaperExponent(t *testing.T) {
+	// Fig. 1: parallel copper boards with diagonal links fit n = 2.0454.
+	a := New(12)
+	sweep := a.PathlossSweep(SweepConfig{
+		Distances: []float64{0.05, 0.075, 0.1, 0.125, 0.15, 0.2, 0.25, 0.3},
+		Copper:    true,
+		Diagonal:  true,
+	})
+	if sweep.Fit.Exponent < 2.01 || sweep.Fit.Exponent > 2.09 {
+		t.Errorf("board fitted n = %.4f, want ~2.0454", sweep.Fit.Exponent)
+	}
+}
+
+func TestSweepMonotoneLoss(t *testing.T) {
+	a := New(13)
+	sweep := a.PathlossSweep(SweepConfig{
+		Distances: []float64{0.05, 0.1, 0.15, 0.2},
+	})
+	for i := 1; i < len(sweep.Points); i++ {
+		if sweep.Points[i].PathlossDB <= sweep.Points[i-1].PathlossDB {
+			t.Errorf("pathloss not increasing at %g m", sweep.Points[i].DistM)
+		}
+	}
+}
+
+func TestSweepPanicsOnTooFewDistances(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-distance sweep did not panic")
+		}
+	}()
+	New(1).PathlossSweep(SweepConfig{Distances: []float64{0.1}})
+}
