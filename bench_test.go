@@ -9,10 +9,12 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, fn func(experiments.Quality) string) {
@@ -108,6 +110,26 @@ func BenchmarkSystemDesign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DesignSystem(core.DefaultSpec()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepPaperBaseline times an analytic-budget design-space
+// sweep of the paper-baseline scenario, including Pareto extraction.
+func BenchmarkSweepPaperBaseline(b *testing.B) {
+	sc, err := sweep.Get("paper-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), sc,
+			sweep.Config{Seed: 1, Budget: sweep.AnalyticBudget()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ParetoIndices) == 0 {
+			b.Fatal("empty Pareto front")
 		}
 	}
 }

@@ -1,0 +1,157 @@
+// Command sweep explores the wireless-interconnect design space: it
+// runs named scenario grids through the parallel sweep executor and
+// writes structured results with a Pareto front.
+//
+// Usage:
+//
+//	sweep list
+//	sweep run -scenario <name> [-out results.json] [-csv results.csv]
+//	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
+//	          [-timeout 10m]
+//
+// Records are deterministic for a fixed seed: running with -workers 1
+// and -workers N yields byte-identical files.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		if err := run(os.Args[2:]); err != nil {
+			// Package errors already carry their prefix; add ours only
+			// to bare messages.
+			if strings.HasPrefix(err.Error(), "sweep:") {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+			os.Exit(1)
+		}
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func list() {
+	fmt.Println("registered scenarios:")
+	for _, name := range sweep.Names() {
+		sc, err := sweep.Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-20s %3d points  %s\n", name, len(sc.Points()), sc.Description)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario name (see 'sweep list')")
+	out := fs.String("out", "", "JSON output path ('-' for stdout)")
+	csvOut := fs.String("csv", "", "optional CSV output path")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU); records do not depend on it")
+	seed := fs.Uint64("seed", 1, "root seed of the per-point random sub-streams")
+	budgetName := fs.String("budget", "analytic", "Monte-Carlo effort: analytic, smoke or standard")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		return fmt.Errorf("missing -scenario (see 'sweep list')")
+	}
+	sc, err := sweep.Get(*scenario)
+	if err != nil {
+		return err
+	}
+	budget, err := sweep.ParseBudget(*budgetName)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := sweep.Run(ctx, sc, sweep.Config{Workers: *workers, Seed: *seed, Budget: budget})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %s: %d points, budget %s, %.1fs\n",
+		res.Scenario, len(res.Records), res.Budget, time.Since(start).Seconds())
+	for _, r := range res.Records {
+		fmt.Println(" ", r.Summary())
+	}
+	fmt.Printf("pareto front (ptx min, decode latency min, NoC saturation max): %d of %d points\n",
+		len(res.ParetoIndices), len(res.Records))
+	for _, i := range res.ParetoIndices {
+		fmt.Println("  ", res.Records[i].Summary())
+	}
+
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			return err
+		}
+		if *out != "-" {
+			fmt.Println("wrote", *out)
+		}
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sweep.WriteCSV(f, res.Records); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+	return nil
+}
+
+func writeJSON(path string, res *sweep.Result) error {
+	if path == "-" {
+		return sweep.WriteJSON(os.Stdout, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sweep.WriteJSON(f, res)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `sweep — design-space exploration over wireless-interconnect scenarios
+
+usage:
+  sweep list
+  sweep run -scenario <name> [-out results.json] [-csv results.csv]
+            [-workers N] [-seed S] [-budget analytic|smoke|standard]
+            [-timeout 10m]
+`)
+}

@@ -83,18 +83,27 @@ func main() {
 				run(n, ablations[n], q)
 			}
 		default:
-			fn, ok := runners[name]
-			if !ok {
-				fn, ok = ablations[name]
-			}
-			if !ok {
-				fmt.Fprintf(os.Stderr, "wiboc: unknown experiment %q\n", name)
+			fn, err := resolve(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wiboc:", err)
 				usage()
 				os.Exit(2)
 			}
 			run(name, fn, q)
 		}
 	}
+}
+
+// resolve maps an experiment name to its runner, searching the figure
+// runners first and the ablations second.
+func resolve(name string) (func(experiments.Quality) string, error) {
+	if fn, ok := runners[name]; ok {
+		return fn, nil
+	}
+	if fn, ok := ablations[name]; ok {
+		return fn, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
 }
 
 func run(name string, fn func(experiments.Quality) string, q experiments.Quality) {

@@ -269,7 +269,7 @@ func chooseStack(modules int, injection float64) (StackPlan, error) {
 	var bestSat float64
 
 	for _, topo := range candidateTopologies(modules) {
-		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.Compile()
 		sat := model.SaturationRate()
 		lat, ok := model.AvgLatency(injection)
 		alts = append(alts, StackAlternative{

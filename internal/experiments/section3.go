@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/inforate"
 	"repro/internal/isidesign"
 	"repro/internal/modem"
+	"repro/internal/sweep"
 )
 
 // designBudget returns the ISI-design optimiser budget for a quality.
@@ -23,12 +26,17 @@ func designBudget(q Quality) isidesign.Config {
 // and the noise-independent suboptimal design.
 func Fig5(q Quality) string {
 	cfg := designBudget(q)
-	designs := []isidesign.Design{
-		{Pulse: isidesign.Rect(5), Strategy: "rectangular (no ISI)"},
-		isidesign.OptimizeSymbolwise(cfg),
-		isidesign.OptimizeSequence(cfg),
-		isidesign.Suboptimal(cfg),
+	// The four designs are independent grid points; fan them out.
+	makers := []func() isidesign.Design{
+		func() isidesign.Design {
+			return isidesign.Design{Pulse: isidesign.Rect(5), Strategy: "rectangular (no ISI)"}
+		},
+		func() isidesign.Design { return isidesign.OptimizeSymbolwise(cfg) },
+		func() isidesign.Design { return isidesign.OptimizeSequence(cfg) },
+		func() isidesign.Design { return isidesign.Suboptimal(cfg) },
 	}
+	designs, _ := sweep.Map(context.Background(), len(makers), 0,
+		func(i int) isidesign.Design { return makers[i]() })
 	var t table
 	t.title("Fig. 5 — impulse responses of the ISI filter designs (quality %s)", q)
 	t.row("staircase taps at 5 samples/symbol, unit energy, span 2 T")
@@ -76,7 +84,11 @@ func Fig6(q Quality) string {
 	t.title("Fig. 6 — information rates, 4-ASK, 5x oversampling, 1-bit ADC (quality %s)", q)
 	t.row("%8s %10s %12s %10s %10s %10s %10s", "SNR[dB]",
 		"seq-opt", "symbolwise", "rect-OS", "no-OS", "no-quant", "suboptimal")
-	for i, snr := range snrs {
+	// Every SNR is one grid point of the executor; the shared trellises
+	// are read-only, the per-point ones are built inside the worker.
+	type fig6Row [6]float64
+	rows, _ := sweep.Map(context.Background(), len(snrs), 0, func(i int) fig6Row {
+		snr := snrs[i]
 		seqTr := inforate.NewTrellis(c, seqDesign.Pulse)
 		if q == Full && snr != 25 {
 			perSNR := cfg
@@ -84,14 +96,19 @@ func Fig6(q Quality) string {
 			perSNR.Seed = uint64(100 + i)
 			seqTr = inforate.NewTrellis(c, isidesign.OptimizeSequence(perSNR).Pulse)
 		}
-		seq := inforate.SequenceRate(seqTr, snr, simSymbols, uint64(7000+i))
-		sbs := inforate.SymbolwiseRate(sbsTr, snr)
-		rect := inforate.SymbolwiseRate(rectTr, snr)
-		noOS := inforate.NoOversamplingRate(c, snr)
-		unq := inforate.UnquantizedRate(c, snr)
-		sub := inforate.SequenceRate(subTr, snr, simSymbols, uint64(8000+i))
+		return fig6Row{
+			inforate.SequenceRate(seqTr, snr, simSymbols, uint64(7000+i)),
+			inforate.SymbolwiseRate(sbsTr, snr),
+			inforate.SymbolwiseRate(rectTr, snr),
+			inforate.NoOversamplingRate(c, snr),
+			inforate.UnquantizedRate(c, snr),
+			inforate.SequenceRate(subTr, snr, simSymbols, uint64(8000+i)),
+		}
+	})
+	for i, snr := range snrs {
+		r := rows[i]
 		t.row("%8.1f %10.3f %12.3f %10.3f %10.3f %10.3f %10.3f",
-			snr, seq, sbs, rect, noOS, unq, sub)
+			snr, r[0], r[1], r[2], r[3], r[4], r[5])
 	}
 	t.row("series meanings: seq-opt and suboptimal under sequence estimation;")
 	t.row("symbolwise under symbol-by-symbol detection; rect-OS = 5x oversampled")
@@ -109,17 +126,27 @@ func AblationOversampling(q Quality) string {
 	var t table
 	t.title("Ablation — oversampling factor M at 25 dB (paper uses M = 5; quality %s)", q)
 	t.row("%4s %16s %16s", "M", "seq-opt [bpcu]", "unique detection")
-	for _, m := range []int{1, 2, 3, 4, 5, 6, 7} {
+	factors := []int{1, 2, 3, 4, 5, 6, 7}
+	type mRow struct {
+		rate   float64
+		unique bool
+	}
+	rows, _ := sweep.Map(context.Background(), len(factors), 0, func(i int) mRow {
 		mc := cfg
-		mc.OSF = m
+		mc.OSF = factors[i]
 		d := isidesign.OptimizeSequence(mc)
 		tr := inforate.NewTrellis(c, d.Pulse)
-		rate := inforate.SequenceRate(tr, 25, simSymbols, 31)
+		return mRow{
+			rate:   inforate.SequenceRate(tr, 25, simSymbols, 31),
+			unique: isidesign.UniquelyDetectable(tr, d.Pulse.SpanSymbols()+1),
+		}
+	})
+	for i, m := range factors {
 		unique := "no"
-		if isidesign.UniquelyDetectable(tr, d.Pulse.SpanSymbols()+1) {
+		if rows[i].unique {
 			unique = "yes"
 		}
-		t.row("%4d %16.3f %16s", m, rate, unique)
+		t.row("%4d %16.3f %16s", m, rows[i].rate, unique)
 	}
 	return t.String()
 }

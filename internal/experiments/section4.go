@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/noc"
 	"repro/internal/noc/analytic"
 	"repro/internal/noc/sim"
+	"repro/internal/sweep"
 )
 
 // Fig7 reports the structural comparison of the four topology types at
@@ -31,13 +33,15 @@ func Fig7(Quality) string {
 	return t.String()
 }
 
-// fig8Curve renders one latency-versus-injection comparison.
+// fig8Curve renders one latency-versus-injection comparison. The
+// topologies are compiled once (routes and channel loads cached) and the
+// event-simulator cross-checks fan out over the sweep executor.
 func fig8Curve(t *table, topos []*noc.Mesh, rates []float64, q Quality) {
-	models := make([]analytic.Model, len(topos))
+	models := make([]*analytic.Compiled, len(topos))
 	header := "%12s"
 	args := []any{"inj[f/c/m]"}
 	for i, topo := range topos {
-		models[i] = analytic.Model{Topo: topo, Traffic: noc.Uniform{}}
+		models[i] = analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.Compile()
 		header += " %22s"
 		args = append(args, topo.Name())
 	}
@@ -59,25 +63,31 @@ func fig8Curve(t *table, topos []*noc.Mesh, rates []float64, q Quality) {
 	}
 	for _, m := range models {
 		t.row("saturation %-28s %.3f flits/cycle/module (zero-load %.1f cycles)",
-			m.Topo.Name(), m.SaturationRate(), m.ZeroLoadLatency())
+			m.Model().Topo.Name(), m.SaturationRate(), m.ZeroLoadLatency())
 	}
 
-	// Cross-validate two analytic points against the event simulator.
+	// Cross-validate two analytic points against the event simulator,
+	// one grid point per topology.
 	if q != Smoke {
-		t.blank()
-		t.row("event-simulator cross-check (M/D/1-like service):")
-		for _, m := range models {
+		type xcheck struct {
+			probe, sim, ana, md1 float64
+		}
+		checks, _ := sweep.Map(context.Background(), len(models), 0, func(i int) xcheck {
+			m := models[i]
 			probe := 0.5 * m.SaturationRate()
 			res := sim.Run(sim.Config{
-				Topo: m.Topo, Traffic: noc.Uniform{},
+				Topo: m.Model().Topo, Traffic: noc.Uniform{},
 				InjectionRate: probe, Seed: 11,
 			})
 			ana, _ := m.AvgLatency(probe)
-			anaMD1 := m
-			anaMD1.Service = analytic.MD1
-			md1, _ := anaMD1.AvgLatency(probe)
+			md1, _ := m.WithService(analytic.MD1).AvgLatency(probe)
+			return xcheck{probe: probe, sim: res.MeanLatencyCycles, ana: ana, md1: md1}
+		})
+		t.blank()
+		t.row("event-simulator cross-check (M/D/1-like service):")
+		for i, c := range checks {
 			t.row("  %-28s at %.3f: sim %.1f, M/M/1 %.1f, M/D/1 %.1f cycles",
-				m.Topo.Name(), probe, res.MeanLatencyCycles, ana, md1)
+				models[i].Model().Topo.Name(), c.probe, c.sim, c.ana, c.md1)
 		}
 	}
 }

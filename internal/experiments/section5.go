@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/ldpc"
+	"repro/internal/sweep"
 )
 
 // fig10Config maps quality to Monte-Carlo effort for the Fig. 10 study.
@@ -51,14 +54,14 @@ func fig10For(q Quality) fig10Config {
 	default:
 		return fig10Config{
 			targetBER:    1e-3,
-			targetErrors: 40,
-			maxCodewords: 2500,
+			targetErrors: 30,
+			maxCodewords: 1500,
 			ccConfigs: []struct{ n, w int }{
 				{25, 3}, {25, 6}, {40, 5},
 			},
 			bcLiftings: []int{75, 200},
 			l:          30,
-			maxIter:    40,
+			maxIter:    30,
 		}
 	}
 }
@@ -69,36 +72,56 @@ func fig10For(q Quality) fig10Config {
 // window decoding and the LDPC-BC baseline (B=[4,4]).
 func Fig10(q Quality) string {
 	cfg := fig10For(q)
-	spreading := ldpc.PaperSpreading()
 	const nv, rate = 2, 0.5
 
 	var t table
 	t.title("Fig. 10 — required Eb/N0 for BER %.0e vs decoding latency (quality %s)", cfg.targetBER, q)
 	t.row("%-14s %6s %6s %14s %16s", "code", "N", "W", "latency[bits]", "req Eb/N0 [dB]")
 
+	// One grid point per code configuration, fanned out over the sweep
+	// executor; each point builds its own code, so workers share nothing.
+	type fig10Point struct {
+		cc   bool
+		n, w int
+		seed uint64
+	}
+	var points []fig10Point
+	for i, cc := range cfg.ccConfigs {
+		points = append(points, fig10Point{cc: true, n: cc.n, w: cc.w, seed: uint64(40 + i)})
+	}
+	for i, n := range cfg.bcLiftings {
+		points = append(points, fig10Point{n: n, seed: uint64(90 + i)})
+	}
+
+	// Split the decode pool between the outer fan-out and the inner BER
+	// workers so the two levels multiply to ~NumCPU instead of NCPU^2.
+	innerWorkers := (runtime.NumCPU() + len(points) - 1) / len(points)
 	search := func(code *ldpc.Code, window int, seed uint64) float64 {
 		return ldpc.RequiredEbN0(ldpc.SearchParams{
 			BERParams: ldpc.BERParams{
 				Code: code, Alg: ldpc.SumProduct, MaxIter: cfg.maxIter,
 				Window: window, Rate: rate,
 				TargetBitErrors: cfg.targetErrors, MaxCodewords: cfg.maxCodewords,
-				Seed: seed,
+				Seed: seed, Workers: innerWorkers,
 			},
 			TargetBER: cfg.targetBER, LoDB: 1, HiDB: 7, TolDB: 0.2,
 		})
 	}
-
-	for i, cc := range cfg.ccConfigs {
-		code := ldpc.LiftConvolutional(spreading, cfg.l, cc.n, 3)
-		req := search(code, cc.w, uint64(40+i))
-		t.row("%-14s %6d %6d %14.0f %16s", "LDPC-CC", cc.n, cc.w,
-			ldpc.WindowLatencyBits(cc.w, cc.n, nv, rate), fmtDB(req))
-	}
-	for i, n := range cfg.bcLiftings {
-		code := ldpc.Lift(ldpc.Regular48(), n, 3)
-		req := search(code, 0, uint64(90+i))
-		t.row("%-14s %6d %6s %14.0f %16s", "LDPC-BC", n, "-",
-			ldpc.BlockLatencyBits(n, nv, rate), fmtDB(req))
+	reqs, _ := sweep.Map(context.Background(), len(points), 0, func(i int) float64 {
+		p := points[i]
+		if p.cc {
+			return search(ldpc.LiftConvolutional(ldpc.PaperSpreading(), cfg.l, p.n, 3), p.w, p.seed)
+		}
+		return search(ldpc.Lift(ldpc.Regular48(), p.n, 3), 0, p.seed)
+	})
+	for i, p := range points {
+		if p.cc {
+			t.row("%-14s %6d %6d %14.0f %16s", "LDPC-CC", p.n, p.w,
+				ldpc.WindowLatencyBits(p.w, p.n, nv, rate), fmtDB(reqs[i]))
+		} else {
+			t.row("%-14s %6d %6s %14.0f %16s", "LDPC-BC", p.n, "-",
+				ldpc.BlockLatencyBits(p.n, nv, rate), fmtDB(reqs[i]))
+		}
 	}
 	t.blank()
 	t.row("paper headline: at Eb/N0 = 3 dB the LDPC-CC reaches BER 1e-5 with")

@@ -42,6 +42,20 @@ type BERParams struct {
 	Seed uint64
 	// Workers sets the parallelism (0 = GOMAXPROCS).
 	Workers int
+	// RelCI, when positive, selects adaptive stopping: the simulation
+	// ends once the 95% confidence half-width of the BER estimate
+	// (from the per-frame bit-error variance, since window-decoded
+	// errors burst per frame) falls below RelCI times the estimate,
+	// and the fixed error targets are ignored (MaxCodewords still
+	// caps the spend). The check runs at fixed batch boundaries, so
+	// the stopping point does not depend on Workers.
+	RelCI float64
+	// DecisiveBER, when positive, stops the simulation early once the
+	// 95% confidence interval of the BER estimate lies entirely above
+	// or entirely below this threshold — enough evidence for a
+	// threshold search to classify the operating point without running
+	// the full codeword budget.
+	DecisiveBER float64
 }
 
 func (p BERParams) defaults() BERParams {
@@ -86,24 +100,30 @@ func NoiseSigma(ebN0DB, rate float64) float64 {
 	return math.Sqrt(1 / (2 * rate * ebN0))
 }
 
+// berBatch is the codeword batch between stopping checks. It is a fixed
+// constant — not a function of Workers — so the simulated codeword count
+// at every early stop is identical for any worker count.
+const berBatch = 64
+
 // SimulateBER transmits all-zero codewords (valid for any linear code on
 // the output-symmetric BPSK/AWGN channel) and counts post-decoding bit
 // errors. The run is deterministic for a fixed Seed regardless of
-// Workers: codewords are processed in fixed batches with per-codeword
-// random streams.
+// Workers: codewords carry per-index random streams, workers stride over
+// fixed-size batches, and every stopping rule is evaluated only at batch
+// boundaries.
 func SimulateBER(p BERParams) BERResult {
 	p = p.defaults()
+	if p.Workers > berBatch {
+		p.Workers = berBatch
+	}
 	sigma := NoiseSigma(p.EbN0DB, p.Rate)
 	llrScale := 2 / (sigma * sigma)
 	n := p.Code.NumVars
 
-	type cwResult struct {
-		bitErrs int
-	}
 	var res BERResult
+	var errsSumSq float64 // sum of squared per-frame bit errors
 
-	batch := p.Workers
-	results := make([]cwResult, batch)
+	results := make([]int, berBatch)
 	var wg sync.WaitGroup
 
 	decoders := make([]*Decoder, p.Workers)
@@ -118,44 +138,44 @@ func SimulateBER(p BERParams) BERResult {
 		}
 	}
 
-	done := func() bool {
-		return res.BitErrors >= p.TargetBitErrors && res.FrameErrors >= p.TargetFrameErrors
-	}
-	for start := 0; start < p.MaxCodewords && !done(); start += batch {
-		count := batch
+	for start := 0; start < p.MaxCodewords && !berDone(p, res, errsSumSq); start += berBatch {
+		count := berBatch
 		if start+count > p.MaxCodewords {
 			count = p.MaxCodewords - start
 		}
-		wg.Add(count)
-		for i := 0; i < count; i++ {
-			go func(worker, cwIdx int) {
+		wg.Add(p.Workers)
+		for w := 0; w < p.Workers; w++ {
+			go func(worker int) {
 				defer wg.Done()
-				stream := rng.New(p.Seed).Split(uint64(cwIdx) + 1)
 				llr := make([]float64, n)
-				for v := range llr {
-					llr[v] = llrScale * (1 + sigma*stream.Norm())
-				}
-				var hard []uint8
-				if p.Window > 0 {
-					hard = windows[worker].Decode(llr)
-				} else {
-					hard = decoders[worker].Decode(llr).Hard
-				}
-				errs := 0
-				for _, b := range hard {
-					if b != 0 {
-						errs++
+				for i := worker; i < count; i += p.Workers {
+					stream := rng.New(p.Seed).Split(uint64(start+i) + 1)
+					for v := range llr {
+						llr[v] = llrScale * (1 + sigma*stream.Norm())
 					}
+					var hard []uint8
+					if p.Window > 0 {
+						hard = windows[worker].Decode(llr)
+					} else {
+						hard = decoders[worker].Decode(llr).Hard
+					}
+					errs := 0
+					for _, b := range hard {
+						if b != 0 {
+							errs++
+						}
+					}
+					results[i] = errs
 				}
-				results[worker] = cwResult{bitErrs: errs}
-			}(i, start+i)
+			}(w)
 		}
 		wg.Wait()
 		for i := 0; i < count; i++ {
 			res.Codewords++
 			res.Bits += n
-			res.BitErrors += results[i].bitErrs
-			if results[i].bitErrs > 0 {
+			res.BitErrors += results[i]
+			errsSumSq += float64(results[i]) * float64(results[i])
+			if results[i] > 0 {
 				res.FrameErrors++
 			}
 		}
@@ -164,6 +184,69 @@ func SimulateBER(p BERParams) BERResult {
 		res.BER = float64(res.BitErrors) / float64(res.Bits)
 	}
 	return res
+}
+
+// berHalfWidth returns the 95% confidence half-width of the BER estimate
+// from the per-frame bit-error variance (frames are the independent
+// unit; bit errors within a frame are bursty and correlated). Returns
+// +Inf until two frames exist.
+func berHalfWidth(res BERResult, errsSumSq float64, bitsPerFrame int) float64 {
+	f := float64(res.Codewords)
+	if res.Codewords < 2 {
+		return math.Inf(1)
+	}
+	mean := float64(res.BitErrors) / f
+	variance := (errsSumSq - f*mean*mean) / (f - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return 1.96 * math.Sqrt(variance/f) / float64(bitsPerFrame)
+}
+
+// berDone evaluates the stopping rules on the accumulated statistics.
+func berDone(p BERParams, res BERResult, errsSumSq float64) bool {
+	if res.Bits == 0 {
+		return false
+	}
+	ber := float64(res.BitErrors) / float64(res.Bits)
+	hw := berHalfWidth(res, errsSumSq, p.Code.NumVars)
+	// minAdaptiveFrameErrors guards the adaptive rules against variance
+	// estimates built from too few error events.
+	const minAdaptiveFrameErrors = 8
+
+	if p.RelCI > 0 {
+		// Adaptive mode: the confidence target is the stopping rule and
+		// the fixed error targets are ignored (MaxCodewords still caps
+		// the spend) — otherwise the legacy targets would always fire
+		// first and the requested precision would never be delivered.
+		if res.FrameErrors >= minAdaptiveFrameErrors && ber > 0 && hw <= p.RelCI*ber {
+			return true
+		}
+		// Error-free early out: after a quarter of the budget with zero
+		// error frames, the remaining spend cannot produce the error
+		// events the CI rule needs — report BER ~ 0 and stop.
+		if res.FrameErrors == 0 && res.Codewords >= (p.MaxCodewords+3)/4 {
+			return true
+		}
+	} else if res.BitErrors >= p.TargetBitErrors && res.FrameErrors >= p.TargetFrameErrors {
+		return true
+	}
+
+	if p.DecisiveBER > 0 {
+		if res.FrameErrors >= minAdaptiveFrameErrors && ber-hw > p.DecisiveBER {
+			return true // decisively above the threshold
+		}
+		// The below-threshold call needs the zero/low error count to be
+		// informative. Errors arrive in multi-bit frame bursts, so "a
+		// few expected bit errors" is not evidence — demand the same 3x
+		// bit-error budget the search's conclusive cap uses, which at
+		// the threshold BER corresponds to several expected error
+		// frames even for bursty window decoding.
+		if p.DecisiveBER*float64(res.Bits) >= 3*float64(p.TargetBitErrors) && ber+hw < p.DecisiveBER {
+			return true // decisively below the threshold
+		}
+	}
+	return false
 }
 
 // SearchParams configures a required-Eb/N0 search (the y-axis of
@@ -194,6 +277,10 @@ func RequiredEbN0(p SearchParams) float64 {
 	measure := func(db float64) float64 {
 		bp := p.BERParams.defaults()
 		bp.EbN0DB = db
+		// The search only needs to classify the point against the target,
+		// so let the simulation stop as soon as its confidence interval
+		// excludes the target BER.
+		bp.DecisiveBER = p.TargetBER
 		// Conclusive-evidence cap: once enough bits have been simulated
 		// that a true BER at the target would have produced ~3x the bit
 		// error budget, the point is decisively below target — no need

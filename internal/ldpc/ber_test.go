@@ -32,7 +32,7 @@ func TestSimulateBERDecreasingInEbN0(t *testing.T) {
 	code := Lift(Regular48(), 40, 3)
 	ber := func(db float64) float64 {
 		r := SimulateBER(BERParams{
-			Code: code, Alg: MinSum, MaxIter: 30,
+			Code: code, Alg: MinSum, MaxIter: 40,
 			EbN0DB: db, TargetBitErrors: 200, MaxCodewords: 400, Seed: 4,
 		})
 		return r.BER
@@ -141,8 +141,8 @@ func TestFig10HeadlineCCBeatsBCAtEqualQuality(t *testing.T) {
 	bc := Lift(Regular48(), 200, 3) // TB = 200 info bits
 	bcReq := RequiredEbN0(SearchParams{
 		BERParams: BERParams{Code: bc, Alg: SumProduct, MaxIter: 50,
-			TargetBitErrors: 60, MaxCodewords: 6000, Seed: 8},
-		TargetBER: targetBER, LoDB: 1, HiDB: 7, TolDB: 0.2,
+			TargetBitErrors: 50, MaxCodewords: 4000, Seed: 8},
+		TargetBER: targetBER, LoDB: 1, HiDB: 7, TolDB: 0.15,
 	})
 
 	// LDPC-CC with N=40, W=5: TWD = W*N = 200 info bits — the same
@@ -153,8 +153,8 @@ func TestFig10HeadlineCCBeatsBCAtEqualQuality(t *testing.T) {
 	ccReq := RequiredEbN0(SearchParams{
 		BERParams: BERParams{Code: cc, Alg: SumProduct, MaxIter: 50,
 			Window: 5, Rate: 0.5,
-			TargetBitErrors: 60, MaxCodewords: 6000, Seed: 9},
-		TargetBER: targetBER, LoDB: 1, HiDB: 7, TolDB: 0.2,
+			TargetBitErrors: 50, MaxCodewords: 4000, Seed: 9},
+		TargetBER: targetBER, LoDB: 1, HiDB: 7, TolDB: 0.15,
 	})
 
 	if math.IsNaN(bcReq) || math.IsNaN(ccReq) {

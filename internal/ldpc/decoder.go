@@ -51,12 +51,21 @@ type Decoder struct {
 	varToChk  []float64
 	posterior []float64
 	hard      []uint8
+	// tanhBuf caches tanh(msg/2) per edge of one check during the
+	// sum-product update, so each input is transformed once.
+	tanhBuf []float64
 }
 
 // NewDecoder creates a decoder for the code.
 func NewDecoder(code *Code, alg Algorithm, maxIter int) *Decoder {
 	if maxIter <= 0 {
 		maxIter = 50
+	}
+	maxDeg := 0
+	for chk := 0; chk < code.NumChecks; chk++ {
+		if deg := int(code.checkPtr[chk+1] - code.checkPtr[chk]); deg > maxDeg {
+			maxDeg = deg
+		}
 	}
 	return &Decoder{
 		code:      code,
@@ -66,6 +75,7 @@ func NewDecoder(code *Code, alg Algorithm, maxIter int) *Decoder {
 		varToChk:  make([]float64, code.NumEdges()),
 		posterior: make([]float64, code.NumVars),
 		hard:      make([]uint8, code.NumVars),
+		tanhBuf:   make([]float64, maxDeg),
 	}
 }
 
@@ -137,12 +147,30 @@ func (d *Decoder) decodeRange(channelLLR []float64, chkLo, chkHi, varLo, varHi i
 
 // updateCheckSumProduct applies the tanh rule to one check's edges.
 func (d *Decoder) updateCheckSumProduct(lo, hi int32) {
+	// Saturated shortcut: when every input is strong the tanh rule and
+	// plain min-sum agree to within e^-satLLR, with no transcendentals.
+	minAbs := math.Inf(1)
+	for e := lo; e < hi; e++ {
+		if a := math.Abs(d.varToChk[e]); a < minAbs {
+			minAbs = a
+		}
+	}
+	if minAbs >= satLLR {
+		// In the saturated regime plain (unnormalised) min-sum is exact
+		// to within e^-satLLR, with no transcendentals.
+		d.updateCheckMinSumScaled(lo, hi, 1)
+		return
+	}
+
+	ts := d.tanhBuf[:hi-lo]
 	prod := 1.0
 	for e := lo; e < hi; e++ {
-		prod *= math.Tanh(0.5 * d.varToChk[e])
+		t := tanhHalf(d.varToChk[e])
+		ts[e-lo] = t
+		prod *= t
 	}
 	for e := lo; e < hi; e++ {
-		t := math.Tanh(0.5 * d.varToChk[e])
+		t := ts[e-lo]
 		var other float64
 		if math.Abs(t) > 1e-12 {
 			other = prod / t
@@ -151,17 +179,24 @@ func (d *Decoder) updateCheckSumProduct(lo, hi int32) {
 			other = 1
 			for e2 := lo; e2 < hi; e2++ {
 				if e2 != e {
-					other *= math.Tanh(0.5 * d.varToChk[e2])
+					other *= ts[e2-lo]
 				}
 			}
 		}
 		other = clamp(other, -0.999999999999, 0.999999999999)
-		d.chkToVar[e] = clamp(2*math.Atanh(other), -llrClamp, llrClamp)
+		d.chkToVar[e] = clamp(atanh2(other), -llrClamp, llrClamp)
 	}
 }
 
 // updateCheckMinSum applies the normalised min-sum rule to one check.
 func (d *Decoder) updateCheckMinSum(lo, hi int32) {
+	d.updateCheckMinSumScaled(lo, hi, minSumScale)
+}
+
+// updateCheckMinSumScaled is the min-sum kernel: sign product and
+// first/second minima, scaled by the given normalisation factor (1 for
+// the saturated sum-product shortcut).
+func (d *Decoder) updateCheckMinSumScaled(lo, hi int32, scale float64) {
 	min1, min2 := math.Inf(1), math.Inf(1)
 	var minEdge int32 = -1
 	sign := 1.0
@@ -188,7 +223,7 @@ func (d *Decoder) updateCheckMinSum(lo, hi int32) {
 		if d.varToChk[e] < 0 {
 			s = -s
 		}
-		d.chkToVar[e] = clamp(minSumScale*s*mag, -llrClamp, llrClamp)
+		d.chkToVar[e] = clamp(scale*s*mag, -llrClamp, llrClamp)
 	}
 }
 

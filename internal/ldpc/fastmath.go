@@ -1,0 +1,48 @@
+package ldpc
+
+import "math"
+
+// The sum-product check update is the Monte-Carlo hot path: profiles put
+// >90% of a BER sweep inside math.Tanh / math.Atanh. The helpers below
+// compute the same quantities through cheaper routes — math.Exp has an
+// assembly fast path where Tanh and Atanh do not, and the atanh of the
+// small tanh-products that dominate near-threshold decoding is served by
+// a short Maclaurin series. Worst-case error is below 1e-12 in the LLR
+// domain, orders of magnitude under the 0.8-scale min-sum approximation
+// the decoder already offers as an explicit quality trade.
+
+// tanhHalf returns tanh(x/2).
+func tanhHalf(x float64) float64 {
+	switch {
+	case x > 38:
+		return 1
+	case x < -38:
+		return -1
+	case x > -1 && x < 1:
+		// Expm1 keeps precision where e^x-1 would cancel.
+		em := math.Expm1(x)
+		return em / (em + 2)
+	default:
+		e := math.Exp(x)
+		return (e - 1) / (e + 1)
+	}
+}
+
+// atanh2 returns 2*atanh(x) for |x| < 1.
+func atanh2(x float64) float64 {
+	a := math.Abs(x)
+	if a < 0.25 {
+		// 2 atanh(x) = 2x (1 + x^2/3 + x^4/5 + ...); at |x| < 0.25 nine
+		// terms reach ~1e-13 relative error.
+		x2 := x * x
+		s := 1.0 + x2*(1.0/3+x2*(1.0/5+x2*(1.0/7+x2*(1.0/9+x2*(1.0/11+x2*(1.0/13+x2*(1.0/15+x2*(1.0/17))))))))
+		return 2 * x * s
+	}
+	return math.Log((1 + x) / (1 - x))
+}
+
+// satLLR is the input magnitude beyond which the exact tanh rule and
+// plain (unnormalised) min-sum agree to within e^-satLLR ~ 6e-6: the
+// box-plus correction terms log1p(e^-|a+b|) - log1p(e^-|a-b|) are
+// bounded by e^-min(|a|,|b|).
+const satLLR = 12.0

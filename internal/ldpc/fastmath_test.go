@@ -1,0 +1,25 @@
+package ldpc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTanhHalfMatchesMath(t *testing.T) {
+	for _, x := range []float64{-40, -30, -8, -2, -1, -0.5, -1e-3, -1e-9, 0,
+		1e-9, 1e-3, 0.5, 1, 2, 8, 30, 40} {
+		got, want := tanhHalf(x), math.Tanh(0.5*x)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("tanhHalf(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestAtanh2MatchesMath(t *testing.T) {
+	for x := -0.999999; x < 1; x += 0.013 {
+		got, want := atanh2(x), 2*math.Atanh(x)
+		if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+			t.Errorf("atanh2(%g) = %g, want %g", x, got, want)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func (d *Decoder) decodeLayered(channelLLR []float64, chkLo, chkHi, varLo, varHi
 			}
 			switch d.Alg {
 			case SumProduct:
-				layeredSumProduct(scratch)
+				layeredSumProduct(scratch, d.tanhBuf)
 			default:
 				layeredMinSum(scratch)
 			}
@@ -93,12 +93,29 @@ func (d *Decoder) decodeLayered(channelLLR []float64, chkLo, chkHi, varLo, varHi
 }
 
 // layeredSumProduct replaces each entry of msgs with the tanh-rule
-// extrinsic output computed from the other entries.
-func layeredSumProduct(msgs []float64) {
+// extrinsic output computed from the other entries. tanhBuf is a
+// caller-owned scratch buffer of at least len(msgs).
+func layeredSumProduct(msgs, tanhBuf []float64) {
+	// Saturated shortcut, as in the flooding update.
+	minAbs := math.Inf(1)
+	for _, m := range msgs {
+		if a := math.Abs(m); a < minAbs {
+			minAbs = a
+		}
+	}
+	if minAbs >= satLLR {
+		// In the saturated regime plain (unnormalised) min-sum is exact
+		// to within e^-satLLR, with no transcendentals.
+		layeredMinSumScaled(msgs, 1)
+		return
+	}
+
+	ts := tanhBuf[:len(msgs)]
 	prod := 1.0
 	anyZero := -1
 	for i, m := range msgs {
-		t := math.Tanh(0.5 * m)
+		t := tanhHalf(m)
+		ts[i] = t
 		if math.Abs(t) < 1e-15 {
 			if anyZero >= 0 {
 				// Two zero inputs: every output is zero.
@@ -112,8 +129,8 @@ func layeredSumProduct(msgs []float64) {
 		}
 		prod *= t
 	}
-	for i, m := range msgs {
-		t := math.Tanh(0.5 * m)
+	for i := range msgs {
+		t := ts[i]
 		var other float64
 		switch {
 		case anyZero == i:
@@ -124,13 +141,17 @@ func layeredSumProduct(msgs []float64) {
 			other = prod / t
 		}
 		other = clamp(other, -0.999999999999, 0.999999999999)
-		msgs[i] = 2 * math.Atanh(other)
+		msgs[i] = atanh2(other)
 	}
 }
 
 // layeredMinSum replaces each entry of msgs with the normalised min-sum
 // extrinsic output computed from the other entries.
-func layeredMinSum(msgs []float64) {
+func layeredMinSum(msgs []float64) { layeredMinSumScaled(msgs, minSumScale) }
+
+// layeredMinSumScaled is the min-sum kernel with an explicit
+// normalisation factor (1 for the saturated sum-product shortcut).
+func layeredMinSumScaled(msgs []float64, scale float64) {
 	min1, min2 := math.Inf(1), math.Inf(1)
 	minIdx := -1
 	sign := 1.0
@@ -156,6 +177,6 @@ func layeredMinSum(msgs []float64) {
 		if m < 0 {
 			s = -s
 		}
-		msgs[i] = minSumScale * s * mag
+		msgs[i] = scale * s * mag
 	}
 }

@@ -134,7 +134,7 @@ func TestLayeredBERPath(t *testing.T) {
 func TestLayeredSumProductDoubleZeroInput(t *testing.T) {
 	// Two zero inputs must zero all outputs without NaNs.
 	msgs := []float64{0, 0, 1.5, -2}
-	layeredSumProduct(msgs)
+	layeredSumProduct(msgs, make([]float64, len(msgs)))
 	for i, m := range msgs {
 		if m != 0 {
 			t.Errorf("msg[%d] = %g, want 0", i, m)
@@ -143,7 +143,7 @@ func TestLayeredSumProductDoubleZeroInput(t *testing.T) {
 	// A single zero input: only that edge gets the (nonzero) product of
 	// the others; other edges see the zero and output 0.
 	msgs = []float64{0, 1.5, -2, 1}
-	layeredSumProduct(msgs)
+	layeredSumProduct(msgs, make([]float64, len(msgs)))
 	if msgs[0] == 0 {
 		t.Error("edge opposite the erasure should receive information")
 	}

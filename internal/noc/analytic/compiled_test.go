@@ -1,0 +1,77 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// The compiled evaluator must agree with the reference model: same
+// saturation point and the same latency curve (up to float summation
+// order) on every topology family.
+func TestCompiledMatchesModel(t *testing.T) {
+	topos := []*noc.Mesh{
+		noc.NewMesh2D(4, 4),
+		noc.NewStarMesh(2, 2, 4),
+		noc.NewMesh3D(3, 3, 2),
+		noc.NewCiliated3D(2, 2, 2, 2),
+	}
+	for _, topo := range topos {
+		for _, service := range []ServiceModel{MM1, MD1} {
+			m := Model{Topo: topo, Traffic: noc.Uniform{}, Service: service}
+			c := m.Compile()
+			if got, want := c.SaturationRate(), m.SaturationRate(); math.Abs(got-want) > 1e-9*want {
+				t.Errorf("%s/%s: saturation %g, model %g", topo.Name(), service, got, want)
+			}
+			for _, rate := range []float64{0, 0.3 * m.SaturationRate(), 0.8 * m.SaturationRate()} {
+				got, gok := c.AvgLatency(rate)
+				want, wok := m.AvgLatency(rate)
+				if gok != wok {
+					t.Fatalf("%s/%s at %g: feasibility %v vs %v", topo.Name(), service, rate, gok, wok)
+				}
+				if gok && math.Abs(got-want) > 1e-9*(1+want) {
+					t.Errorf("%s/%s at %g: latency %g, model %g", topo.Name(), service, rate, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledWithService(t *testing.T) {
+	m := Model{Topo: noc.NewMesh3D(3, 3, 2), Traffic: noc.Uniform{}}
+	c := m.Compile()
+	rate := 0.5 * c.SaturationRate()
+	md1Direct, _ := Model{Topo: m.Topo, Traffic: m.Traffic, Service: MD1}.Compile().AvgLatency(rate)
+	md1Shared, _ := c.WithService(MD1).AvgLatency(rate)
+	if md1Shared != md1Direct {
+		t.Errorf("WithService(MD1) latency %g, direct compile %g", md1Shared, md1Direct)
+	}
+	// The original evaluator must be untouched.
+	mm1, _ := c.AvgLatency(rate)
+	if mm1 <= md1Shared {
+		t.Errorf("M/M/1 latency %g not above M/D/1 %g", mm1, md1Shared)
+	}
+}
+
+func TestCompiledVerticalCapacity(t *testing.T) {
+	m := Model{Topo: noc.NewMesh3D(3, 3, 3), Traffic: noc.Uniform{}, VerticalCapacity: 2}
+	c := m.Compile()
+	if got, want := c.SaturationRate(), m.SaturationRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("vertical capacity: compiled saturation %g, model %g", got, want)
+	}
+}
+
+func TestCompiledCurveDeterministic(t *testing.T) {
+	// Two compilations of the same model must produce bit-identical
+	// curves: sweep records depend on it.
+	m := Model{Topo: noc.NewMesh3D(4, 4, 4), Traffic: noc.Uniform{}}
+	rates := []float64{0.01, 0.1, 0.3, 0.5}
+	a := m.Compile().LatencyCurve(rates)
+	b := m.Compile().LatencyCurve(rates)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("curve point %d differs between compilations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

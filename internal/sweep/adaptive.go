@@ -1,0 +1,68 @@
+package sweep
+
+import "math"
+
+// MeanEstimator accumulates a running mean and variance (Welford's
+// algorithm) and exposes the 95% confidence half-width of the mean —
+// the primitive behind the adaptive Monte-Carlo budget controller.
+type MeanEstimator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the estimate.
+func (e *MeanEstimator) Add(x float64) {
+	e.n++
+	d := x - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (x - e.mean)
+}
+
+// N returns the sample count.
+func (e *MeanEstimator) N() int { return e.n }
+
+// Mean returns the sample mean.
+func (e *MeanEstimator) Mean() float64 { return e.mean }
+
+// HalfWidth95 returns the 95% confidence half-width of the mean
+// (normal approximation); +Inf until two samples exist.
+func (e *MeanEstimator) HalfWidth95() float64 {
+	if e.n < 2 {
+		return math.Inf(1)
+	}
+	variance := e.m2 / float64(e.n-1)
+	return 1.96 * math.Sqrt(variance/float64(e.n))
+}
+
+// RelHalfWidth95 returns HalfWidth95 relative to the mean magnitude;
+// +Inf when the mean is zero.
+func (e *MeanEstimator) RelHalfWidth95() float64 {
+	if e.mean == 0 {
+		return math.Inf(1)
+	}
+	return e.HalfWidth95() / math.Abs(e.mean)
+}
+
+// AdaptiveMean draws replications from sample(i) until the relative 95%
+// confidence half-width of their mean drops to relCI or maxN samples
+// were spent, always drawing at least minN. It returns the estimator so
+// callers can report mean, half-width and spent budget. The stopping
+// decision depends only on the sample values in index order, keeping
+// adaptive sweeps deterministic.
+func AdaptiveMean(minN, maxN int, relCI float64, sample func(i int) float64) MeanEstimator {
+	if minN < 2 {
+		minN = 2
+	}
+	if maxN < minN {
+		maxN = minN
+	}
+	var est MeanEstimator
+	for i := 0; i < maxN; i++ {
+		est.Add(sample(i))
+		if i+1 >= minN && est.RelHalfWidth95() <= relCI {
+			break
+		}
+	}
+	return est
+}

@@ -1,0 +1,31 @@
+// Package sweep is the design-space exploration engine of the
+// repository: it turns the one-at-a-time core.DesignSystem workflow into
+// named, reproducible scenario sweeps with structured results.
+//
+// The subsystem has four parts:
+//
+//   - A scenario registry (Register/Get/Names) of composable system
+//     scenarios — the paper baseline, a dense datacenter rack, an
+//     embedded box, a many-stack manycore, and a Butler-versus-steered
+//     beamforming study — each generating a grid of core.SystemSpec
+//     points.
+//
+//   - A parallel executor (Run, built on Map) that evaluates grid
+//     points on a bounded worker pool sized by runtime.NumCPU(),
+//     honours context cancellation, and derives one deterministic
+//     rng sub-stream per point via rng.Stream.Split, so results are
+//     byte-identical for any worker count.
+//
+//   - An adaptive Monte-Carlo budget controller (MeanEstimator and the
+//     RelCI/DecisiveBER fields of ldpc.BERParams) that stops a point's
+//     simulation early once its BER or latency confidence interval is
+//     tight enough.
+//
+//   - Structured results: one typed Record per point with JSON and CSV
+//     emitters, plus Pareto-front extraction over the three system
+//     objectives (transmit power, decode latency, NoC saturation).
+//
+// cmd/sweep exposes the registry and executor on the command line;
+// internal/experiments routes its figure grids through Map so the
+// paper's curves parallelize the same way.
+package sweep

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ldpc"
+	"repro/internal/noc"
+	"repro/internal/noc/sim"
+	"repro/internal/rng"
+)
+
+// Budget controls the Monte-Carlo effort spent on one design point.
+// The zero value (name "analytic") runs the analytic pipeline only.
+type Budget struct {
+	Name string
+
+	// BERSim enables a bit-error-rate measurement of the chosen
+	// LDPC-CC at BEREbN0DB, stopped adaptively at BERRelCI.
+	BERSim          bool
+	BEREbN0DB       float64
+	BERRelCI        float64
+	BERMaxCodewords int
+	BERMaxIter      int
+	// TermLength is the termination length of the simulated
+	// convolutional code.
+	TermLength int
+
+	// NoCSim enables event-simulator validation of the chosen stack
+	// topology, replicated adaptively until the mean-latency confidence
+	// interval shrinks to NoCRelCI.
+	NoCSim           bool
+	NoCMinReps       int
+	NoCMaxReps       int
+	NoCRelCI         float64
+	NoCMeasureCycles float64
+}
+
+// AnalyticBudget evaluates points through the analytic models only —
+// microseconds per point, the right default for wide grids.
+func AnalyticBudget() Budget { return Budget{Name: "analytic"} }
+
+// SmokeBudget adds seconds-scale Monte-Carlo per sweep: a coarse BER
+// point and a short simulator cross-check, both adaptively stopped.
+func SmokeBudget() Budget {
+	return Budget{
+		Name:   "smoke",
+		BERSim: true, BEREbN0DB: 3, BERRelCI: 0.3, BERMaxCodewords: 256, BERMaxIter: 20, TermLength: 16,
+		NoCSim: true, NoCMinReps: 2, NoCMaxReps: 4, NoCRelCI: 0.05, NoCMeasureCycles: 2000,
+	}
+}
+
+// StandardBudget is the recording fidelity: tighter confidence targets
+// and room for the controller to spend where the variance demands it.
+func StandardBudget() Budget {
+	return Budget{
+		Name:   "standard",
+		BERSim: true, BEREbN0DB: 3, BERRelCI: 0.1, BERMaxCodewords: 6000, BERMaxIter: 50, TermLength: 30,
+		NoCSim: true, NoCMinReps: 3, NoCMaxReps: 10, NoCRelCI: 0.02, NoCMeasureCycles: 6000,
+	}
+}
+
+// ParseBudget maps a CLI string to a Budget.
+func ParseBudget(s string) (Budget, error) {
+	switch strings.ToLower(s) {
+	case "", "analytic":
+		return AnalyticBudget(), nil
+	case "smoke":
+		return SmokeBudget(), nil
+	case "standard":
+		return StandardBudget(), nil
+	default:
+		return Budget{}, fmt.Errorf("sweep: unknown budget %q (analytic|smoke|standard)", s)
+	}
+}
+
+// Evaluate runs one grid point through the design pipeline and the
+// budgeted Monte-Carlo stages. stream must be the point's private
+// deterministic sub-stream; Evaluate is safe to call concurrently for
+// distinct points.
+func Evaluate(scenario string, pt Point, stream *rng.Stream, b Budget) Record {
+	rec := Record{Scenario: scenario, Index: pt.Index, Label: pt.Label, Spec: pt.Spec}
+
+	des, err := core.DesignSystem(pt.Spec)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.TxPowerDBm = des.WorstTxPowerDBm()
+	rec.SpectralEfficiency = des.SpectralEfficiency
+	rec.CodeLifting = des.Code.Lifting
+	rec.CodeWindow = des.Code.Window
+	rec.DecodeLatencyBits = des.Code.LatencyBits
+	rec.Topology = des.Stack.Topology.Name()
+	rec.NoCLatencyCycles = des.Stack.LatencyCycles
+	rec.NoCSaturation = des.Stack.SaturationRate
+
+	if b.BERSim {
+		code := ldpc.LiftConvolutional(ldpc.PaperSpreading(), b.TermLength, des.Code.Lifting, 3)
+		r := ldpc.SimulateBER(ldpc.BERParams{
+			Code: code, Alg: ldpc.SumProduct, MaxIter: b.BERMaxIter,
+			Window: des.Code.Window, Rate: des.Code.Rate,
+			EbN0DB:       b.BEREbN0DB,
+			MaxCodewords: b.BERMaxCodewords,
+			RelCI:        b.BERRelCI,
+			Seed:         stream.Split(1).Uint64(),
+			// The executor already parallelizes across points; a full
+			// inner decode pool per point would oversubscribe ~NCPU^2.
+			Workers: 1,
+		})
+		rec.BEREbN0DB = b.BEREbN0DB
+		rec.BER = r.BER
+		rec.BERCodewords = r.Codewords
+	}
+
+	if b.NoCSim {
+		simStream := stream.Split(2)
+		est := AdaptiveMean(b.NoCMinReps, b.NoCMaxReps, b.NoCRelCI, func(i int) float64 {
+			res := sim.Run(sim.Config{
+				Topo:          des.Stack.Topology,
+				Traffic:       noc.Uniform{},
+				InjectionRate: pt.Spec.StackInjectionRate,
+				MeasureCycles: b.NoCMeasureCycles,
+				Seed:          simStream.Split(uint64(i) + 1).Uint64(),
+			})
+			return res.MeanLatencyCycles
+		})
+		rec.SimLatencyCycles = est.Mean()
+		rec.SimLatencyCI95 = est.HalfWidth95()
+		rec.SimReplications = est.N()
+	}
+	return rec
+}

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Map evaluates fn(i) for every i in [0, n) on a bounded pool of worker
+// goroutines and returns the results in index order. The output is
+// independent of the worker count and of goroutine scheduling: result i
+// always lands in slot i, and fn receives nothing but the index, so any
+// randomness must come from per-index streams (rng.Stream.Split).
+//
+// Map stops handing out new indices once ctx is cancelled and returns
+// ctx.Err() alongside the partial results (slots never reached hold the
+// zero value of T). workers <= 0 selects runtime.NumCPU().
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// Config parameterises a scenario sweep.
+type Config struct {
+	// Workers bounds the pool (0 = runtime.NumCPU()). The records are
+	// identical for every value.
+	Workers int
+	// Seed is the root of the per-point deterministic sub-streams.
+	Seed uint64
+	// Budget controls the Monte-Carlo effort spent per point.
+	Budget Budget
+}
+
+// Result is the structured outcome of one scenario sweep.
+type Result struct {
+	Scenario    string   `json:"scenario"`
+	Description string   `json:"description"`
+	Seed        uint64   `json:"seed"`
+	Budget      string   `json:"budget"`
+	Records     []Record `json:"records"`
+	// ParetoIndices lists the records on the Pareto front over
+	// (TxPowerDBm min, DecodeLatencyBits min, NoCSaturation max), in
+	// record order. The same records carry Pareto: true.
+	ParetoIndices []int `json:"pareto_indices"`
+}
+
+// Run executes the scenario's grid through the parallel executor and
+// extracts the Pareto front.
+func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
+	pts := sc.Points()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("sweep: scenario %q generates no points", sc.Name)
+	}
+	root := rng.New(cfg.Seed)
+	recs, err := Map(ctx, len(pts), cfg.Workers, func(i int) Record {
+		// Split is a pure function of (root seed, index): every point
+		// gets the same sub-stream no matter which worker runs it.
+		return Evaluate(sc.Name, pts[i], root.Split(uint64(i)+1), cfg.Budget)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        cfg.Seed,
+		Budget:      cfg.Budget.Name,
+		Records:     recs,
+	}
+	res.ParetoIndices = MarkPareto(res.Records)
+	return res, nil
+}

@@ -1,0 +1,43 @@
+package sweep
+
+// dominates reports whether a is at least as good as b on every
+// objective and strictly better on one: lower transmit power, lower
+// structural decode latency, higher NoC saturation headroom.
+func dominates(a, b Record) bool {
+	if a.TxPowerDBm > b.TxPowerDBm ||
+		a.DecodeLatencyBits > b.DecodeLatencyBits ||
+		a.NoCSaturation < b.NoCSaturation {
+		return false
+	}
+	return a.TxPowerDBm < b.TxPowerDBm ||
+		a.DecodeLatencyBits < b.DecodeLatencyBits ||
+		a.NoCSaturation > b.NoCSaturation
+}
+
+// MarkPareto sets the Pareto flag on every non-dominated feasible
+// record and returns their indices in record order. Infeasible records
+// (Err set) never join the front.
+func MarkPareto(recs []Record) []int {
+	var front []int
+	for i := range recs {
+		recs[i].Pareto = false
+		if recs[i].Err != "" {
+			continue
+		}
+		dominated := false
+		for j := range recs {
+			if i == j || recs[j].Err != "" {
+				continue
+			}
+			if dominates(recs[j], recs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			recs[i].Pareto = true
+			front = append(front, i)
+		}
+	}
+	return front
+}

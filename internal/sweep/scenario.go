@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Point is one cell of a scenario's design grid.
+type Point struct {
+	Index int             `json:"index"`
+	Label string          `json:"label"`
+	Spec  core.SystemSpec `json:"spec"`
+}
+
+// Scenario is a named generator of design points. Points must be a pure
+// function: the executor calls it once per sweep and derives per-point
+// randomness from the sweep seed, never from the scenario.
+type Scenario struct {
+	Name        string
+	Description string
+	Points      func() []Point
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the catalog; it panics on a duplicate or
+// empty name, since both are programming errors.
+func Register(s Scenario) {
+	if s.Name == "" || s.Points == nil {
+		panic("sweep: scenario needs a name and a point generator")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("sweep: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named scenario.
+func Get(name string) (Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("sweep: unknown scenario %q (have %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names lists the registered scenarios in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// grid appends one point per spec produced by the label/spec pairs,
+// numbering them in generation order.
+type grid struct {
+	pts []Point
+}
+
+func (g *grid) add(label string, spec core.SystemSpec) {
+	g.pts = append(g.pts, Point{Index: len(g.pts), Label: label, Spec: spec})
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "paper-baseline",
+		Description: "the paper's 4-board box: latency budget x beamforming realisation",
+		Points: func() []Point {
+			var g grid
+			for _, butler := range []bool{true, false} {
+				for _, lat := range []int{100, 200, 300, 400} {
+					spec := core.DefaultSpec()
+					spec.LatencyBudgetBits = lat
+					spec.Butler = butler
+					g.add(fmt.Sprintf("latency=%db butler=%v", lat, butler), spec)
+				}
+			}
+			return g.pts
+		},
+	})
+
+	Register(Scenario{
+		Name:        "dense-rack",
+		Description: "datacenter rack density: many tightly packed boards at high link rates",
+		Points: func() []Point {
+			var g grid
+			for _, boards := range []int{8, 16} {
+				for _, rate := range []float64{50, 100, 200} {
+					spec := core.DefaultSpec()
+					spec.Boards = boards
+					spec.NodesPerBoard = 16
+					spec.BoardSpacingM = 0.05
+					spec.LinkRateGbps = rate
+					spec.StackInjectionRate = 0.15
+					g.add(fmt.Sprintf("boards=%d rate=%.0fG", boards, rate), spec)
+				}
+			}
+			return g.pts
+		},
+	})
+
+	Register(Scenario{
+		Name:        "embedded-box",
+		Description: "small sealed enclosure: two or three boards, modest rates, small stacks",
+		Points: func() []Point {
+			var g grid
+			for _, boards := range []int{2, 3} {
+				for _, rate := range []float64{10, 25, 50} {
+					spec := core.DefaultSpec()
+					spec.Boards = boards
+					spec.BoardSpacingM = 0.05
+					spec.BoardEdgeM = 0.05
+					spec.NodesPerBoard = 4
+					spec.LinkRateGbps = rate
+					spec.LatencyBudgetBits = 100
+					spec.StackModules = 16
+					spec.StackInjectionRate = 0.05
+					g.add(fmt.Sprintf("boards=%d rate=%.0fG", boards, rate), spec)
+				}
+			}
+			return g.pts
+		},
+	})
+
+	Register(Scenario{
+		Name:        "manycore",
+		Description: "many-stack manycore: NiCS module count against injection load",
+		Points: func() []Point {
+			var g grid
+			for _, modules := range []int{64, 128, 256, 512} {
+				for _, inj := range []float64{0.05, 0.1, 0.15} {
+					spec := core.DefaultSpec()
+					spec.StackModules = modules
+					spec.StackInjectionRate = inj
+					g.add(fmt.Sprintf("modules=%d inj=%.2f", modules, inj), spec)
+				}
+			}
+			return g.pts
+		},
+	})
+
+	Register(Scenario{
+		Name:        "butler-vs-steered",
+		Description: "beamforming realisation against board spacing: the Butler 5 dB penalty in TX power",
+		Points: func() []Point {
+			var g grid
+			for _, butler := range []bool{true, false} {
+				for _, spacing := range []float64{0.05, 0.1, 0.15, 0.2} {
+					spec := core.DefaultSpec()
+					spec.Butler = butler
+					spec.BoardSpacingM = spacing
+					g.add(fmt.Sprintf("butler=%v spacing=%.0fmm", butler, spacing*1e3), spec)
+				}
+			}
+			return g.pts
+		},
+	})
+}
