@@ -7,10 +7,18 @@
 //	sweep list
 //	sweep run -scenario <name> [-out results.json] [-csv results.csv]
 //	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
-//	          [-timeout 10m]
+//	          [-timeout 10m] [-store dir]
 //
 // Records are deterministic for a fixed seed: running with -workers 1
 // and -workers N yields byte-identical files.
+//
+// -store points at a content-addressed result store (the same layout
+// cmd/sweepd serves from): every evaluated point is persisted there and
+// rerunning any scenario with the same seed, budget and engine version
+// reuses every already-computed point instead of evaluating it again.
+//
+// Output files are written atomically (temp file + rename), so a
+// crashed or out-of-space run never leaves a truncated results file.
 package main
 
 import (
@@ -18,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 func main() {
@@ -72,6 +82,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "root seed of the per-point random sub-streams")
 	budgetName := fs.String("budget", "analytic", "Monte-Carlo effort: analytic, smoke or standard")
 	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	storeDir := fs.String("store", "", "result store directory shared with sweepd (read-through cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +98,16 @@ func run(args []string) error {
 		return err
 	}
 
+	cfg := sweep.Config{Workers: *workers, Seed: *seed, Budget: budget}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = st
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -95,13 +116,24 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	res, err := sweep.Run(ctx, sc, sweep.Config{Workers: *workers, Seed: *seed, Budget: budget})
+	res, err := sweep.Run(ctx, sc, cfg)
+	if st != nil {
+		// Flush before reporting: a store that cannot persist what this
+		// run computed must fail the run.
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("scenario %s: %d points, budget %s, %.1fs\n",
 		res.Scenario, len(res.Records), res.Budget, time.Since(start).Seconds())
+	if st != nil {
+		fmt.Printf("store %s: %d points cached, %d computed\n",
+			*storeDir, res.CachedPoints, res.ComputedPoints)
+	}
 	for _, r := range res.Records {
 		fmt.Println(" ", r.Summary())
 	}
@@ -112,20 +144,23 @@ func run(args []string) error {
 	}
 
 	if *out != "" {
-		if err := writeJSON(*out, res); err != nil {
-			return err
-		}
-		if *out != "-" {
+		if *out == "-" {
+			if err := sweep.WriteJSON(os.Stdout, res); err != nil {
+				return err
+			}
+		} else {
+			if err := writeFileAtomic(*out, func(f *os.File) error {
+				return sweep.WriteJSON(f, res)
+			}); err != nil {
+				return err
+			}
 			fmt.Println("wrote", *out)
 		}
 	}
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := sweep.WriteCSV(f, res.Records); err != nil {
+		if err := writeFileAtomic(*csvOut, func(f *os.File) error {
+			return sweep.WriteCSV(f, res.Records)
+		}); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *csvOut)
@@ -133,16 +168,44 @@ func run(args []string) error {
 	return nil
 }
 
-func writeJSON(path string, res *sweep.Result) error {
-	if path == "-" {
-		return sweep.WriteJSON(os.Stdout, res)
-	}
-	f, err := os.Create(path)
+// writeFileAtomic streams emit into a temp file next to path and renames
+// it into place only after a successful write, sync and close — readers
+// never observe a partial file and every emitter or flush error reaches
+// the caller (and so the exit code) instead of being lost in a deferred
+// Close.
+func writeFileAtomic(path string, emit func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return sweep.WriteJSON(f, res)
+	// CreateTemp makes 0600 files; match what os.Create would have
+	// produced so other readers keep working.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := emit(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 func usage() {
@@ -152,6 +215,9 @@ usage:
   sweep list
   sweep run -scenario <name> [-out results.json] [-csv results.csv]
             [-workers N] [-seed S] [-budget analytic|smoke|standard]
-            [-timeout 10m]
+            [-timeout 10m] [-store dir]
+
+-store shares cmd/sweepd's content-addressed result store: reruns reuse
+every already-computed point instead of evaluating it again.
 `)
 }

@@ -1,0 +1,109 @@
+// Command sweepd serves the design-space exploration engine as a
+// long-running daemon: sweeps are submitted as jobs over HTTP, scheduled
+// through a priority queue with bounded concurrency, and every evaluated
+// point is persisted in a content-addressed result store, so identical
+// work is never computed twice — across jobs, restarts, and cmd/sweep
+// runs sharing the same store directory.
+//
+// Usage:
+//
+//	sweepd [-addr :8080] [-store sweep-store] [-jobs 2]
+//
+// Endpoints (see internal/service.NewHandler):
+//
+//	GET    /healthz
+//	GET    /api/v1/scenarios
+//	POST   /api/v1/jobs
+//	GET    /api/v1/jobs
+//	GET    /api/v1/jobs/{id}
+//	DELETE /api/v1/jobs/{id}
+//	GET    /api/v1/jobs/{id}/records
+//	GET    /api/v1/jobs/{id}/pareto
+//
+// SIGINT or SIGTERM triggers a graceful drain: the listener stops, every
+// queued job is cancelled, running jobs have their contexts cancelled,
+// and the store is flushed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sweep/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	storeDir := flag.String("store", "sweep-store", "result store directory ('' disables persistence)")
+	jobs := flag.Int("jobs", 2, "concurrent jobs (each parallelizes across grid points)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	if err := run(*addr, *storeDir, *jobs, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, jobs int, drain time.Duration) error {
+	opts := service.Options{JobWorkers: jobs}
+	if storeDir != "" {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("sweepd: %v", err)
+			}
+		}()
+		stats := st.Stats()
+		log.Printf("store %s: %d cached points in %d segment(s)",
+			storeDir, stats.Entries, stats.Segments)
+		opts.Cache = st
+	}
+	m := service.New(opts)
+
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     service.NewHandler(m),
+		ReadTimeout: 30 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d job workers)", addr, jobs)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		m.Shutdown(context.Background())
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (deadline %s)", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("sweepd: http shutdown: %v", err)
+	}
+	if err := m.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Print("drained")
+	return nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/sweep"
+)
+
+// ScenarioReport renders a registered sweep scenario as a report table:
+// every grid point with its three system objectives, then the Pareto
+// front. A non-nil cache (typically a *store.Store shared with
+// cmd/sweepd and cmd/sweep) makes the grid read-through: points already
+// evaluated anywhere — a figure run, a CLI sweep, a service job — are
+// reused instead of recomputed, and the report says how many were.
+func ScenarioReport(ctx context.Context, name, budget string, seed uint64, cache sweep.Cache) (string, error) {
+	sc, err := sweep.Get(name)
+	if err != nil {
+		return "", err
+	}
+	b, err := sweep.ParseBudget(budget)
+	if err != nil {
+		return "", err
+	}
+	res, err := sweep.Run(ctx, sc, sweep.Config{Seed: seed, Budget: b, Cache: cache})
+	if err != nil {
+		return "", err
+	}
+
+	var t table
+	t.title("Scenario %s — %s", res.Scenario, res.Description)
+	t.title("budget %s, seed %d, %d points (%d cached, %d computed)",
+		res.Budget, res.Seed, len(res.Records), res.CachedPoints, res.ComputedPoints)
+	t.blank()
+	for _, r := range res.Records {
+		t.row("%s", r.Summary())
+	}
+	t.blank()
+	t.title("Pareto front (TX power min, decode latency min, NoC saturation max): %d of %d",
+		len(res.ParetoIndices), len(res.Records))
+	for _, i := range res.ParetoIndices {
+		t.row("%s", res.Records[i].Summary())
+	}
+	return t.String(), nil
+}
+
+// ScenarioNames lists the sweep scenarios a report can be built for.
+func ScenarioNames() []string { return sweep.Names() }

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep/store"
+)
+
+func TestScenarioReportReadsThroughStore(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cold, err := ScenarioReport(context.Background(), "embedded-box", "analytic", 5, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"embedded-box", "Pareto front", "0 cached, 6 computed"} {
+		if !strings.Contains(cold, want) {
+			t.Fatalf("cold report missing %q:\n%s", want, firstLines(cold, 6))
+		}
+	}
+
+	warm, err := ScenarioReport(context.Background(), "embedded-box", "analytic", 5, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm, "6 cached, 0 computed") {
+		t.Fatalf("warm report recomputed points:\n%s", firstLines(warm, 6))
+	}
+	// Identical inputs, identical tables — only the cache counters line
+	// may differ between the cold and warm renderings.
+	trim := func(s string) string {
+		lines := strings.Split(s, "\n")
+		return strings.Join(append(lines[:1], lines[2:]...), "\n")
+	}
+	if trim(cold) != trim(warm) {
+		t.Error("cached report body differs from the computed one")
+	}
+
+	if _, err := ScenarioReport(context.Background(), "no-such", "analytic", 1, nil); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ScenarioReport(context.Background(), "embedded-box", "bogus", 1, nil); err == nil {
+		t.Error("unknown budget accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// NewHandler exposes a Manager over HTTP:
+//
+//	GET    /healthz                  liveness probe
+//	GET    /api/v1/scenarios         registered scenarios with grid sizes
+//	POST   /api/v1/jobs              submit a sweep (Request JSON) -> 202 JobView
+//	GET    /api/v1/jobs              all jobs in submission order
+//	GET    /api/v1/jobs/{id}         one job snapshot (poll for progress)
+//	DELETE /api/v1/jobs/{id}         cancel a queued or running job
+//	GET    /api/v1/jobs/{id}/records completed records as NDJSON, one per line
+//	GET    /api/v1/jobs/{id}/pareto  the job's Pareto-front records
+//
+// Every error is a JSON object {"error": "..."} with the obvious status:
+// 400 for bad submissions, 404 for unknown jobs, 409 for results
+// requested before completion, 503 once the manager is shut down.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/scenarios", handleScenarios)
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+		v, err := m.Submit(req)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		v, err := m.Get(id)
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+		res, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for _, rec := range res.Records {
+			if err := enc.Encode(rec); err != nil {
+				return // client went away mid-stream
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
+		res, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		front := make([]sweep.Record, 0, len(res.ParetoIndices))
+		for _, i := range res.ParetoIndices {
+			front = append(front, res.Records[i])
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"scenario": res.Scenario,
+			"seed":     res.Seed,
+			"budget":   res.Budget,
+			"front":    front,
+		})
+	})
+	return mux
+}
+
+// scenarioInfo is one row of the scenario listing.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Points      int    `json:"points"`
+}
+
+func handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, name := range sweep.Names() {
+		sc, err := sweep.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, scenarioInfo{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Points:      len(sc.Points()),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitStatus maps Submit errors: validation failures (unknown
+// scenario or budget) are the client's fault, shutdown is availability.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrShutdown) {
+		return http.StatusServiceUnavailable
+	}
+	if strings.HasPrefix(err.Error(), "sweep:") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// jobStatus maps per-job lookup errors.
+func jobStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotDone):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,430 @@
+// Package service turns the one-shot sweep executor into a long-running
+// job service: submitted sweeps wait in a priority FIFO queue, a
+// bounded-concurrency scheduler runs them through the engine (optionally
+// read-through a shared result store), and every job is observable
+// (progress counters) and cancellable (per-job contexts) while the
+// whole manager shuts down gracefully. cmd/sweepd fronts a Manager with
+// an HTTP API; see NewHandler.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request describes one sweep submission.
+type Request struct {
+	// Scenario names a registered sweep scenario.
+	Scenario string `json:"scenario"`
+	// Budget is the Monte-Carlo effort: analytic, smoke or standard
+	// (empty = analytic).
+	Budget string `json:"budget"`
+	// Seed roots the per-point deterministic sub-streams.
+	Seed uint64 `json:"seed"`
+	// Priority orders the queue: higher runs first, ties FIFO.
+	Priority int `json:"priority"`
+	// Workers bounds the job's point-evaluation pool (0 = NumCPU).
+	Workers int `json:"workers"`
+}
+
+// Progress counts a job's points by fate.
+type Progress struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Cached  int `json:"cached"`
+	Pending int `json:"pending"`
+}
+
+// JobView is an immutable snapshot of a job, safe to serialize.
+type JobView struct {
+	ID          string     `json:"id"`
+	Scenario    string     `json:"scenario"`
+	Budget      string     `json:"budget"`
+	Seed        uint64     `json:"seed"`
+	Priority    int        `json:"priority"`
+	State       State      `json:"state"`
+	Progress    Progress   `json:"progress"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the manager's mutable record of one submission.
+type job struct {
+	id       string
+	seq      uint64
+	req      Request
+	scenario sweep.Scenario
+	budget   sweep.Budget
+	total    int
+
+	// done and cached are updated from sweep workers; everything under
+	// mu is updated by the scheduler and Cancel.
+	done   atomic.Int64
+	cached atomic.Int64
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	result    *sweep.Result
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// view snapshots the job.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	done := int(j.done.Load())
+	v := JobView{
+		ID:          j.id,
+		Scenario:    j.req.Scenario,
+		Budget:      j.budget.Name,
+		Seed:        j.req.Seed,
+		Priority:    j.req.Priority,
+		State:       j.state,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		Progress: Progress{
+			Total:   j.total,
+			Done:    done,
+			Cached:  int(j.cached.Load()),
+			Pending: j.total - done,
+		},
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// Sentinel errors of the manager API.
+var (
+	ErrShutdown   = errors.New("service: manager is shut down")
+	ErrUnknownJob = errors.New("service: unknown job")
+	ErrNotDone    = errors.New("service: job has no result yet")
+)
+
+// Options tunes a Manager.
+type Options struct {
+	// JobWorkers bounds how many jobs run concurrently (default 2).
+	// Each job additionally parallelizes across grid points.
+	JobWorkers int
+	// Cache, when non-nil, is threaded into every job's sweep.Config so
+	// all jobs dedup against one shared result store.
+	Cache sweep.Cache
+	// RetainJobs caps how many jobs (and their results) the manager
+	// keeps: once exceeded, the oldest terminal jobs are evicted at the
+	// next Submit. Queued and running jobs are never evicted. Default
+	// 256; a long-lived daemon stays bounded while the result store
+	// keeps the computed points themselves forever.
+	RetainJobs int
+	// Clock stubs time.Now in tests (nil = time.Now).
+	Clock func() time.Time
+}
+
+// Manager owns the queue, the scheduler pool and the job table.
+type Manager struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// runSweep is sweep.Run, replaceable by tests that need jobs with
+	// controlled timing.
+	runSweep func(ctx context.Context, sc sweep.Scenario, cfg sweep.Config) (*sweep.Result, error)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobQueue
+	jobs   map[string]*job
+	order  []string
+	seq    uint64
+	closed bool
+}
+
+// New starts a Manager with opts.JobWorkers scheduler goroutines.
+func New(opts Options) *Manager {
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 256
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*job),
+		runSweep: sweep.Run,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < opts.JobWorkers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates the request, enqueues a job and returns its snapshot.
+func (m *Manager) Submit(req Request) (JobView, error) {
+	sc, err := sweep.Get(req.Scenario)
+	if err != nil {
+		return JobView{}, err
+	}
+	budget, err := sweep.ParseBudget(req.Budget)
+	if err != nil {
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrShutdown
+	}
+	m.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", m.seq),
+		seq:       m.seq,
+		req:       req,
+		scenario:  sc,
+		budget:    budget,
+		total:     len(sc.Points()),
+		state:     StateQueued,
+		submitted: m.opts.Clock(),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	m.queue.push(j)
+	m.cond.Signal()
+	return j.view(), nil
+}
+
+// evictLocked drops the oldest terminal jobs once the table exceeds
+// RetainJobs, keeping the daemon's memory bounded. Live (queued or
+// running) jobs are always kept, even past the cap.
+func (m *Manager) evictLocked() {
+	excess := len(m.order) - m.opts.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		evict := excess > 0 && j.state.Terminal()
+		j.mu.Unlock()
+		if evict {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return j.view(), nil
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobView, len(js))
+	for i, j := range js {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Result returns the completed sweep of a done job.
+func (m *Manager) Result(id string) (*sweep.Result, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("%w (%s is %s)", ErrNotDone, id, j.state)
+	}
+	return j.result, nil
+}
+
+// Cancel stops a job: a queued job is marked cancelled before it ever
+// runs, a running job has its context cancelled. Cancelling a job that
+// already reached a terminal state is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.finished = m.opts.Clock()
+	case StateRunning:
+		j.cancel()
+	}
+	return nil
+}
+
+// Shutdown stops the manager: no new submissions, every queued job is
+// cancelled, every running job's context is cancelled, and the call
+// blocks until the scheduler pool drains or ctx expires. It is
+// idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	for j := m.queue.pop(); j != nil; j = m.queue.pop() {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCancelled
+			j.errMsg = "cancelled at shutdown"
+			j.finished = m.opts.Clock()
+		}
+		j.mu.Unlock()
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+// worker is one scheduler goroutine: it pops the highest-priority job
+// and drives it to a terminal state.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for m.queue.Len() == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.queue.Len() == 0 && m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue.pop()
+		m.mu.Unlock()
+		m.run(j)
+	}
+}
+
+// run executes one job through the sweep engine.
+func (m *Manager) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = m.opts.Clock()
+	j.mu.Unlock()
+	defer cancel()
+
+	res, err := func() (res *sweep.Result, err error) {
+		// A panicking point evaluation (sweep.Map re-raises worker
+		// panics) must fail this job, not take down the scheduler
+		// goroutine and with it the whole daemon.
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+			}
+		}()
+		return m.runSweep(ctx, j.scenario, sweep.Config{
+			Workers: j.req.Workers,
+			Seed:    j.req.Seed,
+			Budget:  j.budget,
+			Cache:   m.opts.Cache,
+			OnPoint: func(_ int, cached bool) {
+				j.done.Add(1)
+				if cached {
+					j.cached.Add(1)
+				}
+			},
+		})
+	}()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = m.opts.Clock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case ctx.Err() != nil:
+		j.state = StateCancelled
+		j.errMsg = "cancelled: " + ctx.Err().Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}

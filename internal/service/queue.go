@@ -1,0 +1,41 @@
+package service
+
+import "container/heap"
+
+// jobQueue is a priority FIFO: higher Priority pops first, ties break by
+// submission order. It holds *job values owned by the Manager; all
+// access happens under the Manager's mutex.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].req.Priority != q[j].req.Priority {
+		return q[i].req.Priority > q[j].req.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// push enqueues a job.
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+
+// pop dequeues the highest-priority, oldest job, or nil when empty.
+func (q *jobQueue) pop() *job {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*job)
+}

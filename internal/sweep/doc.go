@@ -28,4 +28,17 @@
 // cmd/sweep exposes the registry and executor on the command line;
 // internal/experiments routes its figure grids through Map so the
 // paper's curves parallelize the same way.
+//
+// Above the engine sits a serving layer, split in two. The store half
+// (sweep/store) owns persistence: every evaluated point is addressed by
+// PointKey — a canonical hash of (engine version, scenario, point,
+// budget, seed) — and kept in append-only JSON-lines segments, so any
+// rerun, crash recovery or budget upgrade reuses every point already
+// computed anywhere. The service half (internal/service) owns
+// scheduling: a priority FIFO queue and a bounded-concurrency job
+// manager drive sweeps through Run with per-job cancellation and
+// progress counters, reading through the shared store. The split keeps
+// responsibilities disjoint — the store never runs a sweep and the
+// service never touches disk — and lets cmd/sweep (one-shot CLI) and
+// cmd/sweepd (HTTP daemon) share one cache via Config.Cache.
 package sweep

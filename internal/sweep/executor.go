@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,10 @@ import (
 // Map stops handing out new indices once ctx is cancelled and returns
 // ctx.Err() alongside the partial results (slots never reached hold the
 // zero value of T). workers <= 0 selects runtime.NumCPU().
+//
+// A panic inside fn does not deadlock the pool: the remaining workers
+// drain, and the first panic is re-raised on the caller's goroutine as
+// a *PanicError carrying the original value and the worker's stack.
 func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -31,14 +36,31 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, err
 		return out, ctx.Err()
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+		panicStk []byte
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+						panicStk = debug.Stack()
+					}
+					panicMu.Unlock()
+					panicked.Store(true)
+				}
+			}()
 			for {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || panicked.Load() {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -50,7 +72,32 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, err
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(&PanicError{Value: panicVal, Stack: panicStk})
+	}
 	return out, ctx.Err()
+}
+
+// PanicError is what Map re-panics with after a worker panic: the
+// original value survives for callers that recover and inspect it, and
+// the worker's stack survives for the crash report.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep.Map: fn panicked: %v\n\nworker stack:\n%s", e.Value, e.Stack)
+}
+
+// Cache is the executor's per-point read-through hook. Get returns the
+// record previously stored under a PointKey; Put stores a freshly
+// evaluated one. Both must be safe for concurrent use — the executor
+// calls them from every worker. Records pass through a Cache before
+// Pareto marking, so implementations see Pareto: false on every record.
+type Cache interface {
+	Get(key string) (Record, bool)
+	Put(key string, rec Record)
 }
 
 // Config parameterises a scenario sweep.
@@ -62,6 +109,14 @@ type Config struct {
 	Seed uint64
 	// Budget controls the Monte-Carlo effort spent per point.
 	Budget Budget
+	// Cache, when non-nil, is consulted before evaluating each point
+	// and filled after: rerunning a scenario reuses every point whose
+	// key (scenario, point, budget, seed, engine version) is present.
+	Cache Cache
+	// OnPoint, when non-nil, is called once per finished point with its
+	// grid index and whether it was served from the Cache. It runs on
+	// worker goroutines and must be safe for concurrent use.
+	OnPoint func(index int, cached bool)
 }
 
 // Result is the structured outcome of one scenario sweep.
@@ -75,6 +130,11 @@ type Result struct {
 	// (TxPowerDBm min, DecodeLatencyBits min, NoCSaturation max), in
 	// record order. The same records carry Pareto: true.
 	ParetoIndices []int `json:"pareto_indices"`
+	// CachedPoints and ComputedPoints split the grid by how each record
+	// was obtained (cache hit versus fresh evaluation); they sum to
+	// len(Records). Without a Cache every point counts as computed.
+	CachedPoints   int `json:"cached_points"`
+	ComputedPoints int `json:"computed_points"`
 }
 
 // Run executes the scenario's grid through the parallel executor and
@@ -85,20 +145,44 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sweep: scenario %q generates no points", sc.Name)
 	}
 	root := rng.New(cfg.Seed)
+	var cached atomic.Int64
 	recs, err := Map(ctx, len(pts), cfg.Workers, func(i int) Record {
+		var key string
+		if cfg.Cache != nil {
+			key = PointKey(sc.Name, pts[i], cfg.Budget, cfg.Seed)
+			if rec, ok := cfg.Cache.Get(key); ok {
+				cached.Add(1)
+				// The front is a property of the sweep, not the point;
+				// recompute it below whatever the stored flag says.
+				rec.Pareto = false
+				if cfg.OnPoint != nil {
+					cfg.OnPoint(i, true)
+				}
+				return rec
+			}
+		}
 		// Split is a pure function of (root seed, index): every point
 		// gets the same sub-stream no matter which worker runs it.
-		return Evaluate(sc.Name, pts[i], root.Split(uint64(i)+1), cfg.Budget)
+		rec := Evaluate(sc.Name, pts[i], root.Split(uint64(i)+1), cfg.Budget)
+		if cfg.Cache != nil {
+			cfg.Cache.Put(key, rec)
+		}
+		if cfg.OnPoint != nil {
+			cfg.OnPoint(i, false)
+		}
+		return rec
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Scenario:    sc.Name,
-		Description: sc.Description,
-		Seed:        cfg.Seed,
-		Budget:      cfg.Budget.Name,
-		Records:     recs,
+		Scenario:       sc.Name,
+		Description:    sc.Description,
+		Seed:           cfg.Seed,
+		Budget:         cfg.Budget.Name,
+		Records:        recs,
+		CachedPoints:   int(cached.Load()),
+		ComputedPoints: len(recs) - int(cached.Load()),
 	}
 	res.ParetoIndices = MarkPareto(res.Records)
 	return res, nil

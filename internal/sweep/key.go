@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// EngineVersion names the evaluation semantics of this package. Any
+// change that alters the records produced for a fixed (scenario, point,
+// budget, seed) — a new pipeline stage, a different sub-stream layout, a
+// model fix — must bump it, so stale store entries miss instead of
+// silently serving results the current engine would not reproduce.
+const EngineVersion = 2
+
+// keyEnvelope is the canonical content of a point's address. Marshalled
+// with encoding/json the field order is fixed by declaration order, so
+// equal inputs hash identically across processes and platforms.
+type keyEnvelope struct {
+	Engine   int    `json:"engine"`
+	Scenario string `json:"scenario"`
+	Point    Point  `json:"point"`
+	Budget   Budget `json:"budget"`
+	Seed     uint64 `json:"seed"`
+}
+
+// PointKey returns the content address of one evaluated design point:
+// the hex SHA-256 of the canonical JSON of (engine version, scenario,
+// point, budget, sweep seed). Everything Evaluate's output depends on is
+// in the envelope — the point's sub-stream is a pure function of (seed,
+// point index) — so a key collision means the records are identical and
+// a key change means the point must be recomputed.
+func PointKey(scenario string, pt Point, b Budget, seed uint64) string {
+	env, err := json.Marshal(keyEnvelope{
+		Engine:   EngineVersion,
+		Scenario: scenario,
+		Point:    pt,
+		Budget:   b,
+		Seed:     seed,
+	})
+	if err != nil {
+		// Point and Budget are plain data; Marshal cannot fail on them.
+		panic("sweep: point key envelope: " + err.Error())
+	}
+	sum := sha256.Sum256(env)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// BenchmarkStoreGetPut times the store's two hot operations: appending a
+// fresh entry and serving an indexed one.
+func BenchmarkStoreGetPut(b *testing.B) {
+	b.Run("put", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		rec := testRecord(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Put(fmt.Sprintf("bench-%d", i), rec)
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		const n = 1024
+		for i := 0; i < n; i++ {
+			s.Put(fmt.Sprintf("bench-%d", i), testRecord(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.Get(fmt.Sprintf("bench-%d", i%n)); !ok {
+				b.Fatal("indexed key missed")
+			}
+		}
+	})
+}
+
+// BenchmarkSweepWarmVsCold contrasts a paper-baseline sweep that misses
+// the store on every point (cold) with one that hits on every point
+// (warm) — the cache-hit speedup the serving layer is built around.
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	sc, err := sweep.Get("paper-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh seed per iteration changes every point key, so
+			// each sweep evaluates the full grid.
+			res, err := sweep.Run(context.Background(), sc,
+				sweep.Config{Seed: uint64(i) + 1000, Budget: sweep.AnalyticBudget(), Cache: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CachedPoints != 0 {
+				b.Fatal("cold sweep hit the cache")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		cfg := sweep.Config{Seed: 1, Budget: sweep.AnalyticBudget(), Cache: s}
+		if _, err := sweep.Run(context.Background(), sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(context.Background(), sc, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ComputedPoints != 0 {
+				b.Fatal("warm sweep recomputed points")
+			}
+		}
+	})
+}

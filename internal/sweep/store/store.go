@@ -1,0 +1,292 @@
+// Package store persists evaluated sweep points in a content-addressed,
+// crash-tolerant result store, so every design point is computed once
+// per (scenario, point, budget, seed, engine version) no matter how many
+// sweeps, CLI runs or service jobs ask for it.
+//
+// Layout on disk: a store directory holds append-only JSON-lines
+// segments named seg-NNNNNN.jsonl. Each line is one entry
+// {"key": "<hex sha-256>", "record": {...}}; the key is
+// sweep.PointKey of the inputs and the record is the evaluated
+// sweep.Record. Open replays every segment into an in-memory index
+// (last write wins, though dedup makes duplicates rare), then appends
+// new entries to the highest segment, rotating once it passes the
+// segment size limit. A torn final line — the signature of a crash
+// mid-append — is skipped on replay, so a store survives its writer.
+//
+// Store implements sweep.Cache; plug it into sweep.Config.Cache and a
+// rerun of any scenario reuses every already-computed point.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+)
+
+// DefaultSegmentBytes bounds a segment file before rotation.
+const DefaultSegmentBytes = 8 << 20
+
+// entry is one persisted line: a content address and its record.
+type entry struct {
+	Key    string       `json:"key"`
+	Record sweep.Record `json:"record"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Entries  int   // distinct keys in the index
+	Segments int   // segment files on disk
+	Hits     int64 // Get calls that found their key
+	Misses   int64 // Get calls that did not
+	Puts     int64 // Put calls that appended a new entry
+	Replayed int   // entries loaded from disk by Open
+	Skipped  int   // malformed lines ignored by Open
+}
+
+// Store is a content-addressed result store. It is safe for concurrent
+// use by any number of goroutines.
+type Store struct {
+	dir      string
+	segLimit int64
+
+	hits, misses, puts atomic.Int64
+
+	mu         sync.RWMutex
+	index      map[string]sweep.Record
+	active     *os.File
+	activeSize int64
+	activeSeq  int
+	segments   int
+	replayed   int
+	skipped    int
+	closed     bool
+	writeErr   error
+}
+
+// Open creates or reopens the store rooted at dir with default options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions creates or reopens the store rooted at dir, replaying
+// every existing segment into the in-memory index.
+func OpenOptions(dir string, o Options) (*Store, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		segLimit: o.SegmentBytes,
+		index:    make(map[string]sweep.Record),
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		if err := s.replay(seg); err != nil {
+			return nil, err
+		}
+	}
+	s.segments = len(segs)
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fmt.Sscanf(filepath.Base(last), "seg-%06d.jsonl", &s.activeSeq)
+		st, err := os.Stat(last)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if st.Size() < s.segLimit {
+			f, err := os.OpenFile(last, os.O_RDWR|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			s.active = f
+			s.activeSize = st.Size()
+			// A torn tail (crash mid-append) leaves the segment without
+			// a final newline; terminate it so the next entry starts on
+			// its own line instead of merging into the garbage.
+			if st.Size() > 0 {
+				tail := make([]byte, 1)
+				if _, err := f.ReadAt(tail, st.Size()-1); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("store: %w", err)
+				}
+				if tail[0] != '\n' {
+					n, err := f.Write([]byte{'\n'})
+					if err != nil {
+						f.Close()
+						return nil, fmt.Errorf("store: %w", err)
+					}
+					s.activeSize += int64(n)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// replay loads one segment into the index. Malformed lines — a torn
+// tail from a crashed writer, or manual edits — are counted and
+// skipped, never fatal: losing an entry only costs a recompute.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			s.skipped++
+			continue
+		}
+		s.index[e.Key] = e.Record
+		s.replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get returns the record stored under key. It implements sweep.Cache.
+func (s *Store) Get(key string) (sweep.Record, bool) {
+	s.mu.RLock()
+	rec, ok := s.index[key]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return rec, ok
+}
+
+// Put appends the record under key, deduplicating: a key already in the
+// index is left untouched, so re-putting an identical point is free. It
+// implements sweep.Cache. Persistence errors cannot be surfaced through
+// the Cache interface; the entry stays served from memory and the error
+// is reported by the next Close.
+func (s *Store) Put(key string, rec sweep.Record) {
+	// Marshal outside the lock: encoding is the expensive part of a
+	// Put, and holding the mutex across it would serialize every sweep
+	// worker behind one encoder.
+	line, merr := json.Marshal(entry{Key: key, Record: rec})
+	if merr == nil {
+		line = append(line, '\n')
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[key]; dup {
+		return
+	}
+	s.index[key] = rec
+	s.puts.Add(1)
+	if s.closed {
+		return
+	}
+	if merr != nil {
+		s.writeErr = merr
+		return
+	}
+	if s.active == nil || s.activeSize >= s.segLimit {
+		if err := s.rotateLocked(); err != nil {
+			s.writeErr = err
+			return
+		}
+	}
+	n, err := s.active.Write(line)
+	s.activeSize += int64(n)
+	if err != nil {
+		s.writeErr = err
+	}
+}
+
+// rotateLocked closes the active segment and opens the next one.
+func (s *Store) rotateLocked() error {
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	s.activeSeq++
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", s.activeSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = f
+	s.activeSize = 0
+	s.segments++
+	return nil
+}
+
+// Len returns the number of distinct keys in the index.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Entries:  len(s.index),
+		Segments: s.segments,
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Puts:     s.puts.Load(),
+		Replayed: s.replayed,
+		Skipped:  s.skipped,
+	}
+}
+
+// Close flushes and closes the active segment, returning any write
+// error deferred by Put. The store keeps serving Gets from memory
+// afterwards; further Puts become memory-only.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	err := s.writeErr
+	if s.active != nil {
+		if serr := s.active.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := s.active.Close(); err == nil {
+			err = cerr
+		}
+		s.active = nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}

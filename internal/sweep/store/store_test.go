@@ -1,0 +1,266 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+func testRecord(i int) sweep.Record {
+	return sweep.Record{
+		Scenario: "t", Index: i, Label: "p", Spec: core.DefaultSpec(),
+		TxPowerDBm: 1.5 + float64(i), DecodeLatencyBits: 200,
+		NoCSaturation: 0.25, Topology: "2D mesh 4x4",
+	}
+}
+
+func TestPutGetAndDedup(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty store returned a record")
+	}
+	rec := testRecord(0)
+	s.Put("k0", rec)
+	s.Put("k0", testRecord(99)) // dup: first write wins
+	got, ok := s.Get("k0")
+	if !ok {
+		t.Fatal("stored key missing")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("got %+v, want %+v", got, rec)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenReplaysSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{SegmentBytes: 512}) // force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Put(key(i), testRecord(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", s.Stats().Segments)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := r.Get(key(i))
+		if !ok || !reflect.DeepEqual(got, testRecord(i)) {
+			t.Fatalf("entry %d lost or changed across reopen", i)
+		}
+	}
+	if r.Stats().Replayed != n {
+		t.Fatalf("replayed %d, want %d", r.Stats().Replayed, n)
+	}
+}
+
+func key(i int) string {
+	return sweep.PointKey("t", sweep.Point{Index: i, Label: "p", Spec: core.DefaultSpec()},
+		sweep.AnalyticBudget(), uint64(i))
+}
+
+func TestTornTailIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key(0), testRecord(0))
+	s.Put(key(1), testRecord(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a half-written JSON line at the tail.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 1 {
+		t.Fatalf("have %d segments, want 1", len(segs))
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","record":{"scena`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail broke Open: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after torn tail, want 2", r.Len())
+	}
+	if r.Stats().Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", r.Stats().Skipped)
+	}
+	// The store must stay writable after replaying a torn segment.
+	r.Put(key(2), testRecord(2))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 3 {
+		t.Fatalf("Len = %d after post-crash write, want 3", r2.Len())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Put(key(i), testRecord(i))
+				s.Get(key((i + w) % 50))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", s.Len())
+	}
+}
+
+// TestWarmStartZeroRecompute is the subsystem's acceptance test: the
+// second run of a scenario against the same store computes zero new
+// points — every record is a cache hit and the rendered records are
+// byte-identical to the cold run's.
+func TestWarmStartZeroRecompute(t *testing.T) {
+	dir := t.TempDir()
+	sc, err := sweep.Get("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := len(sc.Points())
+
+	run := func() (*sweep.Result, Stats) {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		res, err := sweep.Run(context.Background(), sc,
+			sweep.Config{Seed: 7, Budget: sweep.AnalyticBudget(), Cache: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Stats()
+	}
+
+	cold, coldStats := run()
+	if cold.ComputedPoints != grid || cold.CachedPoints != 0 {
+		t.Fatalf("cold run: computed %d cached %d, want %d/0",
+			cold.ComputedPoints, cold.CachedPoints, grid)
+	}
+	if coldStats.Puts != int64(grid) {
+		t.Fatalf("cold run stored %d entries, want %d", coldStats.Puts, grid)
+	}
+
+	warm, warmStats := run()
+	if warm.CachedPoints != grid || warm.ComputedPoints != 0 {
+		t.Fatalf("warm run: cached %d computed %d, want %d/0",
+			warm.CachedPoints, warm.ComputedPoints, grid)
+	}
+	if warmStats.Puts != 0 {
+		t.Fatalf("warm run appended %d entries, want 0", warmStats.Puts)
+	}
+
+	// The rendered records must be byte-identical; only the cache
+	// counters of the envelope may differ between the two runs.
+	if !bytes.Equal(recordsJSON(t, cold), recordsJSON(t, warm)) {
+		t.Fatal("warm-run records are not byte-identical to the cold run")
+	}
+	if !reflect.DeepEqual(cold.ParetoIndices, warm.ParetoIndices) {
+		t.Fatalf("pareto front changed: %v vs %v", cold.ParetoIndices, warm.ParetoIndices)
+	}
+}
+
+func recordsJSON(t *testing.T, res *sweep.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSeedOrBudgetChangesMiss pins the key discipline: a different seed
+// or budget must not serve stale records.
+func TestSeedOrBudgetChangesMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc, err := sweep.Get("embedded-box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := len(sc.Points())
+	res, err := sweep.Run(context.Background(), sc,
+		sweep.Config{Seed: 1, Budget: sweep.AnalyticBudget(), Cache: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputedPoints != grid {
+		t.Fatalf("cold run computed %d, want %d", res.ComputedPoints, grid)
+	}
+	res, err = sweep.Run(context.Background(), sc,
+		sweep.Config{Seed: 2, Budget: sweep.AnalyticBudget(), Cache: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedPoints != 0 {
+		t.Fatalf("seed change hit the cache %d times", res.CachedPoints)
+	}
+}

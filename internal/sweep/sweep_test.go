@@ -3,6 +3,8 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -22,6 +24,65 @@ func TestMapOrderedAndComplete(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
 		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) int {
+		t.Error("fn called for an empty grid")
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty Map returned %d slots", len(got))
+	}
+}
+
+func TestMapMoreWorkersThanPoints(t *testing.T) {
+	got, err := Map(context.Background(), 3, 64, func(i int) int { return i + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestMapPanicPropagatesWithoutDeadlock(t *testing.T) {
+	// A panicking fn must not strand the other workers or hang the
+	// caller; the original panic value must resurface on this goroutine.
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Map(context.Background(), 100, 4, func(i int) int {
+			if i == 13 {
+				panic("boom at point 13")
+			}
+			return i
+		})
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("panicking Map returned normally")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("repanic value is %T, want *PanicError", r)
+		}
+		if pe.Value != "boom at point 13" {
+			t.Fatalf("repanic lost the original value: %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "worker stack") {
+			t.Fatalf("repanic lost the worker stack: %.80s", pe.Error())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Map deadlocked after a worker panic")
 	}
 }
 
@@ -209,6 +270,78 @@ func TestWriteCSVShape(t *testing.T) {
 	}
 	if n, m := len(strings.Split(lines[0], ",")), len(strings.Split(lines[1], ",")); n != m {
 		t.Errorf("header has %d columns, row has %d", n, m)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	// Smoke budget exercises every Record field, including the
+	// Monte-Carlo ones with awkward floats.
+	sc, err := Get("butler-vs-steered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := SmokeBudget()
+	budget.BERMaxCodewords = 64
+	budget.NoCMeasureCycles = 400
+	res, err := Run(context.Background(), sc, Config{Seed: 9, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output did not re-parse: %v", err)
+	}
+	if len(back.Records) != len(res.Records) {
+		t.Fatalf("round trip kept %d of %d records", len(back.Records), len(res.Records))
+	}
+	for i := range res.Records {
+		if back.Records[i] != res.Records[i] {
+			t.Fatalf("record %d changed across the round trip:\n got %+v\nwant %+v",
+				i, back.Records[i], res.Records[i])
+		}
+	}
+	// Serializing the re-parsed result must reproduce the bytes: the
+	// emitter's float formatting round-trips exactly.
+	var again bytes.Buffer
+	if err := WriteJSON(&again, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("re-serialized result is not byte-identical")
+	}
+}
+
+func TestWriteCSVQuotesCommaLabels(t *testing.T) {
+	recs := []Record{
+		{Scenario: "s", Index: 0, Label: `lat=100, butler="true"`, Topology: "mesh, folded"},
+		{Scenario: "s", Index: 1, Label: "plain"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV with comma labels did not re-parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want header + 2", len(rows))
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(row), len(rows[0]))
+		}
+	}
+	if got := rows[1][2]; got != `lat=100, butler="true"` {
+		t.Errorf("comma label round-tripped as %q", got)
+	}
+	if got := rows[1][17]; got != "mesh, folded" {
+		t.Errorf("comma topology round-tripped as %q", got)
 	}
 }
 
