@@ -64,13 +64,22 @@ func main() {
 
 func list() {
 	fmt.Println("registered scenarios:")
+	fmt.Print(scenarioCatalog())
+}
+
+// scenarioCatalog renders the registry one scenario per line — shared
+// by 'sweep list' and the unknown-scenario error, so the user who
+// mistyped a name sees exactly what they could have written.
+func scenarioCatalog() string {
+	var sb strings.Builder
 	for _, name := range sweep.Names() {
 		sc, err := sweep.Get(name)
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  %-20s %3d points  %s\n", name, len(sc.Points()), sc.Description)
+		fmt.Fprintf(&sb, "  %-20s %3d points  %s\n", name, len(sc.Points()), sc.Description)
 	}
+	return sb.String()
 }
 
 func run(args []string) error {
@@ -91,7 +100,7 @@ func run(args []string) error {
 	}
 	sc, err := sweep.Get(*scenario)
 	if err != nil {
-		return err
+		return fmt.Errorf("unknown scenario %q; known scenarios:\n%s", *scenario, scenarioCatalog())
 	}
 	budget, err := sweep.ParseBudget(*budgetName)
 	if err != nil {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestRunUnknownScenarioListsCatalog: mistyping -scenario must fail
+// with every registered scenario named, so the user can correct the
+// invocation without a second round trip through 'sweep list'.
+func TestRunUnknownScenarioListsCatalog(t *testing.T) {
+	err := run([]string{"-scenario", "no-such-scenario"})
+	if err == nil {
+		t.Fatal("run with unknown scenario succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-scenario"`) {
+		t.Errorf("error does not echo the bad name: %s", msg)
+	}
+	for _, name := range sweep.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list known scenario %q: %s", name, msg)
+		}
+	}
+}
+
+func TestRunMissingScenarioFlag(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("missing -scenario error = %v", err)
+	}
+}
+
+// TestUnknownScenarioExitCode re-executes the test binary as the sweep
+// CLI to pin the process-level contract: exit status 1 and the catalog
+// on stderr.
+func TestUnknownScenarioExitCode(t *testing.T) {
+	if os.Getenv("SWEEP_MAIN_TEST") == "1" {
+		os.Args = []string{"sweep", "run", "-scenario", "no-such-scenario"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestUnknownScenarioExitCode")
+	cmd.Env = append(os.Environ(), "SWEEP_MAIN_TEST=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err = %v", err)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, name := range sweep.Names() {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("stderr does not list known scenario %q:\n%s", name, stderr.String())
+		}
+	}
+}

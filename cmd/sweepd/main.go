@@ -8,8 +8,17 @@
 // Usage:
 //
 //	sweepd [-addr :8080] [-store sweep-store] [-jobs 2]
+//	       [-distributed] [-local-workers 1] [-chunk 4] [-lease-ttl 30s]
 //
-// Endpoints (see internal/service.NewHandler):
+// With -distributed, jobs are not evaluated in-process: they are cut
+// into chunks of -chunk grid points and served to sweepworker processes
+// over lease/heartbeat/complete endpoints. A worker that dies mid-chunk
+// stops heartbeating, its lease expires after -lease-ttl, and the chunk
+// is re-queued. -local-workers N keeps N in-process workers draining
+// the same queue — the fallback that lets a distributed daemon complete
+// jobs before any remote worker connects (0 = pure remote fleet).
+//
+// Endpoints (see internal/service.NewHandler and docs/api.md):
 //
 //	GET    /healthz
 //	GET    /api/v1/scenarios
@@ -19,6 +28,11 @@
 //	DELETE /api/v1/jobs/{id}
 //	GET    /api/v1/jobs/{id}/records
 //	GET    /api/v1/jobs/{id}/pareto
+//	POST   /api/v1/workers/lease
+//	POST   /api/v1/workers/leases/{id}/heartbeat
+//	POST   /api/v1/workers/leases/{id}/complete
+//	POST   /api/v1/workers/leases/{id}/fail
+//	GET    /api/v1/workers
 //
 // SIGINT or SIGTERM triggers a graceful drain: the listener stops, every
 // queued job is cancelled, running jobs have their contexts cancelled,
@@ -41,21 +55,44 @@ import (
 	"repro/internal/sweep/store"
 )
 
+// config collects the daemon's flag values.
+type config struct {
+	addr         string
+	storeDir     string
+	jobs         int
+	drain        time.Duration
+	distributed  bool
+	localWorkers int
+	chunk        int
+	leaseTTL     time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	storeDir := flag.String("store", "sweep-store", "result store directory ('' disables persistence)")
-	jobs := flag.Int("jobs", 2, "concurrent jobs (each parallelizes across grid points)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	var c config
+	flag.StringVar(&c.addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&c.storeDir, "store", "sweep-store", "result store directory ('' disables persistence)")
+	flag.IntVar(&c.jobs, "jobs", 2, "concurrent jobs (each parallelizes across grid points)")
+	flag.DurationVar(&c.drain, "drain", 30*time.Second, "graceful shutdown deadline")
+	flag.BoolVar(&c.distributed, "distributed", false, "serve jobs to sweepworker processes instead of evaluating in-process")
+	flag.IntVar(&c.localWorkers, "local-workers", 1, "in-process workers draining the distributed queue (0 = pure remote fleet; ignored without -distributed)")
+	flag.IntVar(&c.chunk, "chunk", 4, "grid points per worker lease (with -distributed)")
+	flag.DurationVar(&c.leaseTTL, "lease-ttl", 30*time.Second, "how long a dead worker's chunk stays leased before re-queueing")
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *jobs, *drain); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, jobs int, drain time.Duration) error {
-	opts := service.Options{JobWorkers: jobs}
+func run(c config) error {
+	addr, storeDir, jobs, drain := c.addr, c.storeDir, c.jobs, c.drain
+	opts := service.Options{
+		JobWorkers:  jobs,
+		Distributed: c.distributed,
+		ChunkPoints: c.chunk,
+		LeaseTTL:    c.leaseTTL,
+	}
 	if storeDir != "" {
 		st, err := store.Open(storeDir)
 		if err != nil {
@@ -72,6 +109,28 @@ func run(addr, storeDir string, jobs int, drain time.Duration) error {
 		opts.Cache = st
 	}
 	m := service.New(opts)
+
+	// Local-workers fallback: in-process RunWorker loops drain the same
+	// lease queue remote sweepworkers do, through the same code path, so
+	// a distributed daemon completes jobs even before (or without) any
+	// remote worker connecting.
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	if c.distributed && c.localWorkers > 0 {
+		log.Printf("distributed mode: chunk %d points, lease TTL %s, %d local worker(s)",
+			c.chunk, c.leaseTTL, c.localWorkers)
+		for i := 0; i < c.localWorkers; i++ {
+			name := fmt.Sprintf("local-%d", i)
+			go func() {
+				if err := service.RunWorker(workerCtx, m, service.WorkerOptions{
+					Name: name,
+					Poll: 100 * time.Millisecond,
+				}); err != nil && !errors.Is(err, context.Canceled) {
+					log.Printf("sweepd: %s: %v", name, err)
+				}
+			}()
+		}
+	}
 
 	srv := &http.Server{
 		Addr:        addr,

@@ -1,0 +1,72 @@
+// Command sweepworker is one member of a distributed sweep fleet: it
+// connects to a sweepd daemon running in -distributed mode, leases
+// chunks of pending sweep jobs over HTTP, evaluates them with the
+// in-binary sweep engine, and posts the records back for the daemon to
+// persist and fold into job progress.
+//
+// Usage:
+//
+//	sweepworker -daemon http://host:8080 [-name id] [-poll 500ms] [-workers N]
+//
+// Scale-out is a deployment knob, not a correctness one: because every
+// grid point's random sub-stream is a pure function of (sweep seed,
+// point index), an N-worker fleet produces records byte-identical to a
+// single-node run. Workers hold no state — killing one mid-chunk only
+// delays that chunk until its lease expires and another worker (or a
+// restarted one) picks it up.
+//
+// The worker refuses to serve a daemon whose sweep.EngineVersion or
+// scenario registry differs from its own build (exit 1): a mismatched
+// worker could silently produce records the daemon's version would not
+// reproduce.
+//
+// SIGINT or SIGTERM stops leasing and abandons the in-flight chunk; its
+// lease expires at the daemon and the chunk is re-queued.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	daemon := flag.String("daemon", "http://localhost:8080", "base URL of the sweepd daemon")
+	name := flag.String("name", "", "worker name in leases and the fleet view (default hostname-pid)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease attempts")
+	workers := flag.Int("workers", runtime.NumCPU(), "local evaluation pool per chunk")
+	flag.Parse()
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("worker %s: serving %s (%d-way evaluation, poll %s)", *name, *daemon, *workers, *poll)
+	err := service.RunWorker(ctx, service.NewClient(*daemon), service.WorkerOptions{
+		Name:    *name,
+		Poll:    *poll,
+		Workers: *workers,
+		Logger:  log.Default(),
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweepworker:", err)
+		os.Exit(1)
+	}
+	log.Printf("worker %s: stopped", *name)
+}

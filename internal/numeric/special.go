@@ -4,8 +4,9 @@
 // quadrature rules and linear least squares.
 //
 // Everything is deterministic and allocation-conscious; optimisers accept
-// plain func objectives so they can be reused across the information-rate,
-// filter-design and link-budget modules.
+// plain func objectives so they can be reused across the information-rate
+// (paper Sec. III), filter-design (Sec. III) and link-budget (Sec. II,
+// Fig. 4) modules.
 package numeric
 
 import "math"

@@ -3,7 +3,12 @@
 //
 // Every experiment in the library takes an explicit seed; parallel workers
 // derive independent sub-streams with Split, so results do not depend on
-// scheduling order or worker count.
+// scheduling order or worker count. Split is a pure function of (seed, n)
+// — no shared state — which is the root of the repository-wide
+// determinism contract (see ARCHITECTURE.md): the paper's BER curves
+// (Fig. 10), NoC simulations (Fig. 8) and every design-space sweep
+// reproduce byte-identically on one goroutine, many, or a distributed
+// worker fleet.
 package rng
 
 import (

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Client implements WorkerAPI over sweepd's HTTP worker endpoints, so a
+// cmd/sweepworker process anywhere on the network runs the same
+// RunWorker loop as the daemon's in-process fallback workers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a worker client for the daemon at base
+// (e.g. "http://sweepd:8080").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Lease implements WorkerAPI.
+func (c *Client) Lease(worker string) (Lease, bool, error) {
+	body, _ := json.Marshal(map[string]string{"worker": worker})
+	resp, err := c.hc.Post(c.base+"/api/v1/workers/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Lease{}, false, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return Lease{}, false, fmt.Errorf("service: lease response: %w", err)
+		}
+		return l, true, nil
+	case http.StatusNoContent:
+		return Lease{}, false, nil
+	default:
+		return Lease{}, false, httpError("lease", resp)
+	}
+}
+
+// Heartbeat implements WorkerAPI.
+func (c *Client) Heartbeat(leaseID string) (time.Duration, error) {
+	resp, err := c.hc.Post(c.base+"/api/v1/workers/leases/"+leaseID+"/heartbeat", "application/json", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var v struct {
+			TTLSeconds float64 `json:"ttl_seconds"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return 0, fmt.Errorf("service: heartbeat response: %w", err)
+		}
+		return time.Duration(v.TTLSeconds * float64(time.Second)), nil
+	case http.StatusGone:
+		return 0, ErrLeaseGone
+	default:
+		return 0, httpError("heartbeat", resp)
+	}
+}
+
+// Complete implements WorkerAPI.
+func (c *Client) Complete(leaseID string, recs []sweep.Record) error {
+	body, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		return fmt.Errorf("service: encode records: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/api/v1/workers/leases/"+leaseID+"/complete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	case http.StatusUnprocessableEntity:
+		return fmt.Errorf("%w: %s", ErrBadRecords, bodyError(resp))
+	default:
+		return httpError("complete", resp)
+	}
+}
+
+// FailLease implements WorkerAPI.
+func (c *Client) FailLease(leaseID, reason string) error {
+	body, _ := json.Marshal(map[string]string{"error": reason})
+	resp, err := c.hc.Post(c.base+"/api/v1/workers/leases/"+leaseID+"/fail", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return httpError("fail", resp)
+	}
+}
+
+// drain finishes and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// bodyError extracts the {"error": "..."} payload, falling back to the
+// raw body.
+func bodyError(resp *http.Response) string {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var v struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &v) == nil && v.Error != "" {
+		return v.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+func httpError(op string, resp *http.Response) error {
+	return fmt.Errorf("service: %s: %s: %s", op, resp.Status, bodyError(resp))
+}

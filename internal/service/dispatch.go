@@ -1,0 +1,492 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Sentinel errors of the worker-facing dispatch API.
+var (
+	// ErrLeaseGone means the lease id is unknown or belongs to a
+	// cancelled job: the worker should drop the chunk and lease again.
+	ErrLeaseGone = errors.New("service: lease gone")
+	// ErrBadRecords means a completion's records do not match the leased
+	// chunk (wrong count, index or scenario).
+	ErrBadRecords = errors.New("service: records do not match lease")
+)
+
+// Lease is one unit of distributed work: a contiguous chunk of a job's
+// scenario grid, plus everything a stateless worker needs to evaluate it
+// deterministically — the scenario and budget by name (both registries
+// are compiled into every binary), the sweep seed, and the engine
+// version so a mismatched worker can refuse instead of silently
+// producing different records.
+type Lease struct {
+	ID       string `json:"id"`
+	JobID    string `json:"job_id"`
+	Scenario string `json:"scenario"`
+	Budget   string `json:"budget"`
+	Seed     uint64 `json:"seed"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	// Engine is the daemon's sweep.EngineVersion; a worker built at a
+	// different version must not evaluate the chunk.
+	Engine int `json:"engine"`
+	// TTLSeconds is how long the lease lives without a heartbeat.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// WorkerView is one row of the fleet listing.
+type WorkerView struct {
+	Name         string    `json:"name"`
+	LastSeen     time.Time `json:"last_seen"`
+	ActiveLeases int       `json:"active_leases"`
+	ChunksDone   int       `json:"chunks_done"`
+	PointsDone   int       `json:"points_done"`
+}
+
+// distRun is the assembly state of one distributed job: records filled
+// in by chunk completions, a countdown of outstanding points, and a
+// channel closed exactly once when the job finishes or fails.
+type distRun struct {
+	recs      []sweep.Record
+	remaining int
+	failure   string
+	finished  chan struct{}
+	closeOnce sync.Once
+}
+
+func (dr *distRun) finish() { dr.closeOnce.Do(func() { close(dr.finished) }) }
+
+// chunkTask is the dispatcher's bookkeeping for one chunk: pending (no
+// lease), leased (current leaseID set, expiry ticking), done or
+// cancelled. Stale lease ids keep pointing at their task until the job
+// is cleaned up, so a late completion from an expired lease is still
+// accepted — determinism makes its records identical to any re-run.
+type chunkTask struct {
+	job   *job
+	dr    *distRun
+	chunk sweep.Chunk
+
+	leaseID   string // current lease ("" while pending)
+	worker    string // current lease's worker
+	expires   time.Time
+	done      bool
+	cancelled bool
+}
+
+// leaseRef is one entry of the lease table. It remembers which worker
+// took this particular lease, which the task alone cannot: after a
+// re-lease, task.worker is the new holder, but a late completion under
+// the old id must still credit the worker that actually did the work.
+type leaseRef struct {
+	t      *chunkTask
+	worker string
+}
+
+// workerStats accumulates one worker's fleet-view counters.
+type workerStats struct {
+	lastSeen   time.Time
+	chunksDone int
+	pointsDone int
+}
+
+// fleetRetention is how long a silent worker stays in the fleet view
+// before its stats are evicted. Long enough that an operator inspecting
+// a stuck fleet still sees recently dead workers, short enough that a
+// daemon outliving thousands of worker restarts stays bounded.
+const fleetRetention = time.Hour
+
+// dispatcher owns the pending-chunk queue and the lease table. All
+// fields are guarded by mu; it never takes a job's mutex, so lock order
+// against the manager is trivial.
+type dispatcher struct {
+	ttl   time.Duration
+	clock func() time.Time
+
+	mu      sync.Mutex
+	pending []*chunkTask
+	leases  map[string]leaseRef
+	fleet   map[string]*workerStats
+	seq     uint64
+}
+
+func newDispatcher(ttl time.Duration, clock func() time.Time) *dispatcher {
+	return &dispatcher{
+		ttl:    ttl,
+		clock:  clock,
+		leases: make(map[string]leaseRef),
+		fleet:  make(map[string]*workerStats),
+	}
+}
+
+// enqueue adds a job's chunks to the pending queue.
+func (d *dispatcher) enqueue(j *job, dr *distRun, chunks []sweep.Chunk) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range chunks {
+		d.pending = append(d.pending, &chunkTask{job: j, dr: dr, chunk: c})
+	}
+}
+
+// requeueExpiredLocked moves every chunk whose lease outlived its TTL
+// back to the pending queue. The expired lease id stays in the table so
+// a slow worker's late completion is still accepted (see chunkTask).
+func (d *dispatcher) requeueExpiredLocked(now time.Time) {
+	for id, ref := range d.leases {
+		t := ref.t
+		if t.leaseID == id && !t.done && !t.cancelled && now.After(t.expires) {
+			t.leaseID = ""
+			d.pending = append(d.pending, t)
+		}
+	}
+	// Piggyback fleet eviction on the same sweep: workers that have not
+	// been heard from in a long while are dropped from the stats table.
+	// Default sweepworker names embed the PID, so a crash-looping or
+	// autoscaled fleet mints new names forever; without eviction the
+	// daemon's memory and GET /api/v1/workers would grow for life.
+	for name, ws := range d.fleet {
+		if now.Sub(ws.lastSeen) > fleetRetention {
+			delete(d.fleet, name)
+		}
+	}
+}
+
+func (d *dispatcher) touchLocked(worker string, now time.Time) *workerStats {
+	ws := d.fleet[worker]
+	if ws == nil {
+		ws = &workerStats{}
+		d.fleet[worker] = ws
+	}
+	ws.lastSeen = now
+	return ws
+}
+
+// endJob drops every task of the job — pending chunks are removed and
+// its lease ids are forgotten, so later heartbeats and completions for
+// them return ErrLeaseGone. Called once the job reaches any terminal
+// state (done, failed or cancelled).
+func (d *dispatcher) endJob(j *job) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.pending[:0]
+	for _, t := range d.pending {
+		if t.job == j {
+			t.cancelled = true
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(d.pending); i++ {
+		d.pending[i] = nil
+	}
+	d.pending = kept
+	for id, ref := range d.leases {
+		if ref.t.job == j {
+			ref.t.cancelled = true
+			delete(d.leases, id)
+		}
+	}
+}
+
+// Lease hands the oldest pending chunk to the named worker, first
+// re-queueing any chunks whose leases expired. ok is false when no work
+// is pending — the worker should poll again later. It is the in-process
+// implementation of WorkerAPI; cmd/sweepworker reaches it through the
+// HTTP API.
+func (m *Manager) Lease(worker string) (Lease, bool, error) {
+	d := m.dispatch
+	if d == nil {
+		return Lease{}, false, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock()
+	d.touchLocked(worker, now)
+	d.requeueExpiredLocked(now)
+	for len(d.pending) > 0 {
+		t := d.pending[0]
+		d.pending = d.pending[1:]
+		if t.done || t.cancelled {
+			continue
+		}
+		d.seq++
+		id := fmt.Sprintf("lease-%06d", d.seq)
+		t.leaseID, t.worker, t.expires = id, worker, now.Add(d.ttl)
+		d.leases[id] = leaseRef{t: t, worker: worker}
+		j := t.job
+		return Lease{
+			ID:         id,
+			JobID:      j.id,
+			Scenario:   j.req.Scenario,
+			Budget:     j.budget.Name,
+			Seed:       j.req.Seed,
+			Start:      t.chunk.Start,
+			End:        t.chunk.End,
+			Engine:     sweep.EngineVersion,
+			TTLSeconds: d.ttl.Seconds(),
+		}, true, nil
+	}
+	return Lease{}, false, nil
+}
+
+// Heartbeat extends a live lease by the TTL and returns the new
+// remaining lifetime. A lease that is unknown, expired, superseded by a
+// re-lease, or whose job was cancelled gets ErrLeaseGone — the worker
+// should stop evaluating the chunk.
+func (m *Manager) Heartbeat(leaseID string) (time.Duration, error) {
+	d := m.dispatch
+	if d == nil {
+		return 0, ErrLeaseGone
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock()
+	ref, ok := d.leases[leaseID]
+	t := ref.t
+	if !ok || t.cancelled || t.done || t.leaseID != leaseID || now.After(t.expires) {
+		return 0, ErrLeaseGone
+	}
+	d.touchLocked(ref.worker, now)
+	t.expires = now.Add(d.ttl)
+	return d.ttl, nil
+}
+
+// Complete accepts a worker's evaluated records for a leased chunk,
+// folds them into the job and persists them in the shared store. It is
+// idempotent: completing an already-completed chunk is a no-op, and a
+// late completion under an expired lease is accepted as long as the
+// chunk is still wanted — the determinism contract guarantees the
+// records are identical to whatever a re-lease would produce.
+func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
+	d := m.dispatch
+	if d == nil {
+		return ErrLeaseGone
+	}
+	d.mu.Lock()
+	ref, ok := d.leases[leaseID]
+	if !ok || ref.t.cancelled {
+		d.mu.Unlock()
+		return ErrLeaseGone
+	}
+	t := ref.t
+	// Credit the worker that held THIS lease, not the chunk's current
+	// holder: a late completion under an expired lease must not book
+	// work onto whoever the chunk was re-leased to.
+	ws := d.touchLocked(ref.worker, d.clock())
+	if t.done {
+		d.mu.Unlock()
+		return nil // duplicate completion: idempotent
+	}
+	if err := validateChunk(t, recs); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	t.done = true
+	copy(t.dr.recs[t.chunk.Start:t.chunk.End], recs)
+	t.dr.remaining -= t.chunk.Len()
+	ws.chunksDone++
+	ws.pointsDone += t.chunk.Len()
+	finished := t.dr.remaining == 0
+	d.mu.Unlock()
+
+	j := t.job
+	j.done.Add(int64(t.chunk.Len()))
+	// Persist outside the dispatcher lock: Put hits the disk, and the
+	// store's own dedup makes a racing duplicate completion harmless.
+	if m.opts.Cache != nil {
+		for k, rec := range recs {
+			key := sweep.PointKey(j.req.Scenario, j.pts[t.chunk.Start+k], j.budget, j.req.Seed)
+			m.opts.Cache.Put(key, rec)
+		}
+	}
+	if finished {
+		t.dr.finish()
+	}
+	return nil
+}
+
+// validateChunk rejects records that cannot be the leased chunk's:
+// wrong count, wrong grid index, or wrong scenario.
+func validateChunk(t *chunkTask, recs []sweep.Record) error {
+	if len(recs) != t.chunk.Len() {
+		return fmt.Errorf("%w: got %d records for chunk %v", ErrBadRecords, len(recs), t.chunk)
+	}
+	for k, rec := range recs {
+		if rec.Index != t.chunk.Start+k || rec.Scenario != t.job.req.Scenario {
+			return fmt.Errorf("%w: record %d is (%s, #%d), want (%s, #%d)",
+				ErrBadRecords, k, rec.Scenario, rec.Index, t.job.req.Scenario, t.chunk.Start+k)
+		}
+	}
+	return nil
+}
+
+// FailLease reports that a worker could not evaluate its chunk (for
+// example a panicking point). The whole job fails — mirroring the
+// in-process path, where a panicking evaluation fails the job — and its
+// other chunks are withdrawn.
+func (m *Manager) FailLease(leaseID, reason string) error {
+	d := m.dispatch
+	if d == nil {
+		return ErrLeaseGone
+	}
+	d.mu.Lock()
+	ref, ok := d.leases[leaseID]
+	if !ok || ref.t.cancelled || ref.t.done {
+		d.mu.Unlock()
+		return ErrLeaseGone
+	}
+	t := ref.t
+	d.touchLocked(ref.worker, d.clock())
+	if t.dr.failure == "" {
+		t.dr.failure = fmt.Sprintf("worker %s failed chunk %v: %s", ref.worker, t.chunk, reason)
+	}
+	dr := t.dr
+	d.mu.Unlock()
+	dr.finish()
+	return nil
+}
+
+// WorkerFleet lists every worker that ever leased from this manager,
+// sorted by name.
+func (m *Manager) WorkerFleet() []WorkerView {
+	d := m.dispatch
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock()
+	active := make(map[string]int)
+	for id, ref := range d.leases {
+		t := ref.t
+		if t.leaseID == id && !t.done && !t.cancelled && !now.After(t.expires) {
+			active[ref.worker]++
+		}
+	}
+	out := make([]WorkerView, 0, len(d.fleet))
+	for name, ws := range d.fleet {
+		out = append(out, WorkerView{
+			Name:         name,
+			LastSeen:     ws.lastSeen,
+			ActiveLeases: active[name],
+			ChunksDone:   ws.chunksDone,
+			PointsDone:   ws.pointsDone,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// chunkRuns groups a sorted list of still-to-compute grid indices into
+// contiguous chunks of at most size points. Cache hits punch holes in
+// the grid, so each run between holes is partitioned independently by
+// sweep.Chunks and shifted to its grid offset.
+func chunkRuns(todo []int, size int) []sweep.Chunk {
+	var out []sweep.Chunk
+	for i := 0; i < len(todo); {
+		k := i + 1
+		for k < len(todo) && todo[k] == todo[k-1]+1 {
+			k++
+		}
+		for _, c := range sweep.Chunks(k-i, size) {
+			out = append(out, sweep.Chunk{Start: todo[i] + c.Start, End: todo[i] + c.End})
+		}
+		i = k
+	}
+	return out
+}
+
+// runDistributed executes one job by serving its chunks to workers
+// instead of evaluating in-process. Cached points are filled daemon-side
+// and never travel; the rest are chunked, dispatched, and assembled in
+// grid order, so the final Result is byte-identical to a single-node
+// sweep.Run of the same scenario, budget and seed.
+func (m *Manager) runDistributed(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = m.opts.Clock()
+	j.mu.Unlock()
+	defer cancel()
+
+	n := len(j.pts)
+	dr := &distRun{recs: make([]sweep.Record, n), finished: make(chan struct{})}
+
+	// Daemon-side cache pre-pass, mirroring the executor's read-through.
+	var todo []int
+	for i, pt := range j.pts {
+		if m.opts.Cache != nil {
+			if rec, ok := m.opts.Cache.Get(sweep.PointKey(j.req.Scenario, pt, j.budget, j.req.Seed)); ok {
+				rec.Pareto = false
+				dr.recs[i] = rec
+				j.done.Add(1)
+				j.cached.Add(1)
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	dr.remaining = len(todo)
+	cached := n - len(todo)
+
+	if len(todo) == 0 {
+		dr.finish()
+	} else {
+		m.dispatch.enqueue(j, dr, chunkRuns(todo, m.opts.ChunkPoints))
+	}
+
+	select {
+	case <-ctx.Done():
+	case <-dr.finished:
+	}
+	m.dispatch.endJob(j)
+
+	// A job whose last chunk landed in the same instant it was cancelled
+	// still finished: prefer the computed outcome, like the in-process
+	// path's `case err == nil` does. The finished channel is closed
+	// before any state we read off dr, so the recheck is race-free.
+	finished := false
+	select {
+	case <-dr.finished:
+		finished = true
+	default:
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = m.opts.Clock()
+	switch {
+	case finished && dr.failure != "":
+		j.state = StateFailed
+		j.errMsg = dr.failure
+	case !finished:
+		j.state = StateCancelled
+		j.errMsg = "cancelled: " + ctx.Err().Error()
+	default:
+		res := &sweep.Result{
+			Scenario:       j.req.Scenario,
+			Description:    j.scenario.Description,
+			Seed:           j.req.Seed,
+			Budget:         j.budget.Name,
+			Records:        dr.recs,
+			CachedPoints:   cached,
+			ComputedPoints: n - cached,
+		}
+		res.ParetoIndices = sweep.MarkPareto(res.Records)
+		j.state = StateDone
+		j.result = res
+	}
+}

@@ -21,9 +21,21 @@ import (
 //	GET    /api/v1/jobs/{id}/records completed records as NDJSON, one per line
 //	GET    /api/v1/jobs/{id}/pareto  the job's Pareto-front records
 //
+// The worker tier (cmd/sweepworker) drives four more endpoints, live
+// only in distributed mode (a non-distributed daemon answers 204 to
+// lease requests, 410 to the leases/{id}/* calls, and an empty fleet):
+//
+//	POST   /api/v1/workers/lease                 lease a chunk -> 200 Lease | 204 no work
+//	POST   /api/v1/workers/leases/{id}/heartbeat extend the lease -> 200 | 410 gone
+//	POST   /api/v1/workers/leases/{id}/complete  post chunk records -> 200 | 410 | 422
+//	POST   /api/v1/workers/leases/{id}/fail      report an unevaluable chunk -> 200 | 410
+//	GET    /api/v1/workers                       fleet view: per-worker counters
+//
 // Every error is a JSON object {"error": "..."} with the obvious status:
 // 400 for bad submissions, 404 for unknown jobs, 409 for results
-// requested before completion, 503 once the manager is shut down.
+// requested before completion, 410 for dead leases, 422 for completions
+// that do not match their lease, 503 once the manager is shut down.
+// docs/api.md is the full reference.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -32,7 +44,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /api/v1/scenarios", handleScenarios)
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 			return
 		}
@@ -84,6 +96,71 @@ func NewHandler(m *Manager) http.Handler {
 				flusher.Flush()
 			}
 		}
+	})
+	mux.HandleFunc("POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.Worker == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("lease request needs a worker name"))
+			return
+		}
+		l, ok, err := m.Lease(req.Worker)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+	mux.HandleFunc("POST /api/v1/workers/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		ttl, err := m.Heartbeat(r.PathValue("id"))
+		if err != nil {
+			writeError(w, leaseStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]float64{"ttl_seconds": ttl.Seconds()})
+	})
+	mux.HandleFunc("POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Records []sweep.Record `json:"records"`
+		}
+		// Legitimate completion bodies are one chunk of records (KBs to a
+		// few MBs); the cap keeps a buggy or rogue client from feeding
+		// the decoder an unbounded allocation.
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid completion body: %w", err))
+			return
+		}
+		if err := m.Complete(r.PathValue("id"), req.Records); err != nil {
+			writeError(w, leaseStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /api/v1/workers/leases/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid failure body: %w", err))
+			return
+		}
+		if err := m.FailLease(r.PathValue("id"), req.Error); err != nil {
+			writeError(w, leaseStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		fleet := m.WorkerFleet()
+		if fleet == nil {
+			fleet = []WorkerView{}
+		}
+		writeJSON(w, http.StatusOK, fleet)
 	})
 	mux.HandleFunc("GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
 		res, err := m.Result(r.PathValue("id"))
@@ -138,6 +215,20 @@ func submitStatus(err error) int {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
+}
+
+// leaseStatus maps worker-endpoint errors: a dead lease is 410 Gone so
+// workers distinguish "drop the chunk" from transient failures, and
+// mismatched records are 422 Unprocessable.
+func leaseStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		return http.StatusGone
+	case errors.Is(err, ErrBadRecords):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // jobStatus maps per-job lookup errors.

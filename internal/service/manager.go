@@ -4,7 +4,20 @@
 // read-through a shared result store), and every job is observable
 // (progress counters) and cancellable (per-job contexts) while the
 // whole manager shuts down gracefully. cmd/sweepd fronts a Manager with
-// an HTTP API; see NewHandler.
+// an HTTP API; see NewHandler and docs/api.md.
+//
+// In distributed mode the manager stops evaluating in-process and
+// becomes a dispatcher: each job's grid is cut into sweep.Chunks,
+// workers lease chunks (Lease), keep them alive (Heartbeat) and post
+// records back (Complete), and a worker that dies mid-chunk simply
+// stops heartbeating — its lease expires and the chunk is re-queued for
+// someone else. Workers are stateless: the per-point rng.Split
+// determinism contract means any worker reproduces exactly the records
+// a single-node run would, so completions are idempotent and an
+// N-worker fleet's merged result is byte-identical to one process's.
+// RunWorker is the worker loop, driven either in-process against a
+// *Manager (cmd/sweepd's local-workers fallback) or over HTTP through
+// *Client (cmd/sweepworker).
 package service
 
 import (
@@ -79,6 +92,7 @@ type job struct {
 	req      Request
 	scenario sweep.Scenario
 	budget   sweep.Budget
+	pts      []sweep.Point
 	total    int
 
 	// done and cached are updated from sweep workers; everything under
@@ -149,6 +163,20 @@ type Options struct {
 	// 256; a long-lived daemon stays bounded while the result store
 	// keeps the computed points themselves forever.
 	RetainJobs int
+	// Distributed switches job execution from the in-process sweep
+	// engine to the chunk dispatcher: jobs are cut into Chunks and
+	// served to workers over Lease/Heartbeat/Complete (in-process via
+	// RunWorker(m) or remote via cmd/sweepworker). Off, jobs run
+	// in-process exactly as before.
+	Distributed bool
+	// ChunkPoints caps how many grid points one lease carries
+	// (default 4). Smaller chunks spread a job across more workers;
+	// larger chunks amortise lease round-trips.
+	ChunkPoints int
+	// LeaseTTL is how long a worker owns a leased chunk before the
+	// dispatcher re-queues it for someone else; heartbeats extend it
+	// (default 30s).
+	LeaseTTL time.Duration
 	// Clock stubs time.Now in tests (nil = time.Now).
 	Clock func() time.Time
 }
@@ -163,6 +191,10 @@ type Manager struct {
 	// runSweep is sweep.Run, replaceable by tests that need jobs with
 	// controlled timing.
 	runSweep func(ctx context.Context, sc sweep.Scenario, cfg sweep.Config) (*sweep.Result, error)
+
+	// dispatch is non-nil in distributed mode: it owns the chunk queue
+	// and lease table served to workers.
+	dispatch *dispatcher
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -181,6 +213,12 @@ func New(opts Options) *Manager {
 	if opts.RetainJobs <= 0 {
 		opts.RetainJobs = 256
 	}
+	if opts.ChunkPoints <= 0 {
+		opts.ChunkPoints = 4
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
@@ -191,6 +229,9 @@ func New(opts Options) *Manager {
 		cancel:   cancel,
 		jobs:     make(map[string]*job),
 		runSweep: sweep.Run,
+	}
+	if opts.Distributed {
+		m.dispatch = newDispatcher(opts.LeaseTTL, opts.Clock)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < opts.JobWorkers; i++ {
@@ -216,15 +257,21 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 		return JobView{}, ErrShutdown
 	}
 	m.seq++
+	pts := sc.Points()
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", m.seq),
 		seq:       m.seq,
 		req:       req,
 		scenario:  sc,
 		budget:    budget,
-		total:     len(sc.Points()),
+		total:     len(pts),
 		state:     StateQueued,
 		submitted: m.opts.Clock(),
+	}
+	if m.dispatch != nil {
+		// Only the dispatcher reads the grid; in-process jobs must not
+		// pin it in the retained-jobs table for their whole lifetime.
+		j.pts = pts
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -371,7 +418,11 @@ func (m *Manager) worker() {
 		}
 		j := m.queue.pop()
 		m.mu.Unlock()
-		m.run(j)
+		if m.dispatch != nil {
+			m.runDistributed(j)
+		} else {
+			m.run(j)
+		}
 	}
 }
 

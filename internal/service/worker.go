@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// WorkerAPI is the surface a sweep worker drives: lease a chunk, keep
+// it alive, and post the records (or a failure) back. *Manager
+// implements it directly — cmd/sweepd's local-workers fallback runs
+// RunWorker(m) in-process — and *Client implements it over the HTTP API
+// for cmd/sweepworker processes. A worker cannot tell which it is
+// talking to, so the two deployments exercise identical logic.
+type WorkerAPI interface {
+	// Lease requests one chunk; ok is false when no work is pending.
+	Lease(worker string) (Lease, bool, error)
+	// Heartbeat extends the lease, returning its new remaining
+	// lifetime, or ErrLeaseGone once the chunk was re-queued.
+	Heartbeat(leaseID string) (time.Duration, error)
+	// Complete posts the chunk's records. Idempotent on duplicates.
+	Complete(leaseID string, recs []sweep.Record) error
+	// FailLease reports an unevaluable chunk, failing its job.
+	FailLease(leaseID, reason string) error
+}
+
+// WorkerOptions tunes one RunWorker loop.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and the fleet view.
+	Name string
+	// Poll is the idle sleep between lease attempts when no work is
+	// pending or the daemon is unreachable (default 500ms).
+	Poll time.Duration
+	// Workers bounds the local evaluation pool per chunk (0 = NumCPU).
+	Workers int
+	// Logger, when non-nil, receives one line per lease outcome.
+	Logger *log.Logger
+}
+
+// RunWorker drains chunks from api until ctx is cancelled: lease,
+// evaluate with the sweep engine, heartbeat at a third of the TTL while
+// evaluating, complete. It returns ctx.Err() on cancellation, or a
+// non-context error only when the worker must not keep serving (an
+// engine-version or scenario-registry mismatch with the daemon — the
+// records such a worker would produce could differ, which the
+// determinism contract forbids).
+//
+// Transient API errors (daemon restarting, network) are retried after
+// the poll interval. A lost lease — heartbeat or completion returning
+// ErrLeaseGone — abandons the chunk without error: the dispatcher has
+// re-queued it for someone else and duplicate completions are
+// idempotent, so correctness never depends on this worker.
+func RunWorker(ctx context.Context, api WorkerAPI, opts WorkerOptions) error {
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	logf := func(format string, args ...any) {
+		if opts.Logger != nil {
+			opts.Logger.Printf(format, args...)
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, ok, err := api.Lease(opts.Name)
+		if err != nil {
+			logf("lease: %v (retrying in %s)", err, opts.Poll)
+			if !sleep(ctx, opts.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if !ok {
+			if !sleep(ctx, opts.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := serveLease(ctx, api, l, opts, logf); err != nil {
+			return err
+		}
+	}
+}
+
+// serveLease evaluates one leased chunk and posts the result.
+func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions, logf func(string, ...any)) error {
+	if l.Engine != sweep.EngineVersion {
+		return fmt.Errorf("service: worker runs engine v%d but daemon leased engine v%d work — rebuild the worker",
+			sweep.EngineVersion, l.Engine)
+	}
+	sc, err := sweep.Get(l.Scenario)
+	if err != nil {
+		return fmt.Errorf("service: daemon leased a scenario this worker does not know: %w", err)
+	}
+	budget, err := sweep.ParseBudget(l.Budget)
+	if err != nil {
+		return fmt.Errorf("service: daemon leased a budget this worker does not know: %w", err)
+	}
+
+	// Heartbeat at a third of the TTL so two beats can be lost before
+	// the dispatcher re-queues the chunk. A gone lease cancels the
+	// evaluation: its result would be thrown away anyway. Floor the
+	// cadence: a degenerate TTL from the wire (or a -lease-ttl 2ns
+	// operator) must not panic time.NewTicker.
+	ttl := time.Duration(l.TTLSeconds * float64(time.Second))
+	beat := ttl / 3
+	if beat < 10*time.Millisecond {
+		beat = 10 * time.Millisecond
+	}
+	evalCtx, cancelEval := context.WithCancel(ctx)
+	var leaseGone atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(beat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-evalCtx.Done():
+				return
+			case <-tick.C:
+				if _, err := api.Heartbeat(l.ID); errors.Is(err, ErrLeaseGone) {
+					logf("lease %s: gone, abandoning chunk [%d,%d)", l.ID, l.Start, l.End)
+					leaseGone.Store(true)
+					cancelEval()
+					return
+				}
+				// Transient heartbeat errors are survivable: the lease
+				// outlives two missed beats.
+			}
+		}
+	}()
+
+	recs, evalErr := func() (recs []sweep.Record, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("evaluation panicked: %v", r)
+			}
+		}()
+		return evalChunk(evalCtx, sc, sweep.Chunk{Start: l.Start, End: l.End}, sweep.Config{
+			Workers: opts.Workers,
+			Seed:    l.Seed,
+			Budget:  budget,
+		})
+	}()
+	cancelEval()
+	<-hbDone
+
+	switch {
+	case evalErr == nil:
+		err := completeWithRetry(ctx, api, l.ID, recs)
+		switch {
+		case err == nil:
+			logf("lease %s: completed %s[%d,%d) (%d points)", l.ID, l.Scenario, l.Start, l.End, len(recs))
+		case errors.Is(err, ErrLeaseGone):
+			// Not a worker failure, but don't log it as a success: the
+			// daemon discarded these records (job cancelled, or the
+			// chunk was re-leased and finished by someone else).
+			logf("lease %s: gone at completion, records discarded", l.ID)
+		case errors.Is(err, ErrBadRecords):
+			// The daemon rejected records this worker considers correct:
+			// the two binaries disagree on the grid. Deterministic, so
+			// every retry and every re-lease would be rejected the same
+			// way — fail the job instead of bouncing the chunk forever.
+			logf("lease %s: records rejected, failing job: %v", l.ID, err)
+			if ferr := api.FailLease(l.ID, err.Error()); ferr != nil && !errors.Is(ferr, ErrLeaseGone) {
+				logf("lease %s: fail report: %v", l.ID, ferr)
+			}
+		default:
+			logf("lease %s: complete: %v", l.ID, err)
+		}
+	case leaseGone.Load():
+		// Lease lost mid-evaluation: abandoned above, nothing to post.
+	case ctx.Err() != nil:
+		// Shutting down: let the lease expire so the chunk is re-queued.
+	default:
+		// The evaluation itself blew up (a panicking point). Report it so
+		// the job fails like an in-process panic would, instead of the
+		// chunk bouncing from worker to worker forever.
+		if err := api.FailLease(l.ID, evalErr.Error()); err != nil && !errors.Is(err, ErrLeaseGone) {
+			logf("lease %s: fail report: %v", l.ID, err)
+		}
+	}
+	return nil
+}
+
+// evalChunk is sweep.EvaluateChunk, replaceable by tests that need a
+// panicking evaluation.
+var evalChunk = sweep.EvaluateChunk
+
+// completeWithRetry posts records, retrying transient errors a few
+// times. ErrLeaseGone and ErrBadRecords are deterministic outcomes and
+// returned immediately for the caller to classify.
+func completeWithRetry(ctx context.Context, api WorkerAPI, leaseID string, recs []sweep.Record) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = api.Complete(leaseID, recs)
+		if err == nil || errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrBadRecords) {
+			return err
+		}
+		if !sleep(ctx, 100*time.Millisecond<<attempt) {
+			return err
+		}
+	}
+	return err
+}
+
+// sleep waits d or until ctx is cancelled, reporting whether the full
+// duration elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

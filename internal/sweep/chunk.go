@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Chunk is a half-open range [Start, End) of grid indices — the unit of
+// work a distributed sweep hands to one worker. Because every point's
+// random sub-stream is a pure function of (sweep seed, point index), a
+// chunk is independently evaluable: any process holding the scenario
+// name, the seed and the budget reproduces exactly the records a
+// single-node Run would have produced for those indices.
+type Chunk struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of points in the chunk.
+func (c Chunk) Len() int { return c.End - c.Start }
+
+func (c Chunk) String() string { return fmt.Sprintf("[%d,%d)", c.Start, c.End) }
+
+// Chunks partitions n grid points into contiguous chunks of at most
+// size points each (size <= 0 selects one chunk per point). The
+// partition is deterministic: the same (n, size) always yields the same
+// chunks, so daemon and workers agree on work-unit boundaries without
+// negotiation.
+func Chunks(n, size int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	out := make([]Chunk, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Chunk{Start: lo, End: hi})
+	}
+	return out
+}
+
+// EvaluateChunk evaluates the scenario's points in [c.Start, c.End) and
+// returns their records in index order (slot k holds point c.Start+k).
+// Each point gets the same rng sub-stream — root.Split(index+1) off
+// rng.New(cfg.Seed) — that a full Run of the scenario would give it, so
+// concatenating the chunks of any partition reproduces Run's records
+// byte for byte. This is the determinism contract the distributed
+// worker tier is built on.
+//
+// cfg.Workers bounds the local pool, cfg.Cache and cfg.OnPoint are
+// honoured per point exactly as in Run. Records are returned with
+// Pareto unset: the front is a property of the whole sweep and is
+// marked by whoever merges the chunks.
+func EvaluateChunk(ctx context.Context, sc Scenario, c Chunk, cfg Config) ([]Record, error) {
+	pts := sc.Points()
+	if c.Start < 0 || c.End > len(pts) || c.Start > c.End {
+		return nil, fmt.Errorf("sweep: chunk %v out of range for scenario %q (%d points)", c, sc.Name, len(pts))
+	}
+	if c.Len() == 0 {
+		return nil, ctx.Err()
+	}
+	eval := pointEvaluator(sc.Name, pts, cfg, rng.New(cfg.Seed), nil)
+	return Map(ctx, c.Len(), cfg.Workers, func(k int) Record {
+		return eval(c.Start + k)
+	})
+}

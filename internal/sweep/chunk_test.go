@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestChunksPartition(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []Chunk
+	}{
+		{0, 4, nil},
+		{-3, 4, nil},
+		{1, 4, []Chunk{{0, 1}}},
+		{4, 4, []Chunk{{0, 4}}},
+		{5, 4, []Chunk{{0, 4}, {4, 5}}},
+		{8, 3, []Chunk{{0, 3}, {3, 6}, {6, 8}}},
+		{3, 0, []Chunk{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Errorf("Chunks(%d, %d) = %v, want %v", c.n, c.size, got, c.want)
+			continue
+		}
+		total := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Chunks(%d, %d)[%d] = %v, want %v", c.n, c.size, i, got[i], c.want[i])
+			}
+			total += got[i].Len()
+		}
+		if c.n > 0 && total != c.n {
+			t.Errorf("Chunks(%d, %d) covers %d points", c.n, c.size, total)
+		}
+	}
+}
+
+// TestEvaluateChunkMatchesRun is the determinism contract of the
+// distributed tier: concatenating the chunk records of any partition
+// must reproduce a single-node Run byte for byte.
+func TestEvaluateChunkMatchesRun(t *testing.T) {
+	sc, err := Get("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 2, Seed: 7, Budget: AnalyticBudget()}
+	full, err := Run(context.Background(), sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, size := range []int{1, 3, len(full.Records)} {
+		var merged []Record
+		for _, c := range Chunks(len(full.Records), size) {
+			recs, err := EvaluateChunk(context.Background(), sc, c, cfg)
+			if err != nil {
+				t.Fatalf("chunk %v: %v", c, err)
+			}
+			if len(recs) != c.Len() {
+				t.Fatalf("chunk %v returned %d records", c, len(recs))
+			}
+			merged = append(merged, recs...)
+		}
+		// Chunk records carry Pareto unset; the merger marks the front.
+		MarkPareto(merged)
+		a, _ := json.Marshal(full.Records)
+		b, _ := json.Marshal(merged)
+		if string(a) != string(b) {
+			t.Fatalf("chunk size %d: merged records differ from single-node run", size)
+		}
+	}
+}
+
+func TestEvaluateChunkOutOfRange(t *testing.T) {
+	sc, err := Get("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Chunk{{-1, 2}, {0, 1000}, {5, 3}} {
+		if _, err := EvaluateChunk(context.Background(), sc, c, Config{Budget: AnalyticBudget()}); err == nil {
+			t.Errorf("chunk %v: want range error", c)
+		}
+	}
+	if recs, err := EvaluateChunk(context.Background(), sc, Chunk{2, 2}, Config{Budget: AnalyticBudget()}); err != nil || len(recs) != 0 {
+		t.Errorf("empty chunk = (%v, %v), want no records, no error", recs, err)
+	}
+}

@@ -137,23 +137,21 @@ type Result struct {
 	ComputedPoints int `json:"computed_points"`
 }
 
-// Run executes the scenario's grid through the parallel executor and
-// extracts the Pareto front.
-func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
-	pts := sc.Points()
-	if len(pts) == 0 {
-		return nil, fmt.Errorf("sweep: scenario %q generates no points", sc.Name)
-	}
-	root := rng.New(cfg.Seed)
-	var cached atomic.Int64
-	recs, err := Map(ctx, len(pts), cfg.Workers, func(i int) Record {
+// pointEvaluator returns the closure Run and EvaluateChunk share: it
+// evaluates one grid point by absolute index, reading through cfg.Cache
+// and reporting to cfg.OnPoint. cached, when non-nil, counts cache hits.
+func pointEvaluator(scenario string, pts []Point, cfg Config, root *rng.Stream, cached *atomic.Int64) func(i int) Record {
+	return func(i int) Record {
 		var key string
 		if cfg.Cache != nil {
-			key = PointKey(sc.Name, pts[i], cfg.Budget, cfg.Seed)
+			key = PointKey(scenario, pts[i], cfg.Budget, cfg.Seed)
 			if rec, ok := cfg.Cache.Get(key); ok {
-				cached.Add(1)
+				if cached != nil {
+					cached.Add(1)
+				}
 				// The front is a property of the sweep, not the point;
-				// recompute it below whatever the stored flag says.
+				// whoever merges the records recomputes it whatever the
+				// stored flag says.
 				rec.Pareto = false
 				if cfg.OnPoint != nil {
 					cfg.OnPoint(i, true)
@@ -162,8 +160,9 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
 			}
 		}
 		// Split is a pure function of (root seed, index): every point
-		// gets the same sub-stream no matter which worker runs it.
-		rec := Evaluate(sc.Name, pts[i], root.Split(uint64(i)+1), cfg.Budget)
+		// gets the same sub-stream no matter which worker — goroutine or
+		// fleet process — runs it.
+		rec := Evaluate(scenario, pts[i], root.Split(uint64(i)+1), cfg.Budget)
 		if cfg.Cache != nil {
 			cfg.Cache.Put(key, rec)
 		}
@@ -171,7 +170,19 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
 			cfg.OnPoint(i, false)
 		}
 		return rec
-	})
+	}
+}
+
+// Run executes the scenario's grid through the parallel executor and
+// extracts the Pareto front.
+func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
+	pts := sc.Points()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("sweep: scenario %q generates no points", sc.Name)
+	}
+	var cached atomic.Int64
+	eval := pointEvaluator(sc.Name, pts, cfg, rng.New(cfg.Seed), &cached)
+	recs, err := Map(ctx, len(pts), cfg.Workers, eval)
 	if err != nil {
 		return nil, err
 	}

@@ -186,10 +186,14 @@ func (s *Store) Get(key string) (sweep.Record, bool) {
 }
 
 // Put appends the record under key, deduplicating: a key already in the
-// index is left untouched, so re-putting an identical point is free. It
-// implements sweep.Cache. Persistence errors cannot be surfaced through
-// the Cache interface; the entry stays served from memory and the error
-// is reported by the next Close.
+// index is left untouched, so re-putting an identical point is free and
+// writes nothing to disk. The distributed worker tier leans on this: a
+// chunk completed twice — once under an expired lease, once by its
+// re-lease — is persisted exactly once, because both completions carry
+// the same content-addressed keys. Put implements sweep.Cache.
+// Persistence errors cannot be surfaced through the Cache interface;
+// the entry stays served from memory and the error is reported by the
+// next Close.
 func (s *Store) Put(key string, rec sweep.Record) {
 	// Marshal outside the lock: encoding is the expensive part of a
 	// Put, and holding the mutex across it would serialize every sweep

@@ -144,6 +144,69 @@ func TestTornTailIsSkipped(t *testing.T) {
 	}
 }
 
+// TestDuplicateChunkCompletionIdempotent models the distributed
+// write path: the daemon persists a whole chunk of records per
+// completion, and the same chunk can be completed twice when a slow
+// worker's lease expired and the chunk was re-leased. The second batch
+// must leave both the index and the disk segments untouched.
+func TestDuplicateChunkCompletionIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	putChunk := func() {
+		for i := 3; i < 7; i++ {
+			s.Put(key(i), testRecord(i))
+		}
+	}
+	putChunk()
+	size := segmentBytes(t, dir)
+	putChunk() // duplicate completion: same keys, same records
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after duplicate chunk, want 4", s.Len())
+	}
+	if st := s.Stats(); st.Puts != 4 {
+		t.Fatalf("Puts = %d after duplicate chunk, want 4", st.Puts)
+	}
+	if again := segmentBytes(t, dir); again != size {
+		t.Fatalf("duplicate chunk grew segments from %d to %d bytes", size, again)
+	}
+
+	// Reopen: exactly one entry per key survived on disk.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.Replayed != 4 || st.Entries != 4 {
+		t.Fatalf("replayed %d entries into %d keys, want 4 and 4", st.Replayed, st.Entries)
+	}
+}
+
+// segmentBytes sums the on-disk size of every segment file.
+func segmentBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, seg := range segs {
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

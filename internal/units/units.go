@@ -5,7 +5,9 @@
 //
 // All conversions are pure functions over float64; quantities carry their
 // unit in the name (FreqHz, PowerDBm) rather than in a wrapper type, which
-// keeps the numeric kernels allocation-free.
+// keeps the numeric kernels allocation-free. The constants follow the
+// paper's Table I operating point: 200+ GHz carriers, dBm link budgets
+// and thermal noise at room temperature.
 package units
 
 import (

@@ -1,0 +1,88 @@
+// Command doclint fails (exit 1) if any non-test package in the module
+// lacks a package doc comment. It is the CI documentation gate: every
+// package must open with prose mapping it to the paper section or
+// system layer it implements, and this tool keeps that invariant from
+// rotting as packages are added.
+//
+// Usage:
+//
+//	go run ./tools/doclint [dir]
+//
+// dir defaults to ".". Test files, testdata and hidden directories are
+// ignored; a package counts as documented if any of its non-test files
+// carries a comment immediately above the package clause.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d package(s) lack a package doc comment:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doclint: every package has a doc comment")
+}
+
+// lint walks root and returns every directory whose non-test package
+// has no doc comment, in sorted order.
+func lint(root string) ([]string, error) {
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for pkgName, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.List) > 0 {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				missing = append(missing, fmt.Sprintf("%s (package %s)", path, pkgName))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFindsUndocumentedPackages(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "good.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n")
+	// A doc comment on any one file of the package is enough.
+	write(t, filepath.Join(dir, "split", "a.go"), "package split\n")
+	write(t, filepath.Join(dir, "split", "b.go"), "// Package split is documented elsewhere.\npackage split\n")
+	// Test files never satisfy (or trigger) the check.
+	write(t, filepath.Join(dir, "bad", "bad_test.go"), "// Package bad looks documented only in tests.\npackage bad\n")
+	write(t, filepath.Join(dir, "testdata", "ignored.go"), "package ignored\n")
+	write(t, filepath.Join(dir, ".hidden", "h.go"), "package hidden\n")
+
+	missing, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || !strings.Contains(missing[0], "bad") {
+		t.Fatalf("missing = %v, want exactly the bad package", missing)
+	}
+}
+
+func TestLintCleanOnThisModule(t *testing.T) {
+	// The repository's own invariant: nothing undocumented, ever.
+	missing, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("undocumented packages in the module: %v", missing)
+	}
+}
