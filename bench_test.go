@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/search"
 	"repro/internal/sweep"
 )
 
@@ -130,6 +131,32 @@ func BenchmarkSweepPaperBaseline(b *testing.B) {
 		}
 		if len(res.ParetoIndices) == 0 {
 			b.Fatal("empty Pareto front")
+		}
+	}
+}
+
+// BenchmarkOptimizePaperSpace times an analytic-budget NSGA-II
+// optimization over the paper-baseline search space: 4 generations of
+// 16 individuals, genetics plus evaluation plus final front
+// extraction.
+func BenchmarkOptimizePaperSpace(b *testing.B) {
+	sp, err := search.Get("paper-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Optimize(context.Background(), search.Options{
+			Space:       sp,
+			Seed:        1,
+			Generations: 4,
+			Population:  16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.FrontIndices) == 0 {
+			b.Fatal("empty final front")
 		}
 	}
 }

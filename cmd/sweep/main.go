@@ -1,21 +1,29 @@
 // Command sweep explores the wireless-interconnect design space: it
-// runs named scenario grids through the parallel sweep executor and
+// runs named scenario grids through the parallel sweep executor, or an
+// adaptive multi-objective optimization over a named search space, and
 // writes structured results with a Pareto front.
 //
 // Usage:
 //
 //	sweep list
+//	sweep spaces
 //	sweep run -scenario <name> [-out results.json] [-csv results.csv]
+//	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
+//	          [-timeout 10m] [-store dir]
+//	sweep optimize -space <name> [-objectives a,b,c] [-generations G]
+//	          [-population P] [-out result.json] [-csv records.csv]
 //	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
 //	          [-timeout 10m] [-store dir]
 //
 // Records are deterministic for a fixed seed: running with -workers 1
-// and -workers N yields byte-identical files.
+// and -workers N yields byte-identical files, for grids and
+// optimizations alike.
 //
 // -store points at a content-addressed result store (the same layout
 // cmd/sweepd serves from): every evaluated point is persisted there and
-// rerunning any scenario with the same seed, budget and engine version
-// reuses every already-computed point instead of evaluating it again.
+// rerunning any scenario — or re-running an optimization with the same
+// space, objectives, seed and shape — reuses every already-computed
+// point instead of evaluating it again.
 //
 // Output files are written atomically (temp file + rename), so a
 // crashed or out-of-space run never leaves a truncated results file.
@@ -23,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/search"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -39,19 +49,28 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	fail := func(err error) {
+		// Package errors already carry their prefix; add ours only
+		// to bare messages.
+		if strings.HasPrefix(err.Error(), "sweep:") || strings.HasPrefix(err.Error(), "search:") {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+		os.Exit(1)
+	}
 	switch os.Args[1] {
 	case "list":
 		list()
+	case "spaces":
+		listSpaces()
 	case "run":
 		if err := run(os.Args[2:]); err != nil {
-			// Package errors already carry their prefix; add ours only
-			// to bare messages.
-			if strings.HasPrefix(err.Error(), "sweep:") {
-				fmt.Fprintln(os.Stderr, err)
-			} else {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-			}
-			os.Exit(1)
+			fail(err)
+		}
+	case "optimize":
+		if err := optimize(os.Args[2:]); err != nil {
+			fail(err)
 		}
 	case "-h", "-help", "--help", "help":
 		usage()
@@ -82,6 +101,30 @@ func scenarioCatalog() string {
 	return sb.String()
 }
 
+func listSpaces() {
+	fmt.Println("registered search spaces:")
+	fmt.Print(spaceCatalog())
+	fmt.Println("objectives:", strings.Join(search.ObjectiveNames(), ", "))
+}
+
+// spaceCatalog renders the search-space registry with each space's
+// parameters and bounds — shared by 'sweep spaces' and the
+// unknown-space error.
+func spaceCatalog() string {
+	var sb strings.Builder
+	for _, name := range search.Names() {
+		sp, err := search.Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-20s %d params    %s\n", name, len(sp.Params), sp.Description)
+		for _, p := range sp.Params {
+			fmt.Fprintf(&sb, "      %-22s %-10s [%g, %g]\n", p.Name, p.Kind, p.Min, p.Max)
+		}
+	}
+	return sb.String()
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	scenario := fs.String("scenario", "", "scenario name (see 'sweep list')")
@@ -108,32 +151,20 @@ func run(args []string) error {
 	}
 
 	cfg := sweep.Config{Workers: *workers, Seed: *seed, Budget: budget}
-	var st *store.Store
-	if *storeDir != "" {
-		st, err = store.Open(*storeDir)
-		if err != nil {
-			return err
-		}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if st != nil {
 		cfg.Cache = st
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
 
 	start := time.Now()
 	res, err := sweep.Run(ctx, sc, cfg)
-	if st != nil {
-		// Flush before reporting: a store that cannot persist what this
-		// run computed must fail the run.
-		if cerr := st.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
+	if err = flushStore(st, err); err != nil {
 		return err
 	}
 
@@ -175,6 +206,151 @@ func run(args []string) error {
 		fmt.Println("wrote", *csvOut)
 	}
 	return nil
+}
+
+// optimize runs the adaptive multi-objective search over a registered
+// space, streaming one line per generation and ending with the final
+// Pareto front.
+func optimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	spaceName := fs.String("space", "", "search space name (see 'sweep spaces')")
+	objectivesCSV := fs.String("objectives", "", "comma-separated objective names (default tx-power,decode-latency,noc-saturation)")
+	generations := fs.Int("generations", 0, "generations to evolve (0 = default)")
+	population := fs.Int("population", 0, "individuals per generation, even and >= 4 (0 = default)")
+	out := fs.String("out", "", "JSON output path ('-' for stdout)")
+	csvOut := fs.String("csv", "", "optional CSV output path (every evaluated individual)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU); results do not depend on it")
+	seed := fs.Uint64("seed", 1, "root seed of the run (genetics and evaluation)")
+	budgetName := fs.String("budget", "analytic", "Monte-Carlo effort: analytic, smoke or standard")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	storeDir := fs.String("store", "", "result store directory shared with sweepd (read-through cache)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spaceName == "" {
+		return fmt.Errorf("missing -space (see 'sweep spaces')")
+	}
+	sp, err := search.Get(*spaceName)
+	if err != nil {
+		return fmt.Errorf("unknown space %q; known spaces:\n%s", *spaceName, spaceCatalog())
+	}
+	var objectives []string
+	if *objectivesCSV != "" {
+		objectives = strings.Split(*objectivesCSV, ",")
+	}
+	objs, err := search.ParseObjectives(objectives)
+	if err != nil {
+		return err
+	}
+	budget, err := sweep.ParseBudget(*budgetName)
+	if err != nil {
+		return err
+	}
+
+	opts := search.Options{
+		Space:       sp,
+		Objectives:  objs,
+		Seed:        *seed,
+		Generations: *generations,
+		Population:  *population,
+		Budget:      budget,
+		Workers:     *workers,
+		OnGeneration: func(g search.Generation) {
+			line := fmt.Sprintf("gen %3d: front %2d, %d evaluated (%d cached)",
+				g.Gen, g.FrontSize, g.Evaluated, g.Cached)
+			for _, b := range g.Best {
+				line += fmt.Sprintf("  %s %.4g", b.Objective, b.Value)
+			}
+			fmt.Println(line)
+		},
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		opts.Cache = st
+	}
+
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := search.Optimize(ctx, opts)
+	if err = flushStore(st, err); err != nil {
+		return err
+	}
+
+	fmt.Printf("space %s: %d generations x %d, %d points (%d cached), budget %s, %.1fs\n",
+		res.Space, res.Generations, res.Population,
+		len(res.Records), res.CachedPoints, res.Budget, time.Since(start).Seconds())
+	fmt.Printf("pareto front over %s: %d of %d evaluated points\n",
+		strings.Join(res.Objectives, ", "), len(res.FrontIndices), len(res.Records))
+	for _, rec := range res.Front() {
+		fmt.Println("  ", rec.Summary())
+	}
+
+	if *out != "" {
+		if *out == "-" {
+			if err := writeResultJSON(os.Stdout, res); err != nil {
+				return err
+			}
+		} else {
+			if err := writeFileAtomic(*out, func(f *os.File) error {
+				return writeResultJSON(f, res)
+			}); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *out)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeFileAtomic(*csvOut, func(f *os.File) error {
+			return sweep.WriteCSV(f, res.Records)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+	return nil
+}
+
+// writeResultJSON emits the optimization result as indented JSON with
+// the same fixed formatting guarantees as sweep.WriteJSON.
+func writeResultJSON(f *os.File, res *search.Result) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// openStore opens the shared result store, or returns nil when no
+// directory was requested.
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
+// flushStore closes the store (when one is open) and merges a flush
+// failure into the run's error: a store that cannot persist what the
+// run computed must fail the run.
+func flushStore(st *store.Store, err error) error {
+	if st == nil {
+		return err
+	}
+	if cerr := st.Close(); cerr != nil && err == nil {
+		return cerr
+	}
+	return err
+}
+
+// runContext bounds a run by the -timeout flag (0 = no deadline).
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // writeFileAtomic streams emit into a temp file next to path and renames
@@ -222,9 +398,18 @@ func usage() {
 
 usage:
   sweep list
+  sweep spaces
   sweep run -scenario <name> [-out results.json] [-csv results.csv]
             [-workers N] [-seed S] [-budget analytic|smoke|standard]
             [-timeout 10m] [-store dir]
+  sweep optimize -space <name> [-objectives a,b,c] [-generations G]
+            [-population P] [-out result.json] [-csv records.csv]
+            [-workers N] [-seed S] [-budget analytic|smoke|standard]
+            [-timeout 10m] [-store dir]
+
+run enumerates a fixed scenario grid; optimize runs the adaptive
+NSGA-II multi-objective search over a declared parameter space and
+reports the Pareto front it converged to.
 
 -store shares cmd/sweepd's content-addressed result store: reruns reuse
 every already-computed point instead of evaluating it again.

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/search"
 	"repro/internal/sweep"
 )
 
@@ -33,6 +36,76 @@ func TestRunMissingScenarioFlag(t *testing.T) {
 	err := run(nil)
 	if err == nil || !strings.Contains(err.Error(), "-scenario") {
 		t.Fatalf("missing -scenario error = %v", err)
+	}
+}
+
+// TestOptimizeUnknownSpaceListsCatalog mirrors the run-command
+// contract for the optimizer: a mistyped -space names every registered
+// space in the error.
+func TestOptimizeUnknownSpaceListsCatalog(t *testing.T) {
+	err := optimize([]string{"-space", "no-such-space"})
+	if err == nil {
+		t.Fatal("optimize with unknown space succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-space"`) {
+		t.Errorf("error does not echo the bad name: %s", msg)
+	}
+	for _, name := range search.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list known space %q: %s", name, msg)
+		}
+	}
+}
+
+func TestOptimizeMissingSpaceFlag(t *testing.T) {
+	err := optimize(nil)
+	if err == nil || !strings.Contains(err.Error(), "-space") {
+		t.Fatalf("missing -space error = %v", err)
+	}
+}
+
+func TestOptimizeBadObjectives(t *testing.T) {
+	err := optimize([]string{"-space", "butler-vs-steered", "-objectives", "tx-power,vibes"})
+	if err == nil || !strings.Contains(err.Error(), "vibes") {
+		t.Fatalf("bad objectives error = %v", err)
+	}
+}
+
+// TestOptimizeWritesOutputs runs a tiny optimization end to end and
+// checks both emitters: the JSON result parses back with the right
+// shape, and the CSV has one row per evaluated individual.
+func TestOptimizeWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	outJSON := filepath.Join(dir, "result.json")
+	outCSV := filepath.Join(dir, "records.csv")
+	err := optimize([]string{
+		"-space", "butler-vs-steered",
+		"-generations", "2", "-population", "4",
+		"-seed", "2",
+		"-out", outJSON, "-csv", outCSV,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res search.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Space != "butler-vs-steered" || len(res.Records) != 8 || len(res.FrontIndices) == 0 {
+		t.Fatalf("result = space %q, %d records, front %d", res.Space, len(res.Records), len(res.FrontIndices))
+	}
+	csvRaw, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("CSV has %d lines, want header + 8 rows", len(lines))
 	}
 }
 

@@ -1,9 +1,10 @@
 // Command sweepd serves the design-space exploration engine as a
-// long-running daemon: sweeps are submitted as jobs over HTTP, scheduled
-// through a priority queue with bounded concurrency, and every evaluated
-// point is persisted in a content-addressed result store, so identical
-// work is never computed twice — across jobs, restarts, and cmd/sweep
-// runs sharing the same store directory.
+// long-running daemon: grid sweeps and adaptive multi-objective
+// optimizations are submitted as jobs over HTTP, scheduled through a
+// priority queue with bounded concurrency, and every evaluated point is
+// persisted in a content-addressed result store, so identical work is
+// never computed twice — across jobs, restarts, and cmd/sweep runs
+// sharing the same store directory.
 //
 // Usage:
 //
@@ -17,17 +18,23 @@
 // is re-queued. -local-workers N keeps N in-process workers draining
 // the same queue — the fallback that lets a distributed daemon complete
 // jobs before any remote worker connects (0 = pure remote fleet).
+// Optimization jobs work in both modes: the NSGA-II coordinator always
+// runs daemon-side, and in distributed mode each generation's
+// individuals are chunked and leased to the same worker fleet (the
+// lease carries the bred design points explicitly).
 //
 // Endpoints (see internal/service.NewHandler and docs/api.md):
 //
 //	GET    /healthz
 //	GET    /api/v1/scenarios
+//	GET    /api/v1/spaces
 //	POST   /api/v1/jobs
 //	GET    /api/v1/jobs
 //	GET    /api/v1/jobs/{id}
 //	DELETE /api/v1/jobs/{id}
 //	GET    /api/v1/jobs/{id}/records
 //	GET    /api/v1/jobs/{id}/pareto
+//	GET    /api/v1/jobs/{id}/generations
 //	POST   /api/v1/workers/lease
 //	POST   /api/v1/workers/leases/{id}/heartbeat
 //	POST   /api/v1/workers/leases/{id}/complete

@@ -9,11 +9,17 @@
 //	sweepworker -daemon http://host:8080 [-name id] [-poll 500ms] [-workers N]
 //
 // Scale-out is a deployment knob, not a correctness one: because every
-// grid point's random sub-stream is a pure function of (sweep seed,
-// point index), an N-worker fleet produces records byte-identical to a
+// point's random sub-stream is a pure function of (sweep seed, point
+// index), an N-worker fleet produces records byte-identical to a
 // single-node run. Workers hold no state — killing one mid-chunk only
 // delays that chunk until its lease expires and another worker (or a
 // restarted one) picks it up.
+//
+// Workers serve both job kinds without configuration: grid-sweep
+// leases name a scenario whose points the worker regenerates from its
+// compiled-in registry, and optimizer leases carry the generation's
+// bred design points explicitly (each with the global index that keys
+// its sub-stream and cache address).
 //
 // The worker refuses to serve a daemon whose sweep.EngineVersion or
 // scenario registry differs from its own build (exit 1): a mismatched

@@ -1,0 +1,104 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// Objective is one axis of the multi-objective search: a named metric
+// extracted from an evaluated record, minimised or maximised.
+type Objective struct {
+	Name     string
+	Maximize bool
+	Value    func(sweep.Record) float64
+}
+
+// cost returns the objective in canonical minimisation form: maximised
+// metrics are negated, and NaN (a metric the budget never measured, or
+// a degenerate model output) is +Inf so such points sit behind every
+// finite one instead of poisoning comparisons — NaN would otherwise
+// make domination checks answer false both ways.
+func (o Objective) cost(rec sweep.Record) float64 {
+	v := o.Value(rec)
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	if o.Maximize {
+		return -v
+	}
+	return v
+}
+
+// objectiveCatalog is the fixed set of selectable metrics. All are
+// analytic-budget fields except ber, which is zero unless the budget
+// runs the Monte-Carlo BER stage.
+var objectiveCatalog = map[string]Objective{
+	"tx-power":            {Name: "tx-power", Value: func(r sweep.Record) float64 { return r.TxPowerDBm }},
+	"decode-latency":      {Name: "decode-latency", Value: func(r sweep.Record) float64 { return r.DecodeLatencyBits }},
+	"noc-saturation":      {Name: "noc-saturation", Maximize: true, Value: func(r sweep.Record) float64 { return r.NoCSaturation }},
+	"noc-latency":         {Name: "noc-latency", Value: func(r sweep.Record) float64 { return r.NoCLatencyCycles }},
+	"spectral-efficiency": {Name: "spectral-efficiency", Maximize: true, Value: func(r sweep.Record) float64 { return r.SpectralEfficiency }},
+	"ber":                 {Name: "ber", Value: func(r sweep.Record) float64 { return r.BER }},
+}
+
+// DefaultObjectives is the trio the grid engine's Pareto marking uses:
+// minimise transmit power, minimise structural decode latency, maximise
+// NoC saturation headroom.
+func DefaultObjectives() []Objective {
+	objs, err := ParseObjectives([]string{"tx-power", "decode-latency", "noc-saturation"})
+	if err != nil {
+		panic(err) // the defaults are in the catalog by construction
+	}
+	return objs
+}
+
+// ObjectiveNames lists the selectable objectives in sorted order.
+func ObjectiveNames() []string {
+	out := make([]string, 0, len(objectiveCatalog))
+	for n := range objectiveCatalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseObjectives resolves objective names (empty or nil selects the
+// defaults). At least two distinct objectives are required — a single
+// axis is a scalar minimisation the Pareto machinery would degenerate
+// on.
+func ParseObjectives(names []string) ([]Objective, error) {
+	if len(names) == 0 {
+		names = []string{"tx-power", "decode-latency", "noc-saturation"}
+	}
+	out := make([]Objective, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		o, ok := objectiveCatalog[n]
+		if !ok {
+			return nil, fmt.Errorf("search: unknown objective %q (have %v)", n, ObjectiveNames())
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("search: objective %q selected twice", n)
+		}
+		seen[n] = true
+		out = append(out, o)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("search: need at least 2 objectives, got %d", len(out))
+	}
+	return out, nil
+}
+
+// objectiveNames renders the selection for results and job views.
+func objectiveNames(objs []Objective) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Name
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/search"
 	"repro/internal/sweep"
 )
 
@@ -35,6 +36,14 @@ type Lease struct {
 	Seed     uint64 `json:"seed"`
 	Start    int    `json:"start"`
 	End      int    `json:"end"`
+	// Points carries the chunk's design points explicitly when they are
+	// not reconstructible from a scenario registry — optimizer
+	// generations, whose specs are bred at run time. Empty for grid
+	// sweeps: there Scenario + [Start, End) identify the points and the
+	// worker regenerates them locally. Each point's Index is the global
+	// evaluation index that keys its random sub-stream and cache
+	// address.
+	Points []sweep.Point `json:"points,omitempty"`
 	// Engine is the daemon's sweep.EngineVersion; a worker built at a
 	// different version must not evaluate the chunk.
 	Engine int `json:"engine"`
@@ -73,6 +82,10 @@ type chunkTask struct {
 	job   *job
 	dr    *distRun
 	chunk sweep.Chunk
+	// pts are the chunk's design points (pts[k] is slot chunk.Start+k of
+	// the assembly buffer): a grid sub-slice for sweep jobs, bred
+	// individuals for optimizer generations.
+	pts []sweep.Point
 
 	leaseID   string // current lease ("" while pending)
 	worker    string // current lease's worker
@@ -126,12 +139,14 @@ func newDispatcher(ttl time.Duration, clock func() time.Time) *dispatcher {
 	}
 }
 
-// enqueue adds a job's chunks to the pending queue.
-func (d *dispatcher) enqueue(j *job, dr *distRun, chunks []sweep.Chunk) {
+// enqueue adds a job's chunks to the pending queue. pts is the full
+// point list the chunks index into (the scenario grid, or one
+// optimizer generation).
+func (d *dispatcher) enqueue(j *job, dr *distRun, chunks []sweep.Chunk, pts []sweep.Point) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, c := range chunks {
-		d.pending = append(d.pending, &chunkTask{job: j, dr: dr, chunk: c})
+		d.pending = append(d.pending, &chunkTask{job: j, dr: dr, chunk: c, pts: pts[c.Start:c.End]})
 	}
 }
 
@@ -221,17 +236,23 @@ func (m *Manager) Lease(worker string) (Lease, bool, error) {
 		t.leaseID, t.worker, t.expires = id, worker, now.Add(d.ttl)
 		d.leases[id] = leaseRef{t: t, worker: worker}
 		j := t.job
-		return Lease{
+		l := Lease{
 			ID:         id,
 			JobID:      j.id,
-			Scenario:   j.req.Scenario,
+			Scenario:   j.scenarioName,
 			Budget:     j.budget.Name,
 			Seed:       j.req.Seed,
 			Start:      t.chunk.Start,
 			End:        t.chunk.End,
 			Engine:     sweep.EngineVersion,
 			TTLSeconds: d.ttl.Seconds(),
-		}, true, nil
+		}
+		if j.kind == KindOptimize {
+			// Optimizer individuals exist only in this run; ship them
+			// with the lease.
+			l.Points = t.pts
+		}
+		return l, true, nil
 	}
 	return Lease{}, false, nil
 }
@@ -302,7 +323,7 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 	// store's own dedup makes a racing duplicate completion harmless.
 	if m.opts.Cache != nil {
 		for k, rec := range recs {
-			key := sweep.PointKey(j.req.Scenario, j.pts[t.chunk.Start+k], j.budget, j.req.Seed)
+			key := sweep.PointKey(j.scenarioName, t.pts[k], j.budget, j.req.Seed)
 			m.opts.Cache.Put(key, rec)
 		}
 	}
@@ -313,15 +334,18 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 }
 
 // validateChunk rejects records that cannot be the leased chunk's:
-// wrong count, wrong grid index, or wrong scenario.
+// wrong count, wrong point index, or wrong scenario. The expected
+// index is the chunk point's own Index — identical to the assembly
+// slot for grid sweeps, the global evaluation index for optimizer
+// generations.
 func validateChunk(t *chunkTask, recs []sweep.Record) error {
 	if len(recs) != t.chunk.Len() {
 		return fmt.Errorf("%w: got %d records for chunk %v", ErrBadRecords, len(recs), t.chunk)
 	}
 	for k, rec := range recs {
-		if rec.Index != t.chunk.Start+k || rec.Scenario != t.job.req.Scenario {
+		if rec.Index != t.pts[k].Index || rec.Scenario != t.job.scenarioName {
 			return fmt.Errorf("%w: record %d is (%s, #%d), want (%s, #%d)",
-				ErrBadRecords, k, rec.Scenario, rec.Index, t.job.req.Scenario, t.chunk.Start+k)
+				ErrBadRecords, k, rec.Scenario, rec.Index, t.job.scenarioName, t.pts[k].Index)
 		}
 	}
 	return nil
@@ -407,7 +431,9 @@ func chunkRuns(todo []int, size int) []sweep.Chunk {
 // instead of evaluating in-process. Cached points are filled daemon-side
 // and never travel; the rest are chunked, dispatched, and assembled in
 // grid order, so the final Result is byte-identical to a single-node
-// sweep.Run of the same scenario, budget and seed.
+// sweep.Run of the same scenario, budget and seed. The whole grid is
+// one dispatchBatch call — the same path an optimization job walks once
+// per generation.
 func (m *Manager) runDistributed(j *job) {
 	j.mu.Lock()
 	if j.state != StateQueued {
@@ -422,14 +448,51 @@ func (m *Manager) runDistributed(j *job) {
 	j.mu.Unlock()
 	defer cancel()
 
-	n := len(j.pts)
-	dr := &distRun{recs: make([]sweep.Record, n), finished: make(chan struct{})}
+	recs, cached, err := m.dispatchBatch(ctx, j, j.pts)
+	m.dispatch.endJob(j)
 
-	// Daemon-side cache pre-pass, mirroring the executor's read-through.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = m.opts.Clock()
+	switch {
+	case err == nil:
+		res := &sweep.Result{
+			Scenario:       j.scenarioName,
+			Description:    j.scenario.Description,
+			Seed:           j.req.Seed,
+			Budget:         j.budget.Name,
+			Records:        recs,
+			CachedPoints:   cached,
+			ComputedPoints: len(recs) - cached,
+		}
+		res.ParetoIndices = sweep.MarkPareto(res.Records)
+		j.state = StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.errMsg = "cancelled: " + err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// dispatchBatch evaluates one batch of points over the worker fleet: a
+// daemon-side cache pre-pass so stored points never travel, the rest
+// chunked and enqueued, records assembled in batch order. It blocks
+// until the batch completes, a worker fails a chunk (the error is the
+// failure report), or ctx is cancelled (the error is ctx's; the caller
+// is responsible for withdrawing the job's chunks via endJob). A batch
+// whose last chunk lands in the same instant ctx fires still counts as
+// completed, like the in-process path's `case err == nil` — the
+// finished channel is closed before any state read off dr, so the
+// recheck is race-free.
+func (m *Manager) dispatchBatch(ctx context.Context, j *job, pts []sweep.Point) ([]sweep.Record, int, error) {
+	dr := &distRun{recs: make([]sweep.Record, len(pts)), finished: make(chan struct{})}
 	var todo []int
-	for i, pt := range j.pts {
+	for i, pt := range pts {
 		if m.opts.Cache != nil {
-			if rec, ok := m.opts.Cache.Get(sweep.PointKey(j.req.Scenario, pt, j.budget, j.req.Seed)); ok {
+			if rec, ok := m.opts.Cache.Get(sweep.PointKey(j.scenarioName, pt, j.budget, j.req.Seed)); ok {
 				rec.Pareto = false
 				dr.recs[i] = rec
 				j.done.Add(1)
@@ -440,53 +503,42 @@ func (m *Manager) runDistributed(j *job) {
 		todo = append(todo, i)
 	}
 	dr.remaining = len(todo)
-	cached := n - len(todo)
+	cached := len(pts) - len(todo)
 
 	if len(todo) == 0 {
 		dr.finish()
 	} else {
-		m.dispatch.enqueue(j, dr, chunkRuns(todo, m.opts.ChunkPoints))
+		m.dispatch.enqueue(j, dr, chunkRuns(todo, m.opts.ChunkPoints), pts)
 	}
 
 	select {
 	case <-ctx.Done():
 	case <-dr.finished:
 	}
-	m.dispatch.endJob(j)
-
-	// A job whose last chunk landed in the same instant it was cancelled
-	// still finished: prefer the computed outcome, like the in-process
-	// path's `case err == nil` does. The finished channel is closed
-	// before any state we read off dr, so the recheck is race-free.
 	finished := false
 	select {
 	case <-dr.finished:
 		finished = true
 	default:
 	}
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finished = m.opts.Clock()
 	switch {
 	case finished && dr.failure != "":
-		j.state = StateFailed
-		j.errMsg = dr.failure
+		return nil, cached, errors.New(dr.failure)
 	case !finished:
-		j.state = StateCancelled
-		j.errMsg = "cancelled: " + ctx.Err().Error()
-	default:
-		res := &sweep.Result{
-			Scenario:       j.req.Scenario,
-			Description:    j.scenario.Description,
-			Seed:           j.req.Seed,
-			Budget:         j.budget.Name,
-			Records:        dr.recs,
-			CachedPoints:   cached,
-			ComputedPoints: n - cached,
-		}
-		res.ParetoIndices = sweep.MarkPareto(res.Records)
-		j.state = StateDone
-		j.result = res
+		return nil, cached, ctx.Err()
+	}
+	return dr.recs, cached, nil
+}
+
+// distEvaluator returns the search.Evaluator an optimization job uses
+// in distributed mode: each generation is one dispatchBatch over the
+// worker fleet, exactly the treatment a whole sweep grid gets in
+// runDistributed. The NSGA-II coordinator blocks between generations
+// by construction (selection needs every record), so a per-generation
+// barrier costs nothing. Chunks left pending or leased after a
+// cancelled generation are withdrawn by runOptimize's deferred endJob.
+func (m *Manager) distEvaluator(j *job) search.Evaluator {
+	return func(ctx context.Context, gen int, pts []sweep.Point) ([]sweep.Record, int, error) {
+		return m.dispatchBatch(ctx, j, pts)
 	}
 }

@@ -6,20 +6,26 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
+	"repro/internal/search"
 	"repro/internal/sweep"
 )
 
 // NewHandler exposes a Manager over HTTP:
 //
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (reports sweep.EngineVersion)
 //	GET    /api/v1/scenarios         registered scenarios with grid sizes
-//	POST   /api/v1/jobs              submit a sweep (Request JSON) -> 202 JobView
+//	GET    /api/v1/spaces            registered search spaces with their parameters
+//	POST   /api/v1/jobs              submit a job (Request JSON) -> 202 JobView
 //	GET    /api/v1/jobs              all jobs in submission order
 //	GET    /api/v1/jobs/{id}         one job snapshot (poll for progress)
 //	DELETE /api/v1/jobs/{id}         cancel a queued or running job
 //	GET    /api/v1/jobs/{id}/records completed records as NDJSON, one per line
 //	GET    /api/v1/jobs/{id}/pareto  the job's Pareto-front records
+//	GET    /api/v1/jobs/{id}/generations per-generation optimizer fronts as a
+//	                                 live NDJSON stream (closes once the job
+//	                                 is terminal; empty for sweep jobs)
 //
 // The worker tier (cmd/sweepworker) drives four more endpoints, live
 // only in distributed mode (a non-distributed daemon answers 204 to
@@ -39,9 +45,16 @@ import (
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// The engine version lets optimizer clients and worker binaries
+		// preflight-check compatibility before submitting or leasing:
+		// records are only comparable between equal engine versions.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"engine": sweep.EngineVersion,
+		})
 	})
 	mux.HandleFunc("GET /api/v1/scenarios", handleScenarios)
+	mux.HandleFunc("GET /api/v1/spaces", handleSpaces)
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -163,7 +176,13 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, fleet)
 	})
 	mux.HandleFunc("GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
-		res, err := m.Result(r.PathValue("id"))
+		id := r.PathValue("id")
+		// Snapshot the view before fetching the result: if the job is
+		// evicted between the two lookups, the Result call fails loudly
+		// instead of the response silently losing its optimize
+		// annotations.
+		v, vErr := m.Get(id)
+		res, err := m.Result(id)
 		if err != nil {
 			writeError(w, jobStatus(err), err)
 			return
@@ -172,15 +191,62 @@ func NewHandler(m *Manager) http.Handler {
 		for _, i := range res.ParetoIndices {
 			front = append(front, res.Records[i])
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		payload := map[string]any{
 			"scenario": res.Scenario,
 			"seed":     res.Seed,
 			"budget":   res.Budget,
 			"front":    front,
-		})
+		}
+		// For optimizer jobs the front is relative to the requested
+		// objectives, not the grid engine's fixed trio; say which.
+		if vErr == nil && v.Kind == KindOptimize {
+			payload["space"] = v.Space
+			payload["objectives"] = v.Objectives
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/generations", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sent := 0
+		gens, terminal, err := m.Generations(id, sent)
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for {
+			for _, g := range gens {
+				if err := enc.Encode(g); err != nil {
+					return // client went away mid-stream
+				}
+			}
+			sent += len(gens)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(genPollInterval):
+			}
+			if gens, terminal, err = m.Generations(id, sent); err != nil {
+				return // job evicted mid-stream; nothing more to say
+			}
+		}
 	})
 	return mux
 }
+
+// genPollInterval is how often the generations stream re-checks a
+// running job for new summaries. Fronts arrive at most once per
+// generation — seconds apart under any real budget — so 100ms keeps
+// the stream effectively live at negligible poll cost.
+const genPollInterval = 100 * time.Millisecond
 
 // scenarioInfo is one row of the scenario listing.
 type scenarioInfo struct {
@@ -205,13 +271,39 @@ func handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// spaceInfo is one row of the search-space listing.
+type spaceInfo struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	Params      []search.Param `json:"params"`
+}
+
+func handleSpaces(w http.ResponseWriter, r *http.Request) {
+	var out []spaceInfo
+	for _, name := range search.Names() {
+		sp, err := search.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, spaceInfo{
+			Name:        sp.Name,
+			Description: sp.Description,
+			Params:      sp.Params,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // submitStatus maps Submit errors: validation failures (unknown
-// scenario or budget) are the client's fault, shutdown is availability.
+// scenario, space, objective, budget or shape) are the client's fault,
+// shutdown is availability.
 func submitStatus(err error) int {
 	if errors.Is(err, ErrShutdown) {
 		return http.StatusServiceUnavailable
 	}
-	if strings.HasPrefix(err.Error(), "sweep:") {
+	if errors.Is(err, ErrBadRequest) ||
+		strings.HasPrefix(err.Error(), "sweep:") ||
+		strings.HasPrefix(err.Error(), "search:") {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -32,11 +32,16 @@ func TestDaemonLifecycle(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()
 
-	// Liveness and catalog.
-	var health map[string]string
+	// Liveness and catalog. healthz must report the engine version so
+	// optimizer clients and worker binaries can preflight-check
+	// compatibility; this doubles as the regression test for that field.
+	var health map[string]any
 	getJSON(t, srv, "/healthz", &health)
 	if health["status"] != "ok" {
 		t.Fatalf("healthz = %v", health)
+	}
+	if engine, ok := health["engine"].(float64); !ok || int(engine) != sweep.EngineVersion {
+		t.Fatalf("healthz engine = %v, want %d", health["engine"], sweep.EngineVersion)
 	}
 	var scenarios []scenarioInfo
 	getJSON(t, srv, "/api/v1/scenarios", &scenarios)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/search"
 	"repro/internal/sweep"
 )
 
@@ -47,10 +48,21 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Request describes one sweep submission.
+// Job kinds: a grid sweep of a registered scenario, or an adaptive
+// multi-objective optimization over a registered search space.
+const (
+	KindSweep    = "sweep"
+	KindOptimize = "optimize"
+)
+
+// Request describes one job submission.
 type Request struct {
-	// Scenario names a registered sweep scenario.
-	Scenario string `json:"scenario"`
+	// Kind selects the job type: "sweep" (default) enumerates a
+	// scenario grid, "optimize" runs the adaptive multi-objective
+	// optimizer over a search space.
+	Kind string `json:"kind,omitempty"`
+	// Scenario names a registered sweep scenario (kind "sweep").
+	Scenario string `json:"scenario,omitempty"`
 	// Budget is the Monte-Carlo effort: analytic, smoke or standard
 	// (empty = analytic).
 	Budget string `json:"budget"`
@@ -60,6 +72,18 @@ type Request struct {
 	Priority int `json:"priority"`
 	// Workers bounds the job's point-evaluation pool (0 = NumCPU).
 	Workers int `json:"workers"`
+
+	// Optimize-only fields (kind "optimize").
+
+	// Space names a registered search space.
+	Space string `json:"space,omitempty"`
+	// Objectives picks the Pareto axes by name (empty = the default
+	// tx-power/decode-latency/noc-saturation trio).
+	Objectives []string `json:"objectives,omitempty"`
+	// Generations and Population shape the search (0 = the search
+	// package defaults). Population must be even and at least 4.
+	Generations int `json:"generations,omitempty"`
+	Population  int `json:"population,omitempty"`
 }
 
 // Progress counts a job's points by fate.
@@ -73,7 +97,12 @@ type Progress struct {
 // JobView is an immutable snapshot of a job, safe to serialize.
 type JobView struct {
 	ID          string     `json:"id"`
-	Scenario    string     `json:"scenario"`
+	Kind        string     `json:"kind"`
+	Scenario    string     `json:"scenario,omitempty"`
+	Space       string     `json:"space,omitempty"`
+	Objectives  []string   `json:"objectives,omitempty"`
+	Generations int        `json:"generations,omitempty"`
+	Population  int        `json:"population,omitempty"`
 	Budget      string     `json:"budget"`
 	Seed        uint64     `json:"seed"`
 	Priority    int        `json:"priority"`
@@ -89,11 +118,20 @@ type JobView struct {
 type job struct {
 	id       string
 	seq      uint64
+	kind     string
 	req      Request
 	scenario sweep.Scenario
 	budget   sweep.Budget
 	pts      []sweep.Point
 	total    int
+	// scenarioName is the scenario string in records, leases and cache
+	// keys: the grid scenario's name for sweeps, "optimize/<space>" for
+	// optimizations.
+	scenarioName string
+	// searchOpts holds the normalized optimization parameters
+	// (kind "optimize"); Seed/Workers/Evaluate/OnGeneration are filled
+	// in at run time.
+	searchOpts search.Options
 
 	// done and cached are updated from sweep workers; everything under
 	// mu is updated by the scheduler and Cancel.
@@ -104,6 +142,7 @@ type job struct {
 	state     State
 	errMsg    string
 	result    *sweep.Result
+	gens      []search.Generation
 	cancel    context.CancelFunc
 	submitted time.Time
 	started   time.Time
@@ -117,6 +156,7 @@ func (j *job) view() JobView {
 	done := int(j.done.Load())
 	v := JobView{
 		ID:          j.id,
+		Kind:        j.kind,
 		Scenario:    j.req.Scenario,
 		Budget:      j.budget.Name,
 		Seed:        j.req.Seed,
@@ -130,6 +170,14 @@ func (j *job) view() JobView {
 			Cached:  int(j.cached.Load()),
 			Pending: j.total - done,
 		},
+	}
+	if j.kind == KindOptimize {
+		v.Space = j.searchOpts.Space.Name
+		for _, o := range j.searchOpts.Objectives {
+			v.Objectives = append(v.Objectives, o.Name)
+		}
+		v.Generations = j.searchOpts.Generations
+		v.Population = j.searchOpts.Population
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -147,6 +195,9 @@ var (
 	ErrShutdown   = errors.New("service: manager is shut down")
 	ErrUnknownJob = errors.New("service: unknown job")
 	ErrNotDone    = errors.New("service: job has no result yet")
+	// ErrBadRequest marks submissions rejected before queueing (unknown
+	// kind, malformed shape); the HTTP layer maps it to 400.
+	ErrBadRequest = errors.New("service: invalid request")
 )
 
 // Options tunes a Manager.
@@ -243,13 +294,52 @@ func New(opts Options) *Manager {
 
 // Submit validates the request, enqueues a job and returns its snapshot.
 func (m *Manager) Submit(req Request) (JobView, error) {
-	sc, err := sweep.Get(req.Scenario)
-	if err != nil {
-		return JobView{}, err
-	}
 	budget, err := sweep.ParseBudget(req.Budget)
 	if err != nil {
 		return JobView{}, err
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = KindSweep
+	}
+	j := &job{kind: kind, req: req, budget: budget, state: StateQueued}
+	var pts []sweep.Point
+	switch kind {
+	case KindSweep:
+		sc, err := sweep.Get(req.Scenario)
+		if err != nil {
+			return JobView{}, err
+		}
+		pts = sc.Points()
+		j.scenario = sc
+		j.scenarioName = sc.Name
+		j.total = len(pts)
+	case KindOptimize:
+		sp, err := search.Get(req.Space)
+		if err != nil {
+			return JobView{}, err
+		}
+		objs, err := search.ParseObjectives(req.Objectives)
+		if err != nil {
+			return JobView{}, err
+		}
+		opts := search.Options{
+			Space:       sp,
+			Objectives:  objs,
+			Seed:        req.Seed,
+			Generations: req.Generations,
+			Population:  req.Population,
+			Budget:      budget,
+			Workers:     req.Workers,
+		}
+		if err := opts.Normalize(); err != nil {
+			return JobView{}, err
+		}
+		j.searchOpts = opts
+		j.scenarioName = sp.ScenarioName()
+		j.total = opts.Generations * opts.Population
+	default:
+		return JobView{}, fmt.Errorf("%w: unknown job kind %q (sweep|optimize)", ErrBadRequest, req.Kind)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -257,17 +347,9 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 		return JobView{}, ErrShutdown
 	}
 	m.seq++
-	pts := sc.Points()
-	j := &job{
-		id:        fmt.Sprintf("job-%06d", m.seq),
-		seq:       m.seq,
-		req:       req,
-		scenario:  sc,
-		budget:    budget,
-		total:     len(pts),
-		state:     StateQueued,
-		submitted: m.opts.Clock(),
-	}
+	j.id = fmt.Sprintf("job-%06d", m.seq)
+	j.seq = m.seq
+	j.submitted = m.opts.Clock()
 	if m.dispatch != nil {
 		// Only the dispatcher reads the grid; in-process jobs must not
 		// pin it in the retained-jobs table for their whole lifetime.
@@ -418,9 +500,12 @@ func (m *Manager) worker() {
 		}
 		j := m.queue.pop()
 		m.mu.Unlock()
-		if m.dispatch != nil {
+		switch {
+		case j.kind == KindOptimize:
+			m.runOptimize(j)
+		case m.dispatch != nil:
 			m.runDistributed(j)
-		} else {
+		default:
 			m.run(j)
 		}
 	}
@@ -478,4 +563,112 @@ func (m *Manager) run(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+}
+
+// runOptimize executes one optimization job through the adaptive
+// search engine. The NSGA-II coordinator always runs on this scheduler
+// goroutine; only the per-generation evaluation changes with the
+// deployment — in-process through sweep.EvaluatePoints, or chunked over
+// the worker fleet in distributed mode. Either way the result is a
+// pure function of the request, so the two deployments answer
+// byte-identically.
+func (m *Manager) runOptimize(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = m.opts.Clock()
+	j.mu.Unlock()
+	defer cancel()
+
+	opts := j.searchOpts
+	opts.OnGeneration = func(g search.Generation) {
+		j.mu.Lock()
+		j.gens = append(j.gens, g)
+		j.mu.Unlock()
+	}
+	if m.dispatch != nil {
+		opts.Evaluate = m.distEvaluator(j)
+		// Whatever way the run ends, withdraw any chunks still queued or
+		// leased and forget the job's lease ids.
+		defer m.dispatch.endJob(j)
+	} else {
+		opts.Evaluate = search.InProcessEvaluator(
+			opts.Space, opts.Seed, opts.Budget, opts.Workers, m.opts.Cache,
+			func(_ int, cached bool) {
+				j.done.Add(1)
+				if cached {
+					j.cached.Add(1)
+				}
+			})
+	}
+
+	res, err := func() (res *search.Result, err error) {
+		// Contain panics exactly like the sweep path: a blown-up point
+		// evaluation fails this job, not the daemon.
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+			}
+		}()
+		return search.Optimize(ctx, opts)
+	}()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = m.opts.Clock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		// The optimizer's archive is shaped like a sweep result —
+		// records plus front indices — so every result endpoint
+		// (records stream, Pareto front) serves both job kinds.
+		j.result = &sweep.Result{
+			Scenario:       j.scenarioName,
+			Description:    opts.Space.Description,
+			Seed:           res.Seed,
+			Budget:         res.Budget,
+			Records:        res.Records,
+			ParetoIndices:  res.FrontIndices,
+			CachedPoints:   res.CachedPoints,
+			ComputedPoints: res.ComputedPoints,
+		}
+	case ctx.Err() != nil:
+		j.state = StateCancelled
+		j.errMsg = "cancelled: " + ctx.Err().Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// Generations returns an optimization job's per-generation summaries
+// starting at offset from, plus whether the job has reached a terminal
+// state — the pair a streaming client needs to decide between "emit
+// and keep following" and "emit and hang up". Sweep jobs always return
+// an empty slice.
+func (m *Manager) Generations(id string, from int) ([]search.Generation, bool, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	terminal := j.state.Terminal()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(j.gens) {
+		return nil, terminal, nil
+	}
+	out := make([]search.Generation, len(j.gens)-from)
+	copy(out, j.gens[from:])
+	return out, terminal, nil
 }

@@ -88,15 +88,22 @@ func RunWorker(ctx context.Context, api WorkerAPI, opts WorkerOptions) error {
 	}
 }
 
-// serveLease evaluates one leased chunk and posts the result.
+// serveLease evaluates one leased chunk and posts the result. A lease
+// that carries explicit Points (an optimizer generation) is evaluated
+// directly through sweep.EvaluatePoints; otherwise the chunk names a
+// registered scenario whose grid the worker regenerates locally.
 func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions, logf func(string, ...any)) error {
 	if l.Engine != sweep.EngineVersion {
 		return fmt.Errorf("service: worker runs engine v%d but daemon leased engine v%d work — rebuild the worker",
 			sweep.EngineVersion, l.Engine)
 	}
-	sc, err := sweep.Get(l.Scenario)
-	if err != nil {
-		return fmt.Errorf("service: daemon leased a scenario this worker does not know: %w", err)
+	var sc sweep.Scenario
+	if len(l.Points) == 0 {
+		var err error
+		sc, err = sweep.Get(l.Scenario)
+		if err != nil {
+			return fmt.Errorf("service: daemon leased a scenario this worker does not know: %w", err)
+		}
 	}
 	budget, err := sweep.ParseBudget(l.Budget)
 	if err != nil {
@@ -143,11 +150,16 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 				err = fmt.Errorf("evaluation panicked: %v", r)
 			}
 		}()
-		return evalChunk(evalCtx, sc, sweep.Chunk{Start: l.Start, End: l.End}, sweep.Config{
+		cfg := sweep.Config{
 			Workers: opts.Workers,
 			Seed:    l.Seed,
 			Budget:  budget,
-		})
+		}
+		if len(l.Points) > 0 {
+			recs, _, err := evalPoints(evalCtx, l.Scenario, l.Points, cfg)
+			return recs, err
+		}
+		return evalChunk(evalCtx, sc, sweep.Chunk{Start: l.Start, End: l.End}, cfg)
 	}()
 	cancelEval()
 	<-hbDone
@@ -190,9 +202,13 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 	return nil
 }
 
-// evalChunk is sweep.EvaluateChunk, replaceable by tests that need a
-// panicking evaluation.
-var evalChunk = sweep.EvaluateChunk
+// evalChunk and evalPoints are sweep.EvaluateChunk and
+// sweep.EvaluatePoints, replaceable by tests that need a panicking
+// evaluation.
+var (
+	evalChunk  = sweep.EvaluateChunk
+	evalPoints = sweep.EvaluatePoints
+)
 
 // completeWithRetry posts records, retrying transient errors a few
 // times. ErrLeaseGone and ErrBadRecords are deterministic outcomes and

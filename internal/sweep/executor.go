@@ -113,9 +113,11 @@ type Config struct {
 	// and filled after: rerunning a scenario reuses every point whose
 	// key (scenario, point, budget, seed, engine version) is present.
 	Cache Cache
-	// OnPoint, when non-nil, is called once per finished point with its
-	// grid index and whether it was served from the Cache. It runs on
-	// worker goroutines and must be safe for concurrent use.
+	// OnPoint, when non-nil, is called once per finished point with the
+	// point's own Index (the grid index for scenario sweeps, the global
+	// evaluation index for optimizer generations) and whether it was
+	// served from the Cache. It runs on worker goroutines and must be
+	// safe for concurrent use.
 	OnPoint func(index int, cached bool)
 }
 
@@ -137,9 +139,13 @@ type Result struct {
 	ComputedPoints int `json:"computed_points"`
 }
 
-// pointEvaluator returns the closure Run and EvaluateChunk share: it
-// evaluates one grid point by absolute index, reading through cfg.Cache
-// and reporting to cfg.OnPoint. cached, when non-nil, counts cache hits.
+// pointEvaluator returns the closure Run, EvaluateChunk and
+// EvaluatePoints share: it evaluates one point by slice position,
+// reading through cfg.Cache and reporting to cfg.OnPoint. cached, when
+// non-nil, counts cache hits. The random sub-stream is derived from the
+// point's own Index (identical to the slice position for scenario grids,
+// a global evaluation index for optimizer generations), so any slice of
+// points reproduces the records a full evaluation would give them.
 func pointEvaluator(scenario string, pts []Point, cfg Config, root *rng.Stream, cached *atomic.Int64) func(i int) Record {
 	return func(i int) Record {
 		var key string
@@ -154,20 +160,20 @@ func pointEvaluator(scenario string, pts []Point, cfg Config, root *rng.Stream, 
 				// stored flag says.
 				rec.Pareto = false
 				if cfg.OnPoint != nil {
-					cfg.OnPoint(i, true)
+					cfg.OnPoint(pts[i].Index, true)
 				}
 				return rec
 			}
 		}
-		// Split is a pure function of (root seed, index): every point
-		// gets the same sub-stream no matter which worker — goroutine or
-		// fleet process — runs it.
-		rec := Evaluate(scenario, pts[i], root.Split(uint64(i)+1), cfg.Budget)
+		// Split is a pure function of (root seed, point index): every
+		// point gets the same sub-stream no matter which worker —
+		// goroutine or fleet process — runs it.
+		rec := Evaluate(scenario, pts[i], root.Split(uint64(pts[i].Index)+1), cfg.Budget)
 		if cfg.Cache != nil {
 			cfg.Cache.Put(key, rec)
 		}
 		if cfg.OnPoint != nil {
-			cfg.OnPoint(i, false)
+			cfg.OnPoint(pts[i].Index, false)
 		}
 		return rec
 	}
@@ -197,4 +203,24 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
 	}
 	res.ParetoIndices = MarkPareto(res.Records)
 	return res, nil
+}
+
+// EvaluatePoints evaluates an arbitrary list of design points — not
+// necessarily a registered scenario's grid — through the same parallel
+// executor, cache read-through and OnPoint reporting as Run. It returns
+// the records in slice order plus how many were served from cfg.Cache.
+//
+// Each point's random sub-stream is rng.New(cfg.Seed).Split(Index+1), a
+// pure function of (seed, point index): callers that assign globally
+// unique indices (the adaptive optimizer numbers individuals
+// generation*population+i) get worker-count-independent, byte-identical
+// records for any partition of the list, exactly like scenario grids.
+// scenario names the point family in records and cache keys; optimizer
+// evaluations use "optimize/<space>" so they never collide with grid
+// scenarios.
+func EvaluatePoints(ctx context.Context, scenario string, pts []Point, cfg Config) ([]Record, int, error) {
+	var cached atomic.Int64
+	eval := pointEvaluator(scenario, pts, cfg, rng.New(cfg.Seed), &cached)
+	recs, err := Map(ctx, len(pts), cfg.Workers, eval)
+	return recs, int(cached.Load()), err
 }

@@ -93,6 +93,12 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			f(r.SimLatencyCycles), f(r.SimLatencyCI95), strconv.Itoa(r.SimReplications),
 			strconv.FormatBool(r.Pareto),
 		}
+		if len(row) != len(csvHeader) {
+			// A row that drifted from the header (a field added to one
+			// but not the other) would silently skew every column after
+			// the mismatch; fail the whole write instead.
+			return fmt.Errorf("sweep: CSV row for record #%d has %d fields, header has %d", r.Index, len(row), len(csvHeader))
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -239,6 +240,59 @@ func TestMarkParetoDominance(t *testing.T) {
 	}
 }
 
+// TestMarkParetoEdgeCases pins the front membership of the awkward
+// records a sweep (or the adaptive optimizer) can produce: infeasible
+// points with zeroed metrics, NaN metrics out of a degenerate model,
+// and exact ties. Whatever one thinks each case *should* do, the
+// answer must be deterministic — optimizer clients and the result
+// store compare fronts byte for byte.
+func TestMarkParetoEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	recs := []Record{
+		{TxPowerDBm: 1, DecodeLatencyBits: 100, NoCSaturation: 0.5},   // 0: anchor
+		{TxPowerDBm: 2, DecodeLatencyBits: 200, NoCSaturation: 0.4},   // 1: dominated by 0
+		{TxPowerDBm: nan, DecodeLatencyBits: 100, NoCSaturation: 0.5}, // 2: NaN power
+		{TxPowerDBm: 1, DecodeLatencyBits: 100, NoCSaturation: 0.5},   // 3: exact tie with 0
+		{Err: "rejected", TxPowerDBm: 0, DecodeLatencyBits: 0},        // 4: infeasible, zero metrics
+		{TxPowerDBm: nan, DecodeLatencyBits: nan, NoCSaturation: nan}, // 5: all NaN
+		{Err: "rejected", TxPowerDBm: nan, DecodeLatencyBits: nan},    // 6: infeasible and NaN
+	}
+
+	// Every comparison against a NaN field is false, so a NaN record is
+	// never "worse" on that axis: record 2 beats record 1 on latency and
+	// is itself unbeatable on power, and the all-NaN record 5 cannot be
+	// strictly beaten anywhere. Both join the front — deterministically.
+	// Exact ties (0 and 3) never dominate each other, so both stay.
+	// Infeasible records stay out no matter how seductive their zeroed
+	// or NaN metrics look.
+	want := []int{0, 2, 3, 5}
+	for trial := 0; trial < 3; trial++ {
+		front := MarkPareto(recs)
+		if len(front) != len(want) {
+			t.Fatalf("trial %d: front = %v, want %v", trial, front, want)
+		}
+		for i := range want {
+			if front[i] != want[i] {
+				t.Fatalf("trial %d: front = %v, want %v", trial, front, want)
+			}
+		}
+		for i, rec := range recs {
+			onFront := false
+			for _, f := range front {
+				if f == i {
+					onFront = true
+				}
+			}
+			if rec.Pareto != onFront {
+				t.Fatalf("record %d Pareto=%v, front membership=%v", i, rec.Pareto, onFront)
+			}
+		}
+	}
+	if recs[4].Pareto || recs[6].Pareto {
+		t.Error("infeasible record flagged Pareto")
+	}
+}
+
 func TestAdaptiveMeanStopsEarlyOnTightCI(t *testing.T) {
 	// Constant samples: CI collapses immediately after minN.
 	est := AdaptiveMean(3, 1000, 0.01, func(i int) float64 { return 5 })
@@ -270,6 +324,24 @@ func TestWriteCSVShape(t *testing.T) {
 	}
 	if n, m := len(strings.Split(lines[0], ",")), len(strings.Split(lines[1], ",")); n != m {
 		t.Errorf("header has %d columns, row has %d", n, m)
+	}
+}
+
+// TestWriteCSVRejectsHeaderDrift proves the guard that keeps header
+// and rows in lock-step: extend the header without teaching row
+// emission about the new column (exactly what adding an optimizer
+// field forgetfully would do) and the write must fail instead of
+// silently skewing every column after the drift.
+func TestWriteCSVRejectsHeaderDrift(t *testing.T) {
+	old := csvHeader
+	csvHeader = append(append([]string{}, csvHeader...), "drifted_column")
+	defer func() { csvHeader = old }()
+	err := WriteCSV(io.Discard, []Record{{Scenario: "s"}})
+	if err == nil {
+		t.Fatal("WriteCSV emitted rows narrower than the header")
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("drift error does not explain itself: %v", err)
 	}
 }
 
