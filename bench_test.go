@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/search"
 	"repro/internal/sweep"
 )
@@ -132,6 +133,40 @@ func BenchmarkSweepPaperBaseline(b *testing.B) {
 		if len(res.ParetoIndices) == 0 {
 			b.Fatal("empty Pareto front")
 		}
+	}
+}
+
+// BenchmarkPerfWorkloads times every workload of the performance
+// baseline catalog (internal/perf) through the standard benchmark
+// runner. The bodies are exactly what `cmd/perf run` measures into
+// BENCH_<n>.json, so `go test -bench PerfWorkloads` and the perf CLI
+// report the same code paths — the CLI for the committed trajectory
+// and CI gate, this suite for benchstat-style local comparisons.
+func BenchmarkPerfWorkloads(b *testing.B) {
+	for _, w := range perf.Catalog() {
+		b.Run(w.Name, func(b *testing.B) {
+			ctx := context.Background()
+			if w.Setup != nil {
+				cleanup, err := w.Setup(ctx, perf.DefaultSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cleanup != nil {
+					defer cleanup()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				units, err := w.Run(ctx, perf.DefaultSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if units <= 0 {
+					b.Fatalf("workload %s reported no units", w.Name)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,194 @@
+// Command perf measures the repository's performance-baseline catalog
+// (internal/perf) and gates regressions against committed BENCH_<n>.json
+// baselines.
+//
+// Usage:
+//
+//	perf list
+//	perf run [-budget ci|full] [-seed S] [-workloads substr] [-o BENCH.json]
+//	perf diff OLD.json NEW.json
+//
+// run measures every catalog workload — each a deterministic body
+// shared with the root `go test -bench` suite — and writes a BENCH
+// file: schema and engine versions, toolchain and git metadata, then
+// one entry per workload with ns/op, allocs/op and domain throughput
+// (codewords/s, points/s, records/s). Output goes to stdout, or
+// atomically (temp file + rename) to -o.
+//
+// diff compares two BENCH files and exits 1 when any workload slowed
+// past its threshold (or dropped out of the new file); thresholds live
+// in internal/perf, nowhere else. Exit codes: 0 no regression, 1
+// regression, 2 usage or I/O error.
+//
+// The committed baselines form the repository's performance
+// trajectory: each PR that touches a hot path records its effect in a
+// new BENCH_<n>.json, and CI re-measures every push against the latest
+// one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/fsio"
+	"repro/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		if err := run(ctx, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(2)
+		}
+	case "diff":
+		code, err := diff(os.Args[2:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "perf: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func list() {
+	fmt.Println("performance workload catalog:")
+	for _, w := range perf.Catalog() {
+		fmt.Printf("  %-22s %-10s thresh %3.0f%%  %s\n",
+			w.Name, w.Units, w.RegressFrac()*100, w.Description)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	budgetName := fs.String("budget", "ci", "measurement effort: ci or full")
+	seed := fs.Uint64("seed", perf.DefaultSeed, "workload seed (committed baselines use the default)")
+	filter := fs.String("workloads", "", "only measure workloads whose name contains this substring")
+	out := fs.String("o", "", "output path (default stdout); written atomically")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	budget, err := perf.ParseBudget(*budgetName)
+	if err != nil {
+		return err
+	}
+
+	file := perf.NewFile(budget, *seed)
+	file.GitCommit, file.GitDirty = gitMetadata()
+
+	measured := 0
+	for _, w := range perf.Catalog() {
+		if *filter != "" && !strings.Contains(w.Name, *filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "measuring %-22s ", w.Name)
+		m, err := w.Measure(ctx, *seed, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %12.0f %s/s  (%d iters)\n",
+			m.NsPerOp, m.UnitsPerSec, m.Units, m.Iters)
+		file.Workloads = append(file.Workloads, m)
+		measured++
+	}
+	if measured == 0 {
+		return fmt.Errorf("no workload matches -workloads %q", *filter)
+	}
+
+	if *out == "" {
+		return file.Encode(os.Stdout)
+	}
+	if err := fsio.WriteFileAtomic(*out, func(f *os.File) error {
+		return file.Encode(f)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+func diff(args []string) (int, error) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("diff needs exactly two BENCH files, got %d", fs.NArg())
+	}
+	old, err := readBench(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	cur, err := readBench(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	res := perf.Diff(old, cur)
+	res.Render(os.Stdout)
+	if res.Failed() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func readBench(path string) (*perf.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := perf.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// gitMetadata best-effort stamps the measured tree; a missing git
+// binary or checkout just leaves the fields empty.
+func gitMetadata() (commit string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	commit = strings.TrimSpace(string(out))
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	if err != nil {
+		return commit, false
+	}
+	return commit, len(strings.TrimSpace(string(status))) > 0
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `perf — deterministic performance harness over the workload catalog
+
+usage:
+  perf list
+  perf run [-budget ci|full] [-seed S] [-workloads substr] [-o BENCH.json]
+  perf diff OLD.json NEW.json
+
+run measures the catalog into a BENCH_<n>.json baseline; diff compares
+two baselines and exits 1 when any workload regressed past its
+threshold (thresholds live in internal/perf).
+`)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// benchFixture writes a BENCH file with one workload at the given
+// ns/op.
+func benchFixture(t *testing.T, path string, nsPerOp float64) {
+	t.Helper()
+	f := perf.NewFile(perf.CIBudget(), perf.DefaultSeed)
+	f.Workloads = []perf.Measurement{{
+		Name: "fixture-workload", Units: "points", Iters: 3,
+		WallNs: int64(3 * nsPerOp), NsPerOp: nsPerOp,
+		UnitsPerOp: 8, UnitsPerSec: 8e9 / nsPerOp,
+	}}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffExitCodes runs the built binary end to end: identical files
+// exit 0, a doctored regression exits 1, garbage exits 2.
+func TestDiffExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "perf-bin")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	slow := filepath.Join(dir, "slow.json")
+	bad := filepath.Join(dir, "bad.json")
+	benchFixture(t, base, 1000)
+	benchFixture(t, same, 1000)
+	benchFixture(t, slow, 1000*(1+perf.DefaultRegressFrac)*1.5)
+	if err := os.WriteFile(bad, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		old, cur string
+		wantCode int
+	}{
+		{"identical", base, same, 0},
+		{"self", base, base, 0},
+		{"regression", base, slow, 1},
+		{"improvement", slow, base, 0},
+		{"schema mismatch", base, bad, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, "diff", tc.old, tc.cur)
+			out, err := cmd.CombinedOutput()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d\n%s", code, tc.wantCode, out)
+			}
+		})
+	}
+}
+
+// TestRunProducesDecodableFile measures a single cheap workload into a
+// file and decodes it back.
+func TestRunProducesDecodableFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and measures a workload")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "perf-bin")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out := filepath.Join(dir, "bench.json")
+	cmd := exec.Command(bin, "run", "-workloads", "noc-compiled-fig8", "-o", out)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("run: %v\n%s", err, b)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bench, err := perf.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Workloads) != 1 || bench.Workloads[0].Name != "noc-compiled-fig8" {
+		t.Fatalf("workloads = %+v", bench.Workloads)
+	}
+	if bench.Workloads[0].NsPerOp <= 0 || bench.Workloads[0].UnitsPerSec <= 0 {
+		t.Fatalf("degenerate measurement: %+v", bench.Workloads[0])
+	}
+	// The file is valid JSON end to end (Encode appends a newline).
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+}

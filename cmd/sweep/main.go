@@ -35,10 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/search"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
@@ -189,7 +189,7 @@ func run(args []string) error {
 				return err
 			}
 		} else {
-			if err := writeFileAtomic(*out, func(f *os.File) error {
+			if err := fsio.WriteFileAtomic(*out, func(f *os.File) error {
 				return sweep.WriteJSON(f, res)
 			}); err != nil {
 				return err
@@ -198,7 +198,7 @@ func run(args []string) error {
 		}
 	}
 	if *csvOut != "" {
-		if err := writeFileAtomic(*csvOut, func(f *os.File) error {
+		if err := fsio.WriteFileAtomic(*csvOut, func(f *os.File) error {
 			return sweep.WriteCSV(f, res.Records)
 		}); err != nil {
 			return err
@@ -296,7 +296,7 @@ func optimize(args []string) error {
 				return err
 			}
 		} else {
-			if err := writeFileAtomic(*out, func(f *os.File) error {
+			if err := fsio.WriteFileAtomic(*out, func(f *os.File) error {
 				return writeResultJSON(f, res)
 			}); err != nil {
 				return err
@@ -305,7 +305,7 @@ func optimize(args []string) error {
 		}
 	}
 	if *csvOut != "" {
-		if err := writeFileAtomic(*csvOut, func(f *os.File) error {
+		if err := fsio.WriteFileAtomic(*csvOut, func(f *os.File) error {
 			return sweep.WriteCSV(f, res.Records)
 		}); err != nil {
 			return err
@@ -351,46 +351,6 @@ func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), timeout)
 	}
 	return context.WithCancel(context.Background())
-}
-
-// writeFileAtomic streams emit into a temp file next to path and renames
-// it into place only after a successful write, sync and close — readers
-// never observe a partial file and every emitter or flush error reaches
-// the caller (and so the exit code) instead of being lost in a deferred
-// Close.
-func writeFileAtomic(path string, emit func(*os.File) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	// CreateTemp makes 0600 files; match what os.Create would have
-	// produced so other readers keep working.
-	if err := tmp.Chmod(0o644); err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := emit(tmp); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return nil
 }
 
 func usage() {

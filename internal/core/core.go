@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/ldpc"
@@ -260,6 +261,67 @@ func chooseCode(budgetBits int) (CodePlan, error) {
 	}, nil
 }
 
+// stackCandidate is one compiled topology contender: the mesh, its
+// frozen evaluator and its (injection-independent) saturation rate.
+type stackCandidate struct {
+	topo  *noc.Mesh
+	model *analytic.Compiled
+	sat   float64
+}
+
+// stackCache memoises compiled candidate topologies per module count.
+// Compiling a mesh costs O(routers^2 x hops) — profiles put it at
+// essentially 100% of an analytic sweep — while a design point only
+// needs one O(channels) latency evaluation per candidate, and sweep
+// grids revisit the same handful of module counts for every point.
+// Mesh and Compiled are immutable and safe to share across sweep
+// workers, and candidate construction is deterministic, so cached and
+// freshly built candidates are indistinguishable; a bounded FIFO keeps
+// an optimizer walking a wide StackModules range from pinning hundreds
+// of large compiled meshes in memory.
+var stackCache = struct {
+	sync.Mutex
+	entries map[int][]stackCandidate
+	order   []int
+}{entries: map[int][]stackCandidate{}}
+
+// stackCacheCap bounds the cached module counts; scenario grids use a
+// handful, and one 512-module entry is a few MB.
+const stackCacheCap = 32
+
+// compiledCandidates returns the compiled topology contenders for the
+// module count, building and caching them on first request.
+func compiledCandidates(modules int) []stackCandidate {
+	stackCache.Lock()
+	if c, ok := stackCache.entries[modules]; ok {
+		stackCache.Unlock()
+		return c
+	}
+	stackCache.Unlock()
+
+	// Build outside the lock: compilation is the expensive part, and two
+	// workers racing on the same module count produce identical
+	// candidates, so the second insert is a harmless overwrite.
+	var cands []stackCandidate
+	for _, topo := range candidateTopologies(modules) {
+		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.Compile()
+		cands = append(cands, stackCandidate{topo: topo, model: model, sat: model.SaturationRate()})
+	}
+
+	stackCache.Lock()
+	if _, dup := stackCache.entries[modules]; !dup {
+		stackCache.entries[modules] = cands
+		stackCache.order = append(stackCache.order, modules)
+		if len(stackCache.order) > stackCacheCap {
+			evict := stackCache.order[0]
+			stackCache.order = stackCache.order[1:]
+			delete(stackCache.entries, evict)
+		}
+	}
+	stackCache.Unlock()
+	return cands
+}
+
 // chooseStack evaluates the Fig. 7 topology types for the module count
 // and picks the lowest-latency feasible one at the given load.
 func chooseStack(modules int, injection float64) (StackPlan, error) {
@@ -268,18 +330,16 @@ func chooseStack(modules int, injection float64) (StackPlan, error) {
 	bestLat := math.Inf(1)
 	var bestSat float64
 
-	for _, topo := range candidateTopologies(modules) {
-		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.Compile()
-		sat := model.SaturationRate()
-		lat, ok := model.AvgLatency(injection)
+	for _, cand := range compiledCandidates(modules) {
+		lat, ok := cand.model.AvgLatency(injection)
 		alts = append(alts, StackAlternative{
-			Name:           topo.Name(),
+			Name:           cand.topo.Name(),
 			LatencyCycles:  lat,
-			SaturationRate: sat,
+			SaturationRate: cand.sat,
 			Feasible:       ok,
 		})
 		if ok && lat < bestLat {
-			bestMesh, bestLat, bestSat = topo, lat, sat
+			bestMesh, bestLat, bestSat = cand.topo, lat, cand.sat
 		}
 	}
 	if bestMesh == nil {

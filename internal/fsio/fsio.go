@@ -1,0 +1,52 @@
+// Package fsio holds the small filesystem idioms every command-line
+// tool in this repository shares — today, atomic output-file writes.
+// Results files (sweep outputs, BENCH_*.json baselines) gate CI jobs
+// and downstream tooling, so a crashed or out-of-space run must never
+// leave a truncated file behind; every writer goes through
+// WriteFileAtomic instead of hand-rolling os.Create.
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic streams emit into a temp file next to path and renames
+// it into place only after a successful write, sync and close — readers
+// never observe a partial file and every emitter or flush error reaches
+// the caller (and so the exit code) instead of being lost in a deferred
+// Close.
+func WriteFileAtomic(path string, emit func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	// CreateTemp makes 0600 files; match what os.Create would have
+	// produced so other readers keep working.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := emit(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicWritesAndOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	for _, content := range []string{"first", "second, longer than the first"} {
+		if err := WriteFileAtomic(path, func(f *os.File) error {
+			_, err := f.WriteString(content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read back %q, want %q", got, content)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("mode = %v, want 0644", perm)
+	}
+}
+
+func TestWriteFileAtomicFailedEmitLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	boom := errors.New("emit failed")
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		f.WriteString("partial")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed emit (err=%v)", err)
+	}
+	// The temp file must be cleaned up too.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicKeepsOldFileOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.WriteString("good")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		return errors.New("new write failed")
+	}); err == nil {
+		t.Fatal("want error from failed emit")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+}

@@ -112,11 +112,17 @@ func (c *Compiled) SaturationRate() float64 {
 // AvgLatency returns the mean packet latency in clock cycles at the
 // given injection rate; the second result is false at saturation.
 func (c *Compiled) AvgLatency(injectionRate float64) (float64, bool) {
+	return c.avgLatency(injectionRate, make([]float64, len(c.loadsPerUnit)))
+}
+
+// avgLatency is AvgLatency with a caller-owned per-channel scratch
+// buffer (len(loadsPerUnit)), so curve evaluation does not allocate
+// per point; Compiled itself stays immutable and concurrency-safe.
+func (c *Compiled) avgLatency(injectionRate float64, wait []float64) (float64, bool) {
 	if injectionRate < 0 {
 		panic(fmt.Sprintf("analytic: negative injection rate %g", injectionRate))
 	}
 	eff := c.m.efficiency()
-	wait := make([]float64, len(c.loadsPerUnit))
 	for i, l := range c.loadsPerUnit {
 		rho := l * injectionRate / (eff * c.capacity[i])
 		if rho >= 1 {
@@ -149,8 +155,9 @@ func (c *Compiled) ZeroLoadLatency() float64 {
 // LatencyCurve samples AvgLatency over the given injection rates.
 func (c *Compiled) LatencyCurve(rates []float64) []CurvePoint {
 	out := make([]CurvePoint, len(rates))
+	wait := make([]float64, len(c.loadsPerUnit))
 	for i, r := range rates {
-		lat, ok := c.AvgLatency(r)
+		lat, ok := c.avgLatency(r, wait)
 		out[i] = CurvePoint{InjectionRate: r, LatencyCycles: lat, Saturated: !ok}
 	}
 	return out

@@ -11,9 +11,22 @@ func (m *Mesh) Route(src, dst int) []int {
 	if src < 0 || src >= m.NumRouters() || dst < 0 || dst >= m.NumRouters() {
 		panic(fmt.Sprintf("noc: route endpoints (%d, %d) out of range", src, dst))
 	}
-	path := []int{src}
 	x, y, z := m.Coords(src)
 	dx, dy, dz := m.Coords(dst)
+
+	// The hop count is known up front (dimension-order walk plus the
+	// optional pillar detour), so the path is built in one allocation —
+	// route compilation visits every router pair and repeated append
+	// growth dominated its profile.
+	px, py := x, y
+	hops := 0
+	if z != dz && !m.hasPillar(x, y) {
+		px, py = x-x%m.verticalEvery, y-y%m.verticalEvery
+		hops += absInt(x-px) + absInt(y-py)
+	}
+	hops += absInt(z-dz) + absInt(px-dx) + absInt(py-dy)
+	path := make([]int, 1, hops+1)
+	path[0] = src
 
 	step := func(nx, ny, nz int) {
 		x, y, z = nx, ny, nz
@@ -36,10 +49,9 @@ func (m *Mesh) Route(src, dst int) []int {
 		}
 	}
 
-	if z != dz && !m.hasPillar(x, y) {
-		// Detour to the source block's TSV pillar first.
-		px := x - x%m.verticalEvery
-		py := y - y%m.verticalEvery
+	if px != x || py != y {
+		// Detour to the source block's TSV pillar first (the target was
+		// computed with the hop count above).
 		walkXY(px, py)
 	}
 	if z != dz {
@@ -53,6 +65,13 @@ func (m *Mesh) Route(src, dst int) []int {
 	}
 	walkXY(dx, dy)
 	return path
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // RouteChannels returns the channel ids traversed from src to dst.

@@ -36,8 +36,18 @@ type Mesh struct {
 	// remark that TSV area may not allow a vertical link per router).
 	verticalEvery int
 
-	channels  []Channel
-	chanIndex map[[2]int]int
+	channels []Channel
+
+	// Channel lookup by (router, move direction). Route steps always
+	// move along exactly one dimension, so the id delta To-From of a
+	// channel identifies its direction; moveDeltas holds the distinct
+	// deltas that occur in this mesh (at most 6) and chanDir[r*6+slot]
+	// the channel id leaving router r with that delta, or -1. This
+	// replaces a map[[2]int]int whose hashing dominated route
+	// compilation profiles.
+	moveDeltas [6]int
+	numDeltas  int
+	chanDir    []int32
 }
 
 // NewMesh2D returns a w x h mesh with one module per router
@@ -90,10 +100,8 @@ func newMesh(name string, dims [3]int, conc, verticalEvery int) *Mesh {
 		dims:          dims,
 		concentration: conc,
 		verticalEvery: verticalEvery,
-		chanIndex:     map[[2]int]int{},
 	}
 	addChan := func(a, b int, vertical bool) {
-		m.chanIndex[[2]int{a, b}] = len(m.channels)
 		m.channels = append(m.channels, Channel{From: a, To: b, Vertical: vertical})
 	}
 	for z := 0; z < dims[2]; z++ {
@@ -114,6 +122,30 @@ func newMesh(name string, dims [3]int, conc, verticalEvery int) *Mesh {
 				}
 			}
 		}
+	}
+
+	// Distinct move deltas never collide: dimensions collapsed to
+	// extent 1 generate no channels, and the remaining deltas
+	// (±1, ±dimX, ±dimX*dimY) differ whenever their moves exist.
+	m.chanDir = make([]int32, m.NumRouters()*6)
+	for i := range m.chanDir {
+		m.chanDir[i] = -1
+	}
+	for id, c := range m.channels {
+		d := c.To - c.From
+		slot := -1
+		for s := 0; s < m.numDeltas; s++ {
+			if m.moveDeltas[s] == d {
+				slot = s
+				break
+			}
+		}
+		if slot < 0 {
+			slot = m.numDeltas
+			m.moveDeltas[slot] = d
+			m.numDeltas++
+		}
+		m.chanDir[c.From*6+slot] = int32(id)
 	}
 	return m
 }
@@ -160,10 +192,18 @@ func (m *Mesh) Coords(router int) (x, y, z int) {
 func (m *Mesh) RouterOf(module int) int { return module / m.concentration }
 
 // ChannelID returns the index of the directed channel a -> b, or -1 if
-// the routers are not adjacent.
+// the routers are not adjacent. A channel exists only for a
+// single-dimension move, so the id delta picks the direction slot and
+// the per-router table answers in a handful of integer compares.
 func (m *Mesh) ChannelID(a, b int) int {
-	if id, ok := m.chanIndex[[2]int{a, b}]; ok {
-		return id
+	if a < 0 || a >= m.NumRouters() || b < 0 || b >= m.NumRouters() {
+		return -1
+	}
+	d := b - a
+	for s := 0; s < m.numDeltas; s++ {
+		if m.moveDeltas[s] == d {
+			return int(m.chanDir[a*6+s])
+		}
 	}
 	return -1
 }

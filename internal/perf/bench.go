@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/sweep"
+)
+
+// SchemaVersion numbers the BENCH_<n>.json layout. It bumps on any
+// change that would make an older reader misinterpret a newer file
+// (renamed keys, changed units); adding fields is backwards compatible
+// and does not bump it — readers tolerate unknown fields.
+const SchemaVersion = 1
+
+// File is one BENCH_<n>.json performance baseline. Marshalled with
+// encoding/json the key order is fixed by field declaration order, so
+// two baselines diff cleanly line by line.
+type File struct {
+	// SchemaVersion is the BENCH layout version; Decode rejects files
+	// whose version it does not speak.
+	SchemaVersion int `json:"schema_version"`
+	// EngineVersion is sweep.EngineVersion at measurement time: a bumped
+	// engine evaluates different work, so Diff flags cross-engine
+	// comparisons. Regressions still gate — the PR that bumps the
+	// engine records a fresh baseline instead of inheriting numbers
+	// measured under different semantics.
+	EngineVersion int `json:"engine_version"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform the
+	// numbers were taken on.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GitCommit and GitDirty locate the measured tree (empty when the
+	// producer ran outside a git checkout).
+	GitCommit string `json:"git_commit,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// Budget and Seed reproduce the measurement.
+	Budget string `json:"budget"`
+	Seed   uint64 `json:"seed"`
+	// Workloads holds one Measurement per catalog workload, in catalog
+	// (sorted name) order.
+	Workloads []Measurement `json:"workloads"`
+}
+
+// NewFile returns a File stamped with the current engine, toolchain and
+// platform metadata; the caller fills git metadata and Workloads.
+func NewFile(budget Budget, seed uint64) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		EngineVersion: sweep.EngineVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Budget:        budget.Name,
+		Seed:          seed,
+	}
+}
+
+// Encode writes the file as indented JSON with stable key order.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a BENCH file. Unknown fields are tolerated — newer
+// producers may add metadata — but a schema version this reader does
+// not speak is rejected outright: silently misreading a renamed key
+// would turn the CI gate into noise.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("perf: decode bench file: %w", err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: bench schema version %d, this reader speaks %d",
+			f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Find returns the measurement for the named workload.
+func (f *File) Find(name string) (Measurement, bool) {
+	for _, m := range f.Workloads {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}

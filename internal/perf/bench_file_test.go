@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	f := NewFile(CIBudget(), DefaultSeed)
+	f.GitCommit = "abc123"
+	f.Workloads = []Measurement{
+		{Name: "ldpc-decode-paper", Units: "codewords", Iters: 8, WallNs: 8_000_000,
+			NsPerOp: 1_000_000, AllocsPerOp: 12, BytesPerOp: 4096, UnitsPerOp: 16, UnitsPerSec: 16000},
+		{Name: "sweep-warm-store", Units: "points", Iters: 100, WallNs: 1_000_000,
+			NsPerOp: 10_000, AllocsPerOp: 3, BytesPerOp: 512, UnitsPerOp: 8, UnitsPerSec: 800000},
+	}
+	return f
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.EngineVersion != f.EngineVersion {
+		t.Fatalf("versions drifted: %+v", got)
+	}
+	if got.GitCommit != "abc123" || got.Budget != "ci" || got.Seed != DefaultSeed {
+		t.Fatalf("metadata drifted: %+v", got)
+	}
+	if len(got.Workloads) != 2 || got.Workloads[0] != f.Workloads[0] || got.Workloads[1] != f.Workloads[1] {
+		t.Fatalf("workloads drifted: %+v", got.Workloads)
+	}
+}
+
+func TestBenchFileStableKeyOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFile().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The schema promises stable key order so baselines diff line by
+	// line; pin the order of the header keys and the first workload keys.
+	for _, pair := range [][2]string{
+		{`"schema_version"`, `"engine_version"`},
+		{`"engine_version"`, `"go_version"`},
+		{`"budget"`, `"workloads"`},
+		{`"name"`, `"units"`},
+		{`"units"`, `"iters"`},
+		{`"iters"`, `"wall_ns"`},
+		{`"wall_ns"`, `"ns_per_op"`},
+		{`"ns_per_op"`, `"allocs_per_op"`},
+	} {
+		a, b := strings.Index(out, pair[0]), strings.Index(out, pair[1])
+		if a < 0 || b < 0 || a > b {
+			t.Fatalf("key order violated: %s must precede %s in\n%s", pair[0], pair[1], out)
+		}
+	}
+}
+
+func TestDecodeToleratesUnknownFields(t *testing.T) {
+	// A newer producer added fields this reader has never heard of; the
+	// known fields must still land.
+	in := `{
+  "schema_version": 1,
+  "engine_version": 2,
+  "go_version": "go9.99",
+  "goos": "linux",
+  "goarch": "amd64",
+  "budget": "ci",
+  "seed": 1,
+  "some_future_metadata": {"nested": true},
+  "workloads": [
+    {"name": "x", "units": "points", "ns_per_op": 5, "future_per_op": 9}
+  ]
+}`
+	f, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Workloads) != 1 || f.Workloads[0].NsPerOp != 5 {
+		t.Fatalf("known fields lost: %+v", f)
+	}
+}
+
+func TestDecodeRejectsSchemaMismatch(t *testing.T) {
+	for _, in := range []string{
+		`{"schema_version": 2, "workloads": []}`,
+		`{"workloads": []}`, // missing version decodes as 0
+	} {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("decoded %s without error, want schema rejection", in)
+		} else if !strings.Contains(err.Error(), "schema version") {
+			t.Fatalf("error %v does not mention the schema version", err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("decoded garbage without error")
+	}
+}

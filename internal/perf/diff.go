@@ -1,0 +1,124 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+)
+
+// DeltaStatus classifies one workload's old-to-new change.
+type DeltaStatus string
+
+// The possible per-workload diff outcomes.
+const (
+	// StatusOK: within the regression threshold either way.
+	StatusOK DeltaStatus = "ok"
+	// StatusImproved: faster by more than the threshold fraction.
+	StatusImproved DeltaStatus = "improved"
+	// StatusRegressed: slower by more than the threshold fraction.
+	StatusRegressed DeltaStatus = "regressed"
+	// StatusAdded: present only in the new file (a new workload).
+	StatusAdded DeltaStatus = "added"
+	// StatusRemoved: present only in the old file. Treated as a
+	// regression — a workload silently dropping out of the catalog is
+	// exactly the kind of coverage loss the gate exists to catch.
+	StatusRemoved DeltaStatus = "removed"
+)
+
+// Delta is one workload's comparison between two BENCH files.
+type Delta struct {
+	Name                   string
+	Units                  string
+	OldNsPerOp, NewNsPerOp float64
+	// Ratio is NewNsPerOp / OldNsPerOp (0 when either side is missing).
+	Ratio float64
+	// Threshold is the fractional slowdown tolerated for this workload.
+	Threshold float64
+	Status    DeltaStatus
+}
+
+// DiffResult is the full comparison of two BENCH files.
+type DiffResult struct {
+	Deltas []Delta
+	// Regressions counts deltas with StatusRegressed or StatusRemoved.
+	Regressions int
+	// EngineMismatch is set when the two files were measured under
+	// different sweep engine versions: the workloads execute different
+	// work, so a delta may reflect changed semantics rather than
+	// changed speed. Regressions still gate — the right response to a
+	// cross-engine failure is committing a baseline measured under the
+	// new engine, not waving the comparison through.
+	EngineMismatch bool
+}
+
+// Failed reports whether the comparison should gate (non-zero exit).
+func (d DiffResult) Failed() bool { return d.Regressions > 0 }
+
+// Diff compares two BENCH files workload by workload. Thresholds come
+// from the catalog (Workload.RegressFrac), falling back to
+// DefaultRegressFrac for workloads no longer in the catalog, so the
+// tolerance policy lives in this package alone.
+func Diff(old, new *File) DiffResult {
+	res := DiffResult{EngineMismatch: old.EngineVersion != new.EngineVersion}
+	seen := map[string]bool{}
+	for _, om := range old.Workloads {
+		seen[om.Name] = true
+		threshold := DefaultRegressFrac
+		if w, ok := Lookup(om.Name); ok {
+			threshold = w.RegressFrac()
+		}
+		nm, ok := new.Find(om.Name)
+		if !ok {
+			res.Deltas = append(res.Deltas, Delta{
+				Name: om.Name, Units: om.Units,
+				OldNsPerOp: om.NsPerOp, Threshold: threshold, Status: StatusRemoved,
+			})
+			res.Regressions++
+			continue
+		}
+		d := Delta{
+			Name: om.Name, Units: om.Units,
+			OldNsPerOp: om.NsPerOp, NewNsPerOp: nm.NsPerOp,
+			Threshold: threshold, Status: StatusOK,
+		}
+		if om.NsPerOp > 0 {
+			d.Ratio = nm.NsPerOp / om.NsPerOp
+			switch {
+			case d.Ratio > 1+threshold:
+				d.Status = StatusRegressed
+				res.Regressions++
+			case d.Ratio < 1/(1+threshold):
+				d.Status = StatusImproved
+			}
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, nm := range new.Workloads {
+		if !seen[nm.Name] {
+			res.Deltas = append(res.Deltas, Delta{
+				Name: nm.Name, Units: nm.Units,
+				NewNsPerOp: nm.NsPerOp, Threshold: DefaultRegressFrac, Status: StatusAdded,
+			})
+		}
+	}
+	return res
+}
+
+// Render writes the comparison as an aligned table.
+func (d DiffResult) Render(w io.Writer) {
+	if d.EngineMismatch {
+		fmt.Fprintln(w, "note: engine versions differ between the files; deltas reflect changed work, not just changed speed — record a fresh baseline under the new engine")
+	}
+	fmt.Fprintf(w, "%-24s %14s %14s %8s %7s  %s\n",
+		"workload", "old ns/op", "new ns/op", "ratio", "thresh", "status")
+	for _, dl := range d.Deltas {
+		ratio := "-"
+		if dl.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", dl.Ratio)
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %8s %6.0f%%  %s\n",
+			dl.Name, dl.OldNsPerOp, dl.NewNsPerOp, ratio, dl.Threshold*100, dl.Status)
+	}
+	if d.Regressions > 0 {
+		fmt.Fprintf(w, "%d workload(s) regressed\n", d.Regressions)
+	}
+}

@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func fileWith(ms ...Measurement) *File {
+	f := NewFile(CIBudget(), DefaultSeed)
+	f.Workloads = ms
+	return f
+}
+
+// TestDiffTable pins the regression/improvement/boundary behavior of
+// the gate. The workload name is deliberately not in the catalog, so
+// the threshold is DefaultRegressFrac.
+func TestDiffTable(t *testing.T) {
+	const base = 1_000_000.0
+	cases := []struct {
+		name       string
+		newNs      float64
+		wantStatus DeltaStatus
+		wantFail   bool
+	}{
+		{"unchanged", base, StatusOK, false},
+		{"slightly slower", base * 1.10, StatusOK, false},
+		{"exactly at threshold", base * (1 + DefaultRegressFrac), StatusOK, false},
+		{"just past threshold", base * (1 + DefaultRegressFrac + 0.001), StatusRegressed, true},
+		{"way past threshold", base * 3, StatusRegressed, true},
+		{"slightly faster", base * 0.95, StatusOK, false},
+		{"exactly at inverse threshold", base / (1 + DefaultRegressFrac), StatusOK, false},
+		{"clearly faster", base / 2, StatusImproved, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := fileWith(Measurement{Name: "not-in-catalog", Units: "points", NsPerOp: base})
+			cur := fileWith(Measurement{Name: "not-in-catalog", Units: "points", NsPerOp: tc.newNs})
+			res := Diff(old, cur)
+			if len(res.Deltas) != 1 {
+				t.Fatalf("deltas = %+v, want one", res.Deltas)
+			}
+			if res.Deltas[0].Status != tc.wantStatus {
+				t.Fatalf("status = %s, want %s (ratio %.4f)",
+					res.Deltas[0].Status, tc.wantStatus, res.Deltas[0].Ratio)
+			}
+			if res.Failed() != tc.wantFail {
+				t.Fatalf("Failed() = %v, want %v", res.Failed(), tc.wantFail)
+			}
+		})
+	}
+}
+
+func TestDiffAddedAndRemoved(t *testing.T) {
+	old := fileWith(
+		Measurement{Name: "kept", Units: "points", NsPerOp: 100},
+		Measurement{Name: "dropped", Units: "points", NsPerOp: 100},
+	)
+	cur := fileWith(
+		Measurement{Name: "kept", Units: "points", NsPerOp: 100},
+		Measurement{Name: "brand-new", Units: "points", NsPerOp: 100},
+	)
+	res := Diff(old, cur)
+	if !res.Failed() {
+		t.Fatal("a removed workload must gate the diff")
+	}
+	status := map[string]DeltaStatus{}
+	for _, d := range res.Deltas {
+		status[d.Name] = d.Status
+	}
+	if status["kept"] != StatusOK || status["dropped"] != StatusRemoved || status["brand-new"] != StatusAdded {
+		t.Fatalf("statuses = %v", status)
+	}
+}
+
+func TestDiffUsesCatalogThreshold(t *testing.T) {
+	// Catalog workloads take their threshold from the catalog entry, so
+	// the policy lives in internal/perf only.
+	w, ok := Lookup("ldpc-decode-paper")
+	if !ok {
+		t.Fatal("catalog workload missing")
+	}
+	old := fileWith(Measurement{Name: w.Name, Units: w.Units, NsPerOp: 100})
+	cur := fileWith(Measurement{Name: w.Name, Units: w.Units, NsPerOp: 100})
+	res := Diff(old, cur)
+	if res.Deltas[0].Threshold != w.RegressFrac() {
+		t.Fatalf("threshold = %v, want catalog %v", res.Deltas[0].Threshold, w.RegressFrac())
+	}
+}
+
+func TestDiffEngineMismatchFlagged(t *testing.T) {
+	old := fileWith(Measurement{Name: "x", Units: "points", NsPerOp: 100})
+	cur := fileWith(Measurement{Name: "x", Units: "points", NsPerOp: 100})
+	cur.EngineVersion = old.EngineVersion + 1
+	res := Diff(old, cur)
+	if !res.EngineMismatch {
+		t.Fatal("engine mismatch not flagged")
+	}
+	if res.Failed() {
+		t.Fatal("a mismatch without regressions must not gate")
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "engine versions differ") {
+		t.Fatalf("render does not surface the mismatch:\n%s", sb.String())
+	}
+
+	// A regression still gates across engines: the fix is a fresh
+	// baseline, not a waved-through slowdown.
+	cur.Workloads[0].NsPerOp = 1000
+	if res := Diff(old, cur); !res.Failed() || !res.EngineMismatch {
+		t.Fatalf("cross-engine regression must still gate: %+v", res)
+	}
+}

@@ -1,0 +1,173 @@
+// Package perf is the repository's deterministic performance harness:
+// a curated catalog of named workloads that exercise the hot paths of
+// the design-space engine (LDPC window decoding, compiled NoC
+// evaluation, sweep execution cold and warm, the adaptive optimizer and
+// the HTTP service), each a pure function of (workload, seed, budget).
+//
+// The harness exists so that throughput is a first-class, versioned
+// artifact instead of a scattering of one-off benchmark runs: cmd/perf
+// measures the catalog into a BENCH_<n>.json baseline (see bench.go for
+// the schema), CI re-measures every push and diffs against the
+// committed baseline, and the same workload bodies back the root
+// bench_test.go Benchmark* functions so `go test -bench` and
+// `cmd/perf run` time identical code paths.
+//
+// Regression thresholds live here — DefaultRegressFrac plus the
+// optional per-workload Workload.Threshold — and nowhere else; cmd/perf
+// and CI both inherit them.
+package perf
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// DefaultRegressFrac is the fractional ns/op slowdown tolerated before
+// Diff flags a workload as regressed (0.25 = fail past a 25% slowdown).
+// It is deliberately loose: shared CI runners jitter, and the gate is
+// meant to catch the order-of-magnitude accidents — a lost cache, an
+// accidental O(n^2) — not 5% noise.
+const DefaultRegressFrac = 0.25
+
+// Workload is one named entry of the performance catalog. Run must be a
+// pure function of (seed, iteration state prepared by Setup): it may
+// not read clocks, environment or global mutable state, so two
+// measurements of the same workload at the same seed execute identical
+// work and any wall-time difference is a property of the code, not the
+// workload.
+type Workload struct {
+	// Name identifies the workload in BENCH files and CLI filters.
+	Name string
+	// Description is one line for `perf list`.
+	Description string
+	// Units names the domain quantity Run returns per iteration
+	// (codewords, points, requests): BENCH files report both ns/op and
+	// units/s so a regression is readable in domain terms.
+	Units string
+	// Threshold overrides DefaultRegressFrac when positive.
+	Threshold float64
+	// Setup, when non-nil, prepares per-measurement state (a warm
+	// store, a running server) before the first Run and returns its
+	// cleanup. Setup time is never measured.
+	Setup func(ctx context.Context, seed uint64) (cleanup func(), err error)
+	// Run executes one iteration and reports how many domain units it
+	// processed.
+	Run func(ctx context.Context, seed uint64) (units float64, err error)
+}
+
+// RegressFrac returns the workload's regression threshold.
+func (w Workload) RegressFrac() float64 {
+	if w.Threshold > 0 {
+		return w.Threshold
+	}
+	return DefaultRegressFrac
+}
+
+// Budget bounds the measurement effort spent per workload.
+type Budget struct {
+	Name string
+	// MinTime is the minimum measured wall time per workload; iterations
+	// repeat until it is reached.
+	MinTime time.Duration
+	// MaxIters caps the iterations regardless of MinTime.
+	MaxIters int
+}
+
+// CIBudget is the small fixed budget the CI perf job runs on: enough
+// iterations to average scheduler noise, small enough to stay in the
+// seconds range for the whole catalog.
+func CIBudget() Budget { return Budget{Name: "ci", MinTime: 300 * time.Millisecond, MaxIters: 64} }
+
+// FullBudget is the recording fidelity used for committed BENCH_<n>.json
+// baselines.
+func FullBudget() Budget { return Budget{Name: "full", MinTime: time.Second, MaxIters: 256} }
+
+// ParseBudget maps a CLI string to a Budget.
+func ParseBudget(s string) (Budget, error) {
+	switch s {
+	case "", "ci":
+		return CIBudget(), nil
+	case "full":
+		return FullBudget(), nil
+	default:
+		return Budget{}, fmt.Errorf("perf: unknown budget %q (ci|full)", s)
+	}
+}
+
+// Measurement is the measured outcome of one workload at one budget.
+// Field order is the BENCH file key order; see bench.go.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Units       string  `json:"units"`
+	Iters       int     `json:"iters"`
+	WallNs      int64   `json:"wall_ns"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	UnitsPerOp  float64 `json:"units_per_op"`
+	UnitsPerSec float64 `json:"units_per_sec"`
+}
+
+// Measure runs the workload under the budget: Setup (unmeasured), one
+// warmup iteration (unmeasured — it fills lazy caches so the steady
+// state is what gets timed), then iterations until both MinTime is
+// reached or MaxIters spent, whichever first.
+func (w Workload) Measure(ctx context.Context, seed uint64, b Budget) (Measurement, error) {
+	if b.MaxIters <= 0 {
+		b.MaxIters = 1
+	}
+	if w.Setup != nil {
+		cleanup, err := w.Setup(ctx, seed)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("perf: %s setup: %w", w.Name, err)
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+	}
+	if _, err := w.Run(ctx, seed); err != nil {
+		return Measurement{}, fmt.Errorf("perf: %s warmup: %w", w.Name, err)
+	}
+
+	// Allocation counters are process-global; a GC cycle between the
+	// snapshots only adds noise, so settle the heap first.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	var (
+		iters int
+		units float64
+		start = time.Now()
+	)
+	for iters < b.MaxIters && (iters == 0 || time.Since(start) < b.MinTime) {
+		u, err := w.Run(ctx, seed)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("perf: %s iteration %d: %w", w.Name, iters, err)
+		}
+		units += u
+		iters++
+		if ctx.Err() != nil {
+			return Measurement{}, ctx.Err()
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	res := Measurement{
+		Name:        w.Name,
+		Units:       w.Units,
+		Iters:       iters,
+		WallNs:      wall.Nanoseconds(),
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		UnitsPerOp:  units / float64(iters),
+	}
+	if wall > 0 {
+		res.UnitsPerSec = units / wall.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,338 @@
+package perf
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ldpc"
+	"repro/internal/noc"
+	"repro/internal/noc/analytic"
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/sweep"
+	"repro/internal/sweep/store"
+)
+
+// DefaultSeed roots every committed BENCH_<n>.json measurement.
+const DefaultSeed = 1
+
+// catalog is built once at init; entries with Setup state are
+// singletons, so measuring one workload concurrently with itself is
+// not supported (cmd/perf and the bench wrappers run serially).
+var catalog []Workload
+
+// Catalog returns the workload catalog sorted by name.
+func Catalog() []Workload {
+	out := make([]Workload, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Lookup returns the named catalog workload.
+func Lookup(name string) (Workload, bool) {
+	for _, w := range catalog {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names lists the catalog workload names in order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, w := range catalog {
+		out[i] = w.Name
+	}
+	return out
+}
+
+func register(w Workload) {
+	if w.Name == "" || w.Run == nil {
+		panic("perf: workload needs a name and a Run")
+	}
+	for _, have := range catalog {
+		if have.Name == w.Name {
+			panic("perf: duplicate workload " + w.Name)
+		}
+	}
+	catalog = append(catalog, w)
+	sort.Slice(catalog, func(i, j int) bool { return catalog[i].Name < catalog[j].Name })
+}
+
+func init() {
+	register(ldpcDecodePaper())
+	register(nocCompiledFig8())
+	register(sweepAnalyticCold())
+	register(sweepWarmStore())
+	register(optimizePaperSpace())
+	register(serviceSubmitPoll())
+}
+
+// ldpcDecodePaper measures the LDPC-CC sliding-window sum-product
+// decoder on the paper's code family — the inner loop behind every BER
+// point of Fig. 10 and of Monte-Carlo sweep budgets. The fixed
+// error-target overrides disable early stopping, so every iteration
+// decodes exactly the same 16 codewords.
+func ldpcDecodePaper() Workload {
+	const codewords = 16
+	return Workload{
+		Name:        "ldpc-decode-paper",
+		Description: "window-decode 16 codewords of the paper's LDPC-CC (N=25, L=12, W=5) over BPSK/AWGN",
+		Units:       "codewords",
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			code := ldpc.LiftConvolutional(ldpc.PaperSpreading(), 12, 25, 3)
+			r := ldpc.SimulateBER(ldpc.BERParams{
+				Code:    code,
+				Alg:     ldpc.SumProduct,
+				MaxIter: 12,
+				Window:  5,
+				EbN0DB:  3,
+				// Unreachable targets: the run always spends the full
+				// codeword budget, keeping iterations identical.
+				TargetBitErrors:   1 << 30,
+				TargetFrameErrors: 1 << 30,
+				MaxCodewords:      codewords,
+				Seed:              seed,
+				Workers:           1,
+			})
+			if r.Codewords != codewords {
+				return 0, fmt.Errorf("decoded %d codewords, want %d", r.Codewords, codewords)
+			}
+			return float64(r.Codewords), nil
+		},
+	}
+}
+
+// nocCompiledFig8 measures compiling the Fig. 8 meshes (64-module 2D
+// and 3D, plus the 512-module scaling mesh) and evaluating a
+// 16-point latency-versus-injection curve through each Compiled
+// evaluator — the per-point analytic cost of every stack choice.
+func nocCompiledFig8() Workload {
+	const curvePoints = 16
+	return Workload{
+		Name:        "noc-compiled-fig8",
+		Description: "compile Fig. 8 meshes (8x8, 4x4x4, 8x8x8) and evaluate 16-point latency curves",
+		Units:       "points",
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			meshes := []*noc.Mesh{
+				noc.NewMesh2D(8, 8),
+				noc.NewMesh3D(4, 4, 4),
+				noc.NewMesh3D(8, 8, 8),
+			}
+			points := 0.0
+			for _, m := range meshes {
+				c := analytic.Model{Topo: m, Traffic: noc.Uniform{}}.Compile()
+				sat := c.SaturationRate()
+				rates := make([]float64, curvePoints)
+				for i := range rates {
+					rates[i] = sat * float64(i+1) / float64(curvePoints+2)
+				}
+				curve := c.LatencyCurve(rates)
+				for _, pt := range curve {
+					if pt.Saturated {
+						return 0, fmt.Errorf("%s saturated at %.4f below saturation rate", m.Name(), pt.InjectionRate)
+					}
+				}
+				points += float64(len(curve))
+			}
+			return points, nil
+		},
+	}
+}
+
+// sweepAnalyticCold measures a full cold paper-baseline sweep: the
+// per-point design pipeline (link budget, code choice, stack choice)
+// with no cache in front of it.
+func sweepAnalyticCold() Workload {
+	return Workload{
+		Name:        "sweep-analytic-cold",
+		Description: "cold paper-baseline analytic sweep: full design pipeline per grid point",
+		Units:       "points",
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			sc, err := sweep.Get("paper-baseline")
+			if err != nil {
+				return 0, err
+			}
+			res, err := sweep.Run(ctx, sc, sweep.Config{
+				Workers: 1, Seed: seed, Budget: sweep.AnalyticBudget(),
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(res.ParetoIndices) == 0 {
+				return 0, fmt.Errorf("empty Pareto front")
+			}
+			return float64(len(res.Records)), nil
+		},
+	}
+}
+
+// sweepWarmStore measures a fully warm store-backed sweep: every point
+// served from the content-addressed index — the steady state of the
+// sweep daemon, where PointKey hashing and index lookups are the whole
+// cost.
+func sweepWarmStore() Workload {
+	var (
+		st  *store.Store
+		dir string
+	)
+	run := func(ctx context.Context, seed uint64) (*sweep.Result, error) {
+		sc, err := sweep.Get("paper-baseline")
+		if err != nil {
+			return nil, err
+		}
+		return sweep.Run(ctx, sc, sweep.Config{
+			Workers: 1, Seed: seed, Budget: sweep.AnalyticBudget(), Cache: st,
+		})
+	}
+	return Workload{
+		Name:        "sweep-warm-store",
+		Description: "paper-baseline sweep with every point served from a warm result store",
+		Units:       "points",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			var err error
+			dir, err = os.MkdirTemp("", "perf-warm-store-*")
+			if err != nil {
+				return nil, err
+			}
+			st, err = store.Open(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			// Fill the store; the measured iterations then hit on every
+			// point.
+			if _, err := run(ctx, seed); err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return func() {
+				st.Close()
+				os.RemoveAll(dir)
+				st = nil
+			}, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			res, err := run(ctx, seed)
+			if err != nil {
+				return 0, err
+			}
+			if res.CachedPoints != len(res.Records) {
+				return 0, fmt.Errorf("warm sweep computed %d points, want 0", res.ComputedPoints)
+			}
+			return float64(len(res.Records)), nil
+		},
+	}
+}
+
+// optimizePaperSpace measures the adaptive NSGA-II optimizer over the
+// paper-baseline space at analytic budget: genetics, per-individual
+// design evaluation and front extraction.
+func optimizePaperSpace() Workload {
+	return Workload{
+		Name:        "optimize-paper-space",
+		Description: "NSGA-II over the paper-baseline space: 4 generations x 16 individuals, analytic budget",
+		Units:       "points",
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			sp, err := search.Get("paper-baseline")
+			if err != nil {
+				return 0, err
+			}
+			res, err := search.Optimize(ctx, search.Options{
+				Space: sp, Seed: seed, Generations: 4, Population: 16, Workers: 1,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(res.FrontIndices) == 0 {
+				return 0, fmt.Errorf("empty final front")
+			}
+			return float64(len(res.Records)), nil
+		},
+	}
+}
+
+// serviceSubmitPoll measures the HTTP service round trip the daemon
+// serves: submit a sweep job, poll it to completion, stream its
+// records. Units are the records streamed back — a fixed property of
+// the scenario — not the poll requests, whose count depends on
+// scheduling and would make the unit figure non-reproducible.
+func serviceSubmitPoll() Workload {
+	var (
+		mgr *service.Manager
+		srv *httptest.Server
+	)
+	return Workload{
+		Name:        "service-submit-poll",
+		Description: "HTTP service round trip: submit an embedded-box job, poll to done, fetch records",
+		Units:       "records",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			mgr = service.New(service.Options{JobWorkers: 2})
+			srv = httptest.NewServer(service.NewHandler(mgr))
+			return func() {
+				srv.Close()
+				mgr.Shutdown(context.Background())
+				mgr, srv = nil, nil
+			}, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			body := fmt.Sprintf(`{"scenario":"embedded-box","budget":"analytic","seed":%d}`, seed)
+			resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			var jv struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&jv)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			for jv.State != "done" {
+				if jv.State == "failed" || jv.State == "cancelled" {
+					return 0, fmt.Errorf("job %s ended %s", jv.ID, jv.State)
+				}
+				r, err := http.Get(srv.URL + "/api/v1/jobs/" + jv.ID)
+				if err != nil {
+					return 0, err
+				}
+				err = json.NewDecoder(r.Body).Decode(&jv)
+				r.Body.Close()
+				if err != nil {
+					return 0, err
+				}
+			}
+			r, err := http.Get(srv.URL + "/api/v1/jobs/" + jv.ID + "/records")
+			if err != nil {
+				return 0, err
+			}
+			sc := bufio.NewScanner(r.Body)
+			sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+			records := 0.0
+			for sc.Scan() {
+				if len(sc.Bytes()) > 0 {
+					records++
+				}
+			}
+			r.Body.Close()
+			if err := sc.Err(); err != nil {
+				return 0, err
+			}
+			if records == 0 {
+				return 0, fmt.Errorf("job %s returned no records", jv.ID)
+			}
+			return records, nil
+		},
+	}
+}

@@ -29,11 +29,23 @@ type Stream struct {
 }
 
 // New returns a Stream seeded deterministically from seed.
+//
+// The underlying generator is materialised lazily on the first draw:
+// seeding math/rand's additive generator costs microseconds, and most
+// streams in a sweep are pure split roots — New(seed).Split(i) derives
+// children from the seed value alone — so eager seeding would pay that
+// cost once per design point without ever drawing a number. The draw
+// sequence of every stream is identical to eager seeding.
 func New(seed uint64) *Stream {
-	return &Stream{
-		r:    rand.New(rand.NewSource(int64(mix(seed)))),
-		seed: seed,
+	return &Stream{seed: seed}
+}
+
+// src returns the stream's generator, seeding it on first use.
+func (s *Stream) src() *rand.Rand {
+	if s.r == nil {
+		s.r = rand.New(rand.NewSource(int64(mix(s.seed))))
 	}
+	return s.r
 }
 
 // mix is the SplitMix64 finaliser; it decorrelates nearby seeds.
@@ -58,16 +70,16 @@ func (s *Stream) Next() *Stream {
 }
 
 // Float64 returns a uniform deviate in [0, 1).
-func (s *Stream) Float64() float64 { return s.r.Float64() }
+func (s *Stream) Float64() float64 { return s.src().Float64() }
 
 // Intn returns a uniform integer in [0, n).
-func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+func (s *Stream) Intn(n int) int { return s.src().Intn(n) }
 
 // Uint64 returns a uniform 64-bit value.
-func (s *Stream) Uint64() uint64 { return s.r.Uint64() }
+func (s *Stream) Uint64() uint64 { return s.src().Uint64() }
 
 // Perm returns a random permutation of [0, n).
-func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+func (s *Stream) Perm(n int) []int { return s.src().Perm(n) }
 
 // Norm returns a standard normal deviate via Box-Muller with caching.
 func (s *Stream) Norm() float64 {
@@ -75,10 +87,11 @@ func (s *Stream) Norm() float64 {
 		s.hasSpare = false
 		return s.spare
 	}
+	r := s.src()
 	var u, v, q float64
 	for {
-		u = 2*s.r.Float64() - 1
-		v = 2*s.r.Float64() - 1
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
 		q = u*u + v*v
 		if q > 0 && q < 1 {
 			break
@@ -109,7 +122,7 @@ func (s *Stream) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: non-positive exponential rate")
 	}
-	return s.r.ExpFloat64() / rate
+	return s.src().ExpFloat64() / rate
 }
 
 // Poisson returns a Poisson deviate with the given mean using Knuth's
@@ -127,13 +140,14 @@ func (s *Stream) Poisson(mean float64) int {
 		return int(v)
 	}
 	limit := math.Exp(-mean)
+	r := s.src()
 	k, p := 0, 1.0
 	for p > limit {
 		k++
-		p *= s.r.Float64()
+		p *= r.Float64()
 	}
 	return k - 1
 }
 
 // Bernoulli returns true with probability p.
-func (s *Stream) Bernoulli(p float64) bool { return s.r.Float64() < p }
+func (s *Stream) Bernoulli(p float64) bool { return s.src().Float64() < p }

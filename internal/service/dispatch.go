@@ -323,8 +323,7 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 	// store's own dedup makes a racing duplicate completion harmless.
 	if m.opts.Cache != nil {
 		for k, rec := range recs {
-			key := sweep.PointKey(j.scenarioName, t.pts[k], j.budget, j.req.Seed)
-			m.opts.Cache.Put(key, rec)
+			m.opts.Cache.Put(j.keyer.Key(t.pts[k]), rec)
 		}
 	}
 	if finished {
@@ -492,7 +491,7 @@ func (m *Manager) dispatchBatch(ctx context.Context, j *job, pts []sweep.Point) 
 	var todo []int
 	for i, pt := range pts {
 		if m.opts.Cache != nil {
-			if rec, ok := m.opts.Cache.Get(sweep.PointKey(j.scenarioName, pt, j.budget, j.req.Seed)); ok {
+			if rec, ok := m.opts.Cache.Get(j.keyer.Key(pt)); ok {
 				rec.Pareto = false
 				dr.recs[i] = rec
 				j.done.Add(1)

@@ -128,6 +128,11 @@ type job struct {
 	// keys: the grid scenario's name for sweeps, "optimize/<space>" for
 	// optimizations.
 	scenarioName string
+	// keyer computes the job's cache keys; (scenario, budget, seed) are
+	// fixed per job, so the key envelope renders once. Set after
+	// scenarioName, read concurrently by the dispatcher's cache
+	// pre-pass and chunk completions (Keyer is immutable).
+	keyer *sweep.Keyer
 	// searchOpts holds the normalized optimization parameters
 	// (kind "optimize"); Seed/Workers/Evaluate/OnGeneration are filled
 	// in at run time.
@@ -341,6 +346,7 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 	default:
 		return JobView{}, fmt.Errorf("%w: unknown job kind %q (sweep|optimize)", ErrBadRequest, req.Kind)
 	}
+	j.keyer = sweep.NewKeyer(j.scenarioName, j.budget, req.Seed)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

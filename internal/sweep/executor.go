@@ -147,10 +147,16 @@ type Result struct {
 // a global evaluation index for optimizer generations), so any slice of
 // points reproduces the records a full evaluation would give them.
 func pointEvaluator(scenario string, pts []Point, cfg Config, root *rng.Stream, cached *atomic.Int64) func(i int) Record {
+	var keyer *Keyer
+	if cfg.Cache != nil {
+		// One keyer per evaluation context: the envelope's constant
+		// segments render once instead of once per point.
+		keyer = NewKeyer(scenario, cfg.Budget, cfg.Seed)
+	}
 	return func(i int) Record {
 		var key string
 		if cfg.Cache != nil {
-			key = PointKey(scenario, pts[i], cfg.Budget, cfg.Seed)
+			key = keyer.Key(pts[i])
 			if rec, ok := cfg.Cache.Get(key); ok {
 				if cached != nil {
 					cached.Add(1)

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"strconv"
 )
 
 // EngineVersion names the evaluation semantics of this package. Any
@@ -44,4 +45,59 @@ func PointKey(scenario string, pt Point, b Budget, seed uint64) string {
 	}
 	sum := sha256.Sum256(env)
 	return hex.EncodeToString(sum[:])
+}
+
+// Keyer computes PointKeys for a fixed (scenario, budget, seed)
+// context. Within one sweep only the point varies between keys, so the
+// envelope's constant head and tail are rendered once and each key
+// costs one Point marshal plus the hash — on a fully warm store this
+// is the dominant per-point cost. Keys are byte-identical to PointKey:
+// encoding/json emits a struct as its fields in declaration order with
+// no whitespace, so splicing an identically encoded Point between the
+// pre-rendered segments reproduces the canonical envelope exactly
+// (pinned by TestKeyerMatchesPointKey).
+//
+// A Keyer is immutable after construction and safe for concurrent use.
+type Keyer struct {
+	head, tail []byte
+}
+
+// NewKeyer pre-renders the constant envelope segments.
+func NewKeyer(scenario string, b Budget, seed uint64) *Keyer {
+	scen, err := json.Marshal(scenario)
+	if err != nil {
+		panic("sweep: keyer scenario: " + err.Error())
+	}
+	bud, err := json.Marshal(b)
+	if err != nil {
+		panic("sweep: keyer budget: " + err.Error())
+	}
+	var head []byte
+	head = append(head, `{"engine":`...)
+	head = strconv.AppendInt(head, EngineVersion, 10)
+	head = append(head, `,"scenario":`...)
+	head = append(head, scen...)
+	head = append(head, `,"point":`...)
+	var tail []byte
+	tail = append(tail, `,"budget":`...)
+	tail = append(tail, bud...)
+	tail = append(tail, `,"seed":`...)
+	tail = strconv.AppendUint(tail, seed, 10)
+	tail = append(tail, '}')
+	return &Keyer{head: head, tail: tail}
+}
+
+// Key returns PointKey(scenario, pt, budget, seed) for the Keyer's
+// context.
+func (k *Keyer) Key(pt Point) string {
+	pj, err := json.Marshal(pt)
+	if err != nil {
+		panic("sweep: keyer point: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write(k.head)
+	h.Write(pj)
+	h.Write(k.tail)
+	var sum [sha256.Size]byte
+	return hex.EncodeToString(h.Sum(sum[:0]))
 }

@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestKeyerMatchesPointKey pins the Keyer's splice optimization to the
+// canonical PointKey for every registered scenario's points under every
+// budget, plus adversarial labels that stress JSON string escaping.
+// A divergence would silently invalidate every stored result.
+func TestKeyerMatchesPointKey(t *testing.T) {
+	budgets := []Budget{AnalyticBudget(), SmokeBudget(), StandardBudget()}
+	seeds := []uint64{0, 1, 1<<64 - 1}
+	for _, name := range Names() {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := sc.Points()
+		for _, b := range budgets {
+			for _, seed := range seeds {
+				k := NewKeyer(sc.Name, b, seed)
+				for _, pt := range pts {
+					want := PointKey(sc.Name, pt, b, seed)
+					if got := k.Key(pt); got != want {
+						t.Fatalf("keyer diverged for %s/%s/seed=%d point %d:\n got %s\nwant %s",
+							sc.Name, b.Name, seed, pt.Index, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	// Labels and scenario names that need escaping must round-trip
+	// identically through both paths (encoding/json escapes quotes,
+	// backslashes and HTML characters).
+	hostile := Point{Index: 3, Label: `q"uo\te <&> ünicode` + "\n\t", Spec: core.DefaultSpec()}
+	for _, scenario := range []string{"plain", `esc"aped\<&>`} {
+		want := PointKey(scenario, hostile, SmokeBudget(), 7)
+		if got := NewKeyer(scenario, SmokeBudget(), 7).Key(hostile); got != want {
+			t.Fatalf("keyer diverged on hostile strings (scenario %q)", scenario)
+		}
+	}
+}
+
+// TestKeyerConcurrentUse exercises one Keyer from many goroutines under
+// the race detector.
+func TestKeyerConcurrentUse(t *testing.T) {
+	sc, err := Get("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sc.Points()
+	k := NewKeyer(sc.Name, AnalyticBudget(), 1)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for _, pt := range pts {
+				if k.Key(pt) != PointKey(sc.Name, pt, AnalyticBudget(), 1) {
+					panic("keyer diverged under concurrency")
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -38,6 +38,44 @@ func TestLintFindsUndocumentedPackages(t *testing.T) {
 	}
 }
 
+// TestLintScopeCoversCommandsAndTools pins that the walk reaches
+// cmd/*, tools/* and examples/* package-main directories exactly like
+// internal/* library packages: an undocumented command must fail the
+// gate, and one documented main file per package satisfies it.
+func TestLintScopeCoversCommandsAndTools(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "internal", "lib", "lib.go"),
+		"// Package lib is documented.\npackage lib\n")
+	write(t, filepath.Join(dir, "cmd", "documented", "main.go"),
+		"// Command documented has a doc comment.\npackage main\n")
+	write(t, filepath.Join(dir, "cmd", "bare", "main.go"), "package main\n")
+	write(t, filepath.Join(dir, "tools", "barelint", "main.go"), "package main\n")
+	write(t, filepath.Join(dir, "examples", "baredemo", "main.go"), "package main\n")
+
+	missing, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 3 {
+		t.Fatalf("missing = %v, want the three undocumented main packages", missing)
+	}
+	for _, want := range []string{
+		filepath.Join(dir, "cmd", "bare"),
+		filepath.Join(dir, "tools", "barelint"),
+		filepath.Join(dir, "examples", "baredemo"),
+	} {
+		found := false
+		for _, m := range missing {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not flagged; got %v", want, missing)
+		}
+	}
+}
+
 func TestLintCleanOnThisModule(t *testing.T) {
 	// The repository's own invariant: nothing undocumented, ever.
 	missing, err := lint("../..")
