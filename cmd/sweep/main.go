@@ -14,6 +14,8 @@
 //	          [-population P] [-out result.json] [-csv records.csv]
 //	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
 //	          [-timeout 10m] [-store dir]
+//	sweep store stats -store <dir>
+//	sweep store compact -store <dir>
 //
 // Records are deterministic for a fixed seed: running with -workers 1
 // and -workers N yields byte-identical files, for grids and
@@ -70,6 +72,10 @@ func main() {
 		}
 	case "optimize":
 		if err := optimize(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "store":
+		if err := storeCmd(os.Args[2:]); err != nil {
 			fail(err)
 		}
 	case "-h", "-help", "--help", "help":
@@ -315,6 +321,56 @@ func optimize(args []string) error {
 	return nil
 }
 
+// storeCmd administers the on-disk result store:
+//
+//	sweep store stats   -store dir   counters and per-shard layout
+//	sweep store compact -store dir   drop stale-engine and shadowed entries
+func storeCmd(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sweep store stats|compact -store <dir>")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
+	storeDir := fs.String("store", "", "result store directory")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("missing -store directory")
+	}
+	st, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "stats":
+		total := st.Stats()
+		fmt.Printf("store %s: %d entries, %d segment(s), %d shard(s), engine %d\n",
+			*storeDir, total.Entries, total.Segments, total.Shards, sweep.EngineVersion)
+		fmt.Printf("  opened: %d from index, %d replayed, %d malformed line(s) skipped\n",
+			total.IndexLoaded, total.Replayed, total.Skipped)
+		if total.Shards > 1 {
+			for i, sh := range st.ShardStats() {
+				fmt.Printf("  shard %3d: %d entries, %d segment(s)\n", i, sh.Entries, sh.Segments)
+			}
+		}
+		return flushStore(st, nil)
+	case "compact":
+		res, err := st.Compact()
+		if err != nil {
+			flushStore(st, nil) // the swap failed; still try to persist what is consistent
+			return err
+		}
+		fmt.Printf("compacted %s: kept %d, dropped %d stale + %d shadowed, %d -> %d segment(s), %d -> %d bytes\n",
+			*storeDir, res.Kept, res.DroppedStale, res.DroppedShadowed,
+			res.SegmentsBefore, res.SegmentsAfter, res.BytesBefore, res.BytesAfter)
+		return flushStore(st, nil)
+	default:
+		flushStore(st, nil)
+		return fmt.Errorf("unknown store subcommand %q (want stats or compact)", sub)
+	}
+}
+
 // writeResultJSON emits the optimization result as indented JSON with
 // the same fixed formatting guarantees as sweep.WriteJSON.
 func writeResultJSON(f *os.File, res *search.Result) error {
@@ -323,19 +379,19 @@ func writeResultJSON(f *os.File, res *search.Result) error {
 	return enc.Encode(res)
 }
 
-// openStore opens the shared result store, or returns nil when no
-// directory was requested.
-func openStore(dir string) (*store.Store, error) {
+// openStore opens the shared result store with whatever shard layout
+// it already has, or returns nil when no directory was requested.
+func openStore(dir string) (*store.Sharded, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	return store.Open(dir)
+	return store.OpenSharded(dir, 0, store.Options{})
 }
 
 // flushStore closes the store (when one is open) and merges a flush
 // failure into the run's error: a store that cannot persist what the
 // run computed must fail the run.
-func flushStore(st *store.Store, err error) error {
+func flushStore(st *store.Sharded, err error) error {
 	if st == nil {
 		return err
 	}
@@ -366,12 +422,16 @@ usage:
             [-population P] [-out result.json] [-csv records.csv]
             [-workers N] [-seed S] [-budget analytic|smoke|standard]
             [-timeout 10m] [-store dir]
+  sweep store stats -store <dir>
+  sweep store compact -store <dir>
 
 run enumerates a fixed scenario grid; optimize runs the adaptive
 NSGA-II multi-objective search over a declared parameter space and
 reports the Pareto front it converged to.
 
 -store shares cmd/sweepd's content-addressed result store: reruns reuse
-every already-computed point instead of evaluating it again.
+every already-computed point instead of evaluating it again. store
+stats prints its counters and shard layout; store compact reclaims the
+space held by stale-engine entries and shadowed duplicate keys.
 `)
 }

@@ -8,8 +8,15 @@
 //
 // Usage:
 //
-//	sweepd [-addr :8080] [-store sweep-store] [-jobs 2]
+//	sweepd [-addr :8080] [-store sweep-store] [-store-shards 0] [-jobs 2]
 //	       [-distributed] [-local-workers 1] [-chunk 4] [-lease-ttl 30s]
+//
+// -store-shards N fans the result store out over N independent shard
+// stores routed by key prefix, removing lock contention between
+// concurrent jobs. The count is fixed when the store is created and
+// recorded in its shards.json manifest; 0 (the default) reuses
+// whatever layout the store already has, and a 1-shard store keeps the
+// exact directory layout of earlier releases.
 //
 // With -distributed, jobs are not evaluated in-process: they are cut
 // into chunks of -chunk grid points and served to sweepworker processes
@@ -26,6 +33,7 @@
 // Endpoints (see internal/service.NewHandler and docs/api.md):
 //
 //	GET    /healthz
+//	GET    /api/v1/store
 //	GET    /api/v1/scenarios
 //	GET    /api/v1/spaces
 //	POST   /api/v1/jobs
@@ -72,6 +80,7 @@ type config struct {
 	localWorkers int
 	chunk        int
 	leaseTTL     time.Duration
+	storeShards  int
 }
 
 func main() {
@@ -84,6 +93,7 @@ func main() {
 	flag.IntVar(&c.localWorkers, "local-workers", 1, "in-process workers draining the distributed queue (0 = pure remote fleet; ignored without -distributed)")
 	flag.IntVar(&c.chunk, "chunk", 4, "grid points per worker lease (with -distributed)")
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 30*time.Second, "how long a dead worker's chunk stays leased before re-queueing")
+	flag.IntVar(&c.storeShards, "store-shards", 0, "result-store shards; 0 reuses the store's existing layout (new stores: 1). The count is fixed at store creation")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -101,7 +111,7 @@ func run(c config) error {
 		LeaseTTL:    c.leaseTTL,
 	}
 	if storeDir != "" {
-		st, err := store.Open(storeDir)
+		st, err := store.OpenSharded(storeDir, c.storeShards, store.Options{})
 		if err != nil {
 			return err
 		}
@@ -111,9 +121,12 @@ func run(c config) error {
 			}
 		}()
 		stats := st.Stats()
-		log.Printf("store %s: %d cached points in %d segment(s)",
-			storeDir, stats.Entries, stats.Segments)
+		log.Printf("store %s: %d cached points in %d segment(s) across %d shard(s) (%d from index, %d replayed)",
+			storeDir, stats.Entries, stats.Segments, stats.Shards, stats.IndexLoaded, stats.Replayed)
 		opts.Cache = st
+		opts.StoreStats = func() (store.Stats, []store.Stats) {
+			return st.Stats(), st.ShardStats()
+		}
 	}
 	m := service.New(opts)
 

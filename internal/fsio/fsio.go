@@ -1,21 +1,27 @@
 // Package fsio holds the small filesystem idioms every command-line
-// tool in this repository shares — today, atomic output-file writes.
-// Results files (sweep outputs, BENCH_*.json baselines) gate CI jobs
-// and downstream tooling, so a crashed or out-of-space run must never
-// leave a truncated file behind; every writer goes through
-// WriteFileAtomic instead of hand-rolling os.Create.
+// tool in this repository shares — atomic output-file writes and
+// directory fsyncs. Results files (sweep outputs, BENCH_*.json
+// baselines) gate CI jobs and downstream tooling, and store index and
+// manifest files decide what the storage engine replays on reopen, so
+// a crashed or out-of-space run must never leave a truncated file
+// behind and a rename must never evaporate in a power cut; every
+// writer goes through WriteFileAtomic instead of hand-rolling
+// os.Create.
 package fsio
 
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 )
 
 // WriteFileAtomic streams emit into a temp file next to path and renames
 // it into place only after a successful write, sync and close — readers
 // never observe a partial file and every emitter or flush error reaches
 // the caller (and so the exit code) instead of being lost in a deferred
-// Close.
+// Close. After the rename the parent directory is fsynced: on
+// journaling filesystems a rename lives in the directory, and a crash
+// right after Rename returns can otherwise lose the new name entirely.
 func WriteFileAtomic(path string, emit func(*os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -48,5 +54,27 @@ func WriteFileAtomic(path string, emit func(*os.File) error) error {
 		os.Remove(name)
 		return err
 	}
-	return nil
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making the file creations, renames and
+// removals inside it durable. POSIX persists directory entries
+// independently of file contents: a freshly created or renamed file
+// whose directory was never synced can vanish after a crash even
+// though its own bytes were fsynced. Callers that rotate segment
+// files, rename index or manifest files, or delete compacted segments
+// follow the metadata operation with a SyncDir on the parent.
+//
+// On platforms whose directory handles do not support fsync (Windows)
+// it is a no-op, keeping callers portable.
+func SyncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

@@ -89,6 +89,8 @@ func TestCatalogComplete(t *testing.T) {
 		"noc-compiled-fig8",
 		"optimize-paper-space",
 		"service-submit-poll",
+		"store-reopen-cold",
+		"store-shard-fanout",
 		"sweep-analytic-cold",
 		"sweep-warm-store",
 	}

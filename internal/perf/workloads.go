@@ -3,6 +3,8 @@ package perf
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ldpc"
 	"repro/internal/noc"
@@ -74,6 +77,8 @@ func init() {
 	register(sweepWarmStore())
 	register(optimizePaperSpace())
 	register(serviceSubmitPoll())
+	register(storeReopenCold())
+	register(storeShardFanout())
 }
 
 // ldpcDecodePaper measures the LDPC-CC sliding-window sum-product
@@ -257,6 +262,151 @@ func optimizePaperSpace() Workload {
 				return 0, fmt.Errorf("empty final front")
 			}
 			return float64(len(res.Records)), nil
+		},
+	}
+}
+
+// perfKey derives a deterministic sha-256-hex key of the same shape
+// sweep.PointKey produces, so store workloads route and index exactly
+// like production keys.
+func perfKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("perf-point-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// perfRecord is a small but representative stored record.
+func perfRecord(i int) sweep.Record {
+	return sweep.Record{
+		Scenario: "perf", Index: i, Label: fmt.Sprintf("p%d", i),
+		TxPowerDBm: float64(i % 32), DecodeLatencyBits: 200,
+		NoCSaturation: 0.25, Topology: "2D mesh 4x4",
+	}
+}
+
+// storeReopenCold measures the cost the persisted index exists to
+// bound: reopening a segmented store. Setup builds a store of several
+// thousand entries across many segments and closes it cleanly; each
+// measured iteration opens it cold, which must map every entry from
+// index.json with zero segment replay, serve a few spot lookups, and
+// close again.
+func storeReopenCold() Workload {
+	const entries = 2048
+	var dir string
+	return Workload{
+		Name:        "store-reopen-cold",
+		Description: "reopen a 2048-entry segmented store through its persisted index (no replay)",
+		Units:       "entries",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			var err error
+			dir, err = os.MkdirTemp("", "perf-reopen-cold-*")
+			if err != nil {
+				return nil, err
+			}
+			// Small segments force a multi-segment layout, the case where
+			// index-less reopen cost scales with store size.
+			st, err := store.OpenOptions(dir, store.Options{SegmentBytes: 64 << 10})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			for i := 0; i < entries; i++ {
+				st.Put(perfKey(i), perfRecord(i))
+			}
+			if err := st.Close(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return func() { os.RemoveAll(dir) }, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			st, err := store.OpenOptions(dir, store.Options{SegmentBytes: 64 << 10})
+			if err != nil {
+				return 0, err
+			}
+			defer st.Close()
+			if s := st.Stats(); s.Replayed != 0 || s.IndexLoaded != entries {
+				return 0, fmt.Errorf("cold reopen replayed %d and index-loaded %d entries, want 0 and %d",
+					s.Replayed, s.IndexLoaded, entries)
+			}
+			// Spot-check a spread of entries through the fault-in path.
+			for i := 0; i < entries; i += entries / 16 {
+				if _, ok := st.Get(perfKey(i)); !ok {
+					return 0, fmt.Errorf("entry %d missing after cold reopen", i)
+				}
+			}
+			return entries, nil
+		},
+	}
+}
+
+// storeShardFanout measures concurrent lookup throughput against a
+// sharded store: 8 goroutines hammering Gets (plus deduplicated
+// re-Puts) over 8 shards. The single-store equivalent serializes on
+// one mutex; the sharded layout is contention-free for uniformly
+// distributed keys, and this workload is the trajectory's record of
+// that margin.
+func storeShardFanout() Workload {
+	const (
+		shards  = 8
+		workers = 8
+		keys    = 512
+		rounds  = 8
+	)
+	var (
+		dir string
+		st  *store.Sharded
+	)
+	return Workload{
+		Name:        "store-shard-fanout",
+		Description: "8 goroutines x 512 warm lookups against an 8-shard store, with dedup re-puts",
+		Units:       "lookups",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			var err error
+			dir, err = os.MkdirTemp("", "perf-shard-fanout-*")
+			if err != nil {
+				return nil, err
+			}
+			st, err = store.OpenSharded(dir, shards, store.Options{})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			for i := 0; i < keys; i++ {
+				st.Put(perfKey(i), perfRecord(i))
+			}
+			return func() {
+				st.Close()
+				os.RemoveAll(dir)
+				st = nil
+			}, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for i := 0; i < keys/workers; i++ {
+							k := (w*keys/workers + i + r) % keys
+							if _, ok := st.Get(perfKey(k)); !ok {
+								errc <- fmt.Errorf("warm key %d missed", k)
+								return
+							}
+							if r == 0 && i%8 == 0 {
+								st.Put(perfKey(k), perfRecord(k)) // dedup no-op
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			if err := <-errc; err != nil {
+				return 0, err
+			}
+			return float64(workers * rounds * keys / workers), nil
 		},
 	}
 }

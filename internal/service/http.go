@@ -10,11 +10,15 @@ import (
 
 	"repro/internal/search"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 // NewHandler exposes a Manager over HTTP:
 //
-//	GET    /healthz                  liveness probe (reports sweep.EngineVersion)
+//	GET    /healthz                  liveness probe (reports sweep.EngineVersion
+//	                                 and the result store's cache hit rate)
+//	GET    /api/v1/store             result-store stats: aggregate counters plus
+//	                                 one entry per shard (404 without a store)
 //	GET    /api/v1/scenarios         registered scenarios with grid sizes
 //	GET    /api/v1/spaces            registered search spaces with their parameters
 //	POST   /api/v1/jobs              submit a job (Request JSON) -> 202 JobView
@@ -48,10 +52,29 @@ func NewHandler(m *Manager) http.Handler {
 		// The engine version lets optimizer clients and worker binaries
 		// preflight-check compatibility before submitting or leasing:
 		// records are only comparable between equal engine versions.
-		writeJSON(w, http.StatusOK, map[string]any{
+		payload := map[string]any{
 			"status": "ok",
 			"engine": sweep.EngineVersion,
-		})
+		}
+		// The cache hit rate is the one store number worth watching from
+		// a probe: a warm daemon serving mostly repeats should sit near
+		// 1.0, and a sudden drop means the store was lost or the keying
+		// inputs changed.
+		if total, _, ok := m.StoreStats(); ok {
+			payload["cache_hit_rate"] = total.HitRate()
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+	mux.HandleFunc("GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
+		total, shards, ok := m.StoreStats()
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("daemon is running without a result store"))
+			return
+		}
+		if shards == nil {
+			shards = []store.Stats{}
+		}
+		writeJSON(w, http.StatusOK, storeView{Store: total, Shards: shards})
 	})
 	mux.HandleFunc("GET /api/v1/scenarios", handleScenarios)
 	mux.HandleFunc("GET /api/v1/spaces", handleSpaces)
@@ -247,6 +270,14 @@ func NewHandler(m *Manager) http.Handler {
 // generation — seconds apart under any real budget — so 100ms keeps
 // the stream effectively live at negligible poll cost.
 const genPollInterval = 100 * time.Millisecond
+
+// storeView is the GET /api/v1/store payload: the whole store's
+// counters plus the per-shard breakdown (one entry, shard order; a
+// single-shard store lists exactly its own counters).
+type storeView struct {
+	Store  store.Stats   `json:"store"`
+	Shards []store.Stats `json:"shards"`
+}
 
 // scenarioInfo is one row of the scenario listing.
 type scenarioInfo struct {

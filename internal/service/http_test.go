@@ -267,3 +267,73 @@ func statusOf(t *testing.T, srv *httptest.Server, method, path string) int {
 	io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode
 }
+
+// TestStoreEndpoint pins the observability surface of the storage
+// engine: GET /api/v1/store serves aggregate and per-shard counters
+// when a store is wired, 404s when not, and healthz carries the cache
+// hit rate exactly when a store exists.
+func TestStoreEndpoint(t *testing.T) {
+	st, err := store.OpenSharded(t.TempDir(), 4, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := New(Options{Cache: st, StoreStats: func() (store.Stats, []store.Stats) {
+		return st.Stats(), st.ShardStats()
+	}})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// Drive known traffic straight through the cache the manager holds.
+	rec := sweep.Record{Scenario: "t", Label: "p"}
+	st.Put("k0", rec)
+	st.Get("k0")     // hit
+	st.Get("absent") // miss
+
+	var view storeView
+	getJSON(t, srv, "/api/v1/store", &view)
+	if view.Store.Shards != 4 || view.Store.Entries != 1 || view.Store.Puts != 1 {
+		t.Fatalf("store view = %+v", view.Store)
+	}
+	if view.Store.Hits != 1 || view.Store.Misses != 1 {
+		t.Fatalf("store view counters = %+v", view.Store)
+	}
+	if len(view.Shards) != 4 {
+		t.Fatalf("store view lists %d shards, want 4", len(view.Shards))
+	}
+	perShard := 0
+	for _, sh := range view.Shards {
+		perShard += sh.Entries
+	}
+	if perShard != 1 {
+		t.Fatalf("per-shard entries sum to %d, want 1", perShard)
+	}
+
+	var health map[string]any
+	getJSON(t, srv, "/healthz", &health)
+	rate, ok := health["cache_hit_rate"].(float64)
+	if !ok || rate != 0.5 {
+		t.Fatalf("healthz cache_hit_rate = %v, want 0.5", health["cache_hit_rate"])
+	}
+
+	// A manager without a store answers 404 and reports no hit rate.
+	bare := New(Options{})
+	defer bare.Shutdown(context.Background())
+	bareSrv := httptest.NewServer(NewHandler(bare))
+	defer bareSrv.Close()
+	resp, err := http.Get(bareSrv.URL + "/api/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless GET /api/v1/store = %d, want 404", resp.StatusCode)
+	}
+	health = nil
+	getJSON(t, bareSrv, "/healthz", &health)
+	if _, present := health["cache_hit_rate"]; present {
+		t.Fatal("storeless healthz reports a cache_hit_rate")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/search"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 // State is a job's lifecycle phase.
@@ -235,6 +236,11 @@ type Options struct {
 	LeaseTTL time.Duration
 	// Clock stubs time.Now in tests (nil = time.Now).
 	Clock func() time.Time
+	// StoreStats, when non-nil, snapshots the backing result store's
+	// aggregate and per-shard counters. It powers GET /api/v1/store and
+	// the healthz cache-hit-rate field; a daemon running without a
+	// persistent store leaves it nil and the endpoint answers 404.
+	StoreStats func() (store.Stats, []store.Stats)
 }
 
 // Manager owns the queue, the scheduler pool and the job table.
@@ -402,6 +408,17 @@ func (m *Manager) Get(id string) (JobView, error) {
 		return JobView{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
 	}
 	return j.view(), nil
+}
+
+// StoreStats snapshots the backing result store's aggregate and
+// per-shard counters. ok is false when the manager runs without a
+// persistent store (Options.StoreStats nil).
+func (m *Manager) StoreStats() (total store.Stats, shards []store.Stats, ok bool) {
+	if m.opts.StoreStats == nil {
+		return store.Stats{}, nil, false
+	}
+	total, shards = m.opts.StoreStats()
+	return total, shards, true
 }
 
 // List returns snapshots of every job in submission order.

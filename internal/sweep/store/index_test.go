@@ -1,0 +1,319 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestReopenTailReplayAfterIndex pins the crash-recovery contract of
+// the persisted index: entries appended after the last index write are
+// recovered by replaying only the segment tail, not the whole store.
+func TestReopenTailReplayAfterIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const before = 10
+	for i := 0; i < before; i++ {
+		s.Put(key(i), testRecord(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and append more entries, then "crash": abandon the handle
+	// without Close, so the index on disk still describes the pre-crash
+	// extent.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const after = 5
+	for i := before; i < before+after; i++ {
+		s2.Put(key(i), testRecord(i))
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.IndexLoaded != before || st.Replayed != after {
+		t.Fatalf("index-loaded %d replayed %d, want %d and %d",
+			st.IndexLoaded, st.Replayed, before, after)
+	}
+	for i := 0; i < before+after; i++ {
+		got, ok := r.Get(key(i))
+		if !ok || !reflect.DeepEqual(got, testRecord(i)) {
+			t.Fatalf("entry %d lost or changed across tail replay", i)
+		}
+	}
+}
+
+// TestCorruptIndexRebuilds: an unreadable index file must degrade to a
+// full segment replay, never fail the open or lose entries.
+func TestCorruptIndexRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		s.Put(key(i), testRecord(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt index broke Open: %v", err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.Replayed != n || st.IndexLoaded != 0 {
+		t.Fatalf("replayed %d index-loaded %d after corrupt index, want %d and 0",
+			st.Replayed, st.IndexLoaded, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := r.Get(key(i)); !ok {
+			t.Fatalf("entry %d lost after index rebuild", i)
+		}
+	}
+}
+
+// TestStaleIndexMissingSegmentRebuilds: an index referencing a segment
+// that no longer exists (interrupted compaction, manual surgery) is
+// discarded wholesale and the survivors are rebuilt from disk.
+func TestStaleIndexMissingSegmentRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Put(key(i), testRecord(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) < 2 {
+		t.Fatalf("need >= 2 segments, have %d", len(segs))
+	}
+	if err := os.Remove(segs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st := r.Stats()
+	if st.IndexLoaded != 0 {
+		t.Fatalf("stale index still loaded %d entries", st.IndexLoaded)
+	}
+	if st.Entries == 0 || st.Entries >= n {
+		t.Fatalf("rebuild found %d entries, want between 1 and %d", st.Entries, n-1)
+	}
+	if st.Replayed != st.Entries {
+		t.Fatalf("replayed %d into %d entries", st.Replayed, st.Entries)
+	}
+}
+
+// TestTornTailAtRotationBoundary covers the crash window right after a
+// rotation: the freshly rotated active segment holds nothing but the
+// torn half-line. Repair must keep every pre-rotation entry, skip the
+// garbage, and leave the store appendable.
+func TestTornTailAtRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for s.Stats().Segments < 2 { // stop right after the first rotation
+		s.Put(key(n), testRecord(n))
+		n++
+	}
+	// Simulate the crash: a torn half-line is the only content of the
+	// new active segment... abandon without Close so no index covers it.
+	active := filepath.Join(dir, segName(s.Stats().Segments))
+	st, err := os.Stat(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","engine":2,"record":{"scena`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenOptions(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("torn tail at rotation boundary broke Open: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("Len = %d after torn rotation tail, want %d", r.Len(), n)
+	}
+	if r.Stats().Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", r.Stats().Skipped)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := r.Get(key(i))
+		if !ok || !reflect.DeepEqual(got, testRecord(i)) {
+			t.Fatalf("entry %d lost across rotation-boundary repair", i)
+		}
+	}
+	// The next append must start on its own line, after the repaired
+	// newline, in the same (still underfull) segment.
+	r.Put(key(n), testRecord(n))
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got, ok := r2.Get(key(n)); !ok || !reflect.DeepEqual(got, testRecord(n)) {
+		t.Fatal("post-repair append lost")
+	}
+	if st2, _ := os.Stat(active); st2.Size() <= st.Size() {
+		t.Fatal("post-repair append did not land in the repaired segment")
+	}
+}
+
+// TestTornTailInFullSegment covers the other rotation-boundary crash:
+// the segment was already past the size limit (the very next Put would
+// have rotated) when the writer died mid-line. The segment is not
+// reopened for appends, the garbage is skipped, and the next Put
+// rotates to a fresh segment.
+func TestTornTailInFullSegment(t *testing.T) {
+	dir := t.TempDir()
+	const limit = 512
+	s, err := OpenOptions(dir, Options{SegmentBytes: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for s.Stats().Segments < 2 {
+		s.Put(key(n), testRecord(n))
+		n++
+	}
+	// Stuff the active segment past the limit, ending in a torn line.
+	active := filepath.Join(dir, segName(s.Stats().Segments))
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := json.Marshal(entry{Key: "pad", Engine: 2, Record: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for written := 0; written < limit; written += len(pad) + 1 {
+		if _, err := f.Write(append(pad, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.WriteString(`{"key":"torn","engine":2,"rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenOptions(dir, Options{SegmentBytes: limit})
+	if err != nil {
+		t.Fatalf("torn tail in full segment broke Open: %v", err)
+	}
+	defer r.Close()
+	segsBefore := r.Stats().Segments
+	r.Put(key(n), testRecord(n))
+	if got := r.Stats().Segments; got != segsBefore+1 {
+		t.Fatalf("append to full torn segment did not rotate: %d segments, want %d",
+			got, segsBefore+1)
+	}
+	if got, ok := r.Get(key(n)); !ok || !reflect.DeepEqual(got, testRecord(n)) {
+		t.Fatal("post-rotation append lost")
+	}
+}
+
+// TestLastWriteWinsAcrossSegments pins replay ordering when the same
+// key appears in two segments — the layout an interrupted compaction
+// or a duplicate distributed completion leaves behind. The later
+// segment's record must win, through both the replay path and the
+// persisted-index path.
+func TestLastWriteWinsAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	k := key(0)
+	older, newer := testRecord(1), testRecord(2)
+	writeSegment(t, dir, 1, []entry{rawEntry(t, k, 2, older), rawEntry(t, key(9), 2, testRecord(9))})
+	writeSegment(t, dir, 2, []entry{rawEntry(t, k, 2, newer)})
+
+	// Replay path (no index file yet).
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || !reflect.DeepEqual(got, newer) {
+		t.Fatalf("replay served %+v, want the later segment's record", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persisted-index path.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.IndexLoaded != 2 || st.Replayed != 0 {
+		t.Fatalf("index-loaded %d replayed %d, want 2 and 0", st.IndexLoaded, st.Replayed)
+	}
+	if got, ok := r.Get(k); !ok || !reflect.DeepEqual(got, newer) {
+		t.Fatalf("index path served %+v, want the later segment's record", got)
+	}
+}
+
+// rawEntry marshals a record into a persisted entry line's struct.
+func rawEntry(t *testing.T, key string, engine int, rec interface{}) entry {
+	t.Helper()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry{Key: key, Engine: engine, Record: raw}
+}
+
+// writeSegment hand-writes one segment file from entry lines.
+func writeSegment(t *testing.T, dir string, seq int, entries []entry) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, segName(seq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Fprintf(f, "%s\n", line); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

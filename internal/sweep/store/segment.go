@@ -1,0 +1,138 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fsio"
+)
+
+// The segment layer owns the append-only seg-NNNNNN.jsonl files: naming,
+// discovery, offset-tracked scanning, torn-tail detection and the
+// directory fsyncs that make file creation and deletion durable. The
+// index layer (index.go) and compaction (compact.go) sit on top of it;
+// neither touches segment bytes directly.
+
+// segPrefix and segSuffix frame a segment file name; segName renders
+// one. The six-digit sequence keeps lexical order equal to numeric
+// order for every realistic store (rotation at 8 MiB means a million
+// segments is ~8 TiB of records).
+const (
+	segPrefix = "seg-"
+	segSuffix = ".jsonl"
+)
+
+func segName(seq int) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix)
+}
+
+// parseSegName extracts the sequence number of a segment file name.
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	var seq int
+	if _, err := fmt.Sscanf(name, segPrefix+"%06d"+segSuffix, &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments discovers the segments under dir, returning their
+// sequence numbers in ascending order plus each one's size. It also
+// removes temp files left behind by a compaction that died before its
+// atomic renames — they are invisible to replay (the glob requires the
+// .jsonl suffix) but would otherwise accumulate forever.
+func listSegments(dir string) (seqs []int, sizes map[int]int64, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix+".tmp-*"))
+	for _, tmp := range stale {
+		os.Remove(tmp)
+	}
+	sizes = make(map[int]int64, len(matches))
+	for _, path := range matches {
+		seq, ok := parseSegName(filepath.Base(path))
+		if !ok {
+			continue
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+		seqs = append(seqs, seq)
+		sizes[seq] = st.Size()
+	}
+	sort.Ints(seqs)
+	return seqs, sizes, nil
+}
+
+// scanSegment reads one segment from the byte offset from, calling fn
+// for every well-formed entry line with the entry, its starting offset
+// and its on-disk length (newline included). Malformed lines — a torn
+// tail from a crashed writer, or manual edits — are counted and
+// skipped, never fatal: losing an entry only costs a recompute. A
+// final line without a terminating newline is the signature of a crash
+// mid-append and is always skipped.
+func scanSegment(path string, from int64, fn func(e entry, off int64, n int64)) (skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if from > 0 {
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	off := from
+	for {
+		line, rerr := r.ReadBytes('\n')
+		n := int64(len(line))
+		if rerr == io.EOF {
+			if n > 0 {
+				// Torn tail: bytes past the last newline are a
+				// half-written entry.
+				skipped++
+			}
+			return skipped, nil
+		}
+		if rerr != nil {
+			return skipped, fmt.Errorf("store: replay %s: %w", path, rerr)
+		}
+		trimmed := line[:n-1]
+		if len(trimmed) > 0 {
+			var e entry
+			if err := json.Unmarshal(trimmed, &e); err != nil || e.Key == "" {
+				skipped++
+			} else {
+				fn(e, off, n)
+			}
+		}
+		off += n
+	}
+}
+
+// createSegment creates (or opens for append) the segment file for seq
+// and fsyncs the directory so the new name survives a crash: the very
+// next Put may be the only copy of an expensive evaluation.
+func createSegment(dir string, seq int) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsio.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}

@@ -68,6 +68,8 @@ func TestReopenReplaysSegments(t *testing.T) {
 		t.Fatalf("expected rotation, got %d segment(s)", s.Stats().Segments)
 	}
 
+	// Clean close persisted the index: reopen loads it and replays
+	// nothing.
 	r, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -82,8 +84,28 @@ func TestReopenReplaysSegments(t *testing.T) {
 			t.Fatalf("entry %d lost or changed across reopen", i)
 		}
 	}
-	if r.Stats().Replayed != n {
-		t.Fatalf("replayed %d, want %d", r.Stats().Replayed, n)
+	if st := r.Stats(); st.IndexLoaded != n || st.Replayed != 0 {
+		t.Fatalf("index-loaded %d replayed %d, want %d and 0", st.IndexLoaded, st.Replayed, n)
+	}
+
+	// Without the index file the segments are the source of truth:
+	// reopen falls back to a full replay.
+	if err := os.Remove(filepath.Join(dir, indexFileName)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if st := r2.Stats(); st.Replayed != n || st.IndexLoaded != 0 {
+		t.Fatalf("rebuild replayed %d index-loaded %d, want %d and 0", st.Replayed, st.IndexLoaded, n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := r2.Get(key(i))
+		if !ok || !reflect.DeepEqual(got, testRecord(i)) {
+			t.Fatalf("entry %d lost or changed across rebuild", i)
+		}
 	}
 }
 
@@ -184,8 +206,8 @@ func TestDuplicateChunkCompletionIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if st := r.Stats(); st.Replayed != 4 || st.Entries != 4 {
-		t.Fatalf("replayed %d entries into %d keys, want 4 and 4", st.Replayed, st.Entries)
+	if st := r.Stats(); st.IndexLoaded != 4 || st.Entries != 4 {
+		t.Fatalf("loaded %d entries into %d keys, want 4 and 4", st.IndexLoaded, st.Entries)
 	}
 }
 
