@@ -10,6 +10,7 @@
 //
 //	sweepd [-addr :8080] [-store sweep-store] [-store-shards 0] [-jobs 2]
 //	       [-distributed] [-local-workers 1] [-chunk 4] [-lease-ttl 30s]
+//	       [-pprof] [-v]
 //
 // -store-shards N fans the result store out over N independent shard
 // stores routed by key prefix, removing lock contention between
@@ -48,10 +49,21 @@
 //	POST   /api/v1/workers/leases/{id}/complete
 //	POST   /api/v1/workers/leases/{id}/fail
 //	GET    /api/v1/workers
+//	GET    /metrics
+//
+// Observability: one metrics registry spans every layer — HTTP
+// middleware, job manager, chunk dispatcher and the result store — and
+// is served as Prometheus text exposition at GET /metrics. Logs are
+// structured (log/slog, one key=value line per event); -v lowers the
+// level to debug, which includes per-request access lines and lease
+// chatter. -pprof additionally mounts the net/http/pprof handlers under
+// /debug/pprof/ on the same listener; it is off by default because
+// profiles can leak operational detail and cost CPU while streaming.
 //
 // SIGINT or SIGTERM triggers a graceful drain: the listener stops, every
 // queued job is cancelled, running jobs have their contexts cancelled,
-// and the store is flushed before exit.
+// and the store is flushed before exit. The drain logs how many jobs
+// were queued and running at the signal and how long the drain took.
 package main
 
 import (
@@ -59,13 +71,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sweep/store"
 )
@@ -81,6 +95,8 @@ type config struct {
 	chunk        int
 	leaseTTL     time.Duration
 	storeShards  int
+	pprof        bool
+	verbose      bool
 }
 
 func main() {
@@ -94,6 +110,8 @@ func main() {
 	flag.IntVar(&c.chunk, "chunk", 4, "grid points per worker lease (with -distributed)")
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 30*time.Second, "how long a dead worker's chunk stays leased before re-queueing")
 	flag.IntVar(&c.storeShards, "store-shards", 0, "result-store shards; 0 reuses the store's existing layout (new stores: 1). The count is fixed at store creation")
+	flag.BoolVar(&c.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default)")
+	flag.BoolVar(&c.verbose, "v", false, "debug-level logs (per-request access lines, lease chatter)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -104,25 +122,37 @@ func main() {
 
 func run(c config) error {
 	addr, storeDir, jobs, drain := c.addr, c.storeDir, c.jobs, c.drain
+	level := slog.LevelInfo
+	if c.verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	// One registry spans the whole daemon: the result store, the job
+	// manager, the dispatcher and the HTTP middleware all register their
+	// families here, and GET /metrics serves them together.
+	reg := obs.NewRegistry()
 	opts := service.Options{
 		JobWorkers:  jobs,
 		Distributed: c.distributed,
 		ChunkPoints: c.chunk,
 		LeaseTTL:    c.leaseTTL,
+		Metrics:     reg,
+		Logger:      logger,
 	}
 	if storeDir != "" {
-		st, err := store.OpenSharded(storeDir, c.storeShards, store.Options{})
+		st, err := store.OpenSharded(storeDir, c.storeShards, store.Options{Metrics: reg})
 		if err != nil {
 			return err
 		}
 		defer func() {
 			if err := st.Close(); err != nil {
-				log.Printf("sweepd: %v", err)
+				logger.Error("store close failed", "error", err)
 			}
 		}()
 		stats := st.Stats()
-		log.Printf("store %s: %d cached points in %d segment(s) across %d shard(s) (%d from index, %d replayed)",
-			storeDir, stats.Entries, stats.Segments, stats.Shards, stats.IndexLoaded, stats.Replayed)
+		logger.Info("store opened",
+			"dir", storeDir, "entries", stats.Entries, "segments", stats.Segments,
+			"shards", stats.Shards, "index_loaded", stats.IndexLoaded, "replayed", stats.Replayed)
 		opts.Cache = st
 		opts.StoreStats = func() (store.Stats, []store.Stats) {
 			return st.Stats(), st.ShardStats()
@@ -137,29 +167,45 @@ func run(c config) error {
 	workerCtx, stopWorkers := context.WithCancel(context.Background())
 	defer stopWorkers()
 	if c.distributed && c.localWorkers > 0 {
-		log.Printf("distributed mode: chunk %d points, lease TTL %s, %d local worker(s)",
-			c.chunk, c.leaseTTL, c.localWorkers)
+		logger.Info("distributed mode",
+			"chunk_points", c.chunk, "lease_ttl", c.leaseTTL, "local_workers", c.localWorkers)
 		for i := 0; i < c.localWorkers; i++ {
 			name := fmt.Sprintf("local-%d", i)
 			go func() {
 				if err := service.RunWorker(workerCtx, m, service.WorkerOptions{
-					Name: name,
-					Poll: 100 * time.Millisecond,
+					Name:   name,
+					Poll:   100 * time.Millisecond,
+					Logger: logger,
 				}); err != nil && !errors.Is(err, context.Canceled) {
-					log.Printf("sweepd: %s: %v", name, err)
+					logger.Error("local worker stopped", "worker", name, "error", err)
 				}
 			}()
 		}
 	}
 
+	handler := service.NewHandler(m)
+	if c.pprof {
+		// The profile handlers live beside the service routes on the same
+		// listener; registering them here (not in internal/service) keeps
+		// them out of the instrumented API surface and behind the flag.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:        addr,
-		Handler:     service.NewHandler(m),
+		Handler:     handler,
 		ReadTimeout: 30 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d job workers)", addr, jobs)
+		logger.Info("listening", "addr", addr, "job_workers", jobs)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -172,17 +218,21 @@ func run(c config) error {
 		m.Shutdown(context.Background())
 		return err
 	case sig := <-sigc:
-		log.Printf("%s: draining (deadline %s)", sig, drain)
+		queued, running := m.InFlight()
+		logger.Info("draining",
+			"signal", sig.String(), "deadline", drain,
+			"jobs_queued", queued, "jobs_running", running)
 	}
 
+	drainStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("sweepd: http shutdown: %v", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 	if err := m.Shutdown(ctx); err != nil {
 		return err
 	}
-	log.Print("drained")
+	logger.Info("drained", "duration", time.Since(drainStart))
 	return nil
 }

@@ -35,13 +35,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	name := flag.String("name", "", "worker name in leases and the fleet view (default hostname-pid)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease attempts")
 	workers := flag.Int("workers", runtime.NumCPU(), "local evaluation pool per chunk")
+	verbose := flag.Bool("v", false, "debug-level logs")
 	flag.Parse()
 
 	if *name == "" {
@@ -59,20 +61,29 @@ func main() {
 		}
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("worker %s: serving %s (%d-way evaluation, poll %s)", *name, *daemon, *workers, *poll)
+	logger.Info("worker serving",
+		"worker", *name, "daemon", *daemon, "eval_workers", *workers, "poll", *poll)
+	// RunWorker stamps every line with the worker name, and each lease's
+	// lines additionally carry lease_id and job_id — joinable against the
+	// daemon's dispatcher logs.
 	err := service.RunWorker(ctx, service.NewClient(*daemon), service.WorkerOptions{
 		Name:    *name,
 		Poll:    *poll,
 		Workers: *workers,
-		Logger:  log.Default(),
+		Logger:  logger,
 	})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "sweepworker:", err)
 		os.Exit(1)
 	}
-	log.Printf("worker %s: stopped", *name)
+	logger.Info("worker stopped", "worker", *name)
 }

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format: families sorted by name, series sorted by label
+// values, histogram buckets cumulative with the implicit +Inf bound,
+// each histogram followed by its _sum and _count samples. The output
+// order is deterministic for a given set of series, so scrapes (and
+// tests) can diff snapshots.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	r.mu.RLock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	funcs := make([]*gaugeFunc, 0, len(r.funcs))
+	for _, gf := range r.funcs {
+		funcs = append(funcs, gf)
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(families)+len(funcs))
+	byName := make(map[string]any, len(families)+len(funcs))
+	for _, f := range families {
+		names = append(names, f.name)
+		byName[f.name] = f
+	}
+	for _, gf := range funcs {
+		names = append(names, gf.name)
+		byName[gf.name] = gf
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		switch m := byName[name].(type) {
+		case *family:
+			writeFamily(bw, m)
+		case *gaugeFunc:
+			writeGaugeFunc(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics (or wherever it is
+// mounted) in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	writeHeader(w, f.name, f.help, string(f.typ))
+	for _, s := range f.sortedSeries() {
+		switch f.typ {
+		case typeHistogram:
+			writeHistogramSeries(w, f, s)
+		default:
+			writeSample(w, f.name, f.labels, s.labelVals, "", "", math.Float64frombits(s.valBits.Load()))
+		}
+	}
+}
+
+func writeHistogramSeries(w *bufio.Writer, f *family, s *series) {
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += s.buckets[i].Load()
+		writeSample(w, f.name+"_bucket", f.labels, s.labelVals, "le", formatBound(bound), float64(cum))
+	}
+	cum += s.buckets[len(f.buckets)].Load()
+	writeSample(w, f.name+"_bucket", f.labels, s.labelVals, "le", "+Inf", float64(cum))
+	writeSample(w, f.name+"_sum", f.labels, s.labelVals, "", "", math.Float64frombits(s.sumBits.Load()))
+	writeSample(w, f.name+"_count", f.labels, s.labelVals, "", "", float64(cum))
+}
+
+func writeGaugeFunc(w *bufio.Writer, gf *gaugeFunc) {
+	writeHeader(w, gf.name, gf.help, string(typeGauge))
+	// Collect into a slice first so the output can be sorted: callbacks
+	// may emit in map order, and exposition promises determinism.
+	type sample struct {
+		vals []string
+		v    float64
+	}
+	var samples []sample
+	gf.collect(func(v float64, labelVals ...string) {
+		if len(labelVals) != len(gf.labels) {
+			// A miswired callback must not corrupt the whole exposition;
+			// drop the sample.
+			return
+		}
+		samples = append(samples, sample{vals: append([]string(nil), labelVals...), v: v})
+	})
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i].vals, samples[j].vals
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for _, s := range samples {
+		writeSample(w, gf.name, gf.labels, s.vals, "", "", s.v)
+	}
+}
+
+func writeHeader(w *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// writeSample writes one exposition line. extraLabel/extraVal append a
+// synthetic label (the histogram "le" bound) after the schema labels.
+func writeSample(w *bufio.Writer, name string, labels, vals []string, extraLabel, extraVal string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(vals[i]))
+			w.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraLabel)
+			w.WriteString(`="`)
+			w.WriteString(extraVal)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the exposition spellings of the non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a histogram upper bound for the le label.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name, optional label set,
+// value. Label values are quoted strings with \\, \" and \n escapes.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+// parseExposition validates every line of a rendered registry and
+// returns the samples keyed by "name{labels}".
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	typed := map[string]string{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q in %q", parts[3], line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("line is not a valid Prometheus sample: %q", line)
+		}
+		space := strings.LastIndexByte(line, ' ')
+		key, valStr := line[:space], line[space+1:]
+		var v float64
+		switch valStr {
+		case "+Inf", "-Inf", "NaN":
+			// Parsed by the regexp; fine as-is for presence checks.
+		default:
+			var err error
+			if v, err = strconv.ParseFloat(valStr, 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		// Every sample must belong to a family announced by a TYPE line
+		// above it.
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		family := base
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam, ok := typed[strings.TrimSuffix(base, suffix)]; ok && fam == "histogram" {
+				family = strings.TrimSuffix(base, suffix)
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+func TestExpositionParsesBack(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_ops_total", "ops by kind", "kind").With("read").Add(7)
+	reg.Counter("app_ops_total", "ops by kind", "kind").With("write").Add(2)
+	reg.Gauge("app_depth", "queue depth").With().Set(3)
+	h := reg.Histogram("app_latency_seconds", "latency", []float64{0.1, 1}, "route")
+	h.With("GET /x").Observe(0.05)
+	h.With("GET /x").Observe(0.5)
+	h.With("GET /x").Observe(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, sb.String())
+
+	if samples[`app_ops_total{kind="read"}`] != 7 || samples[`app_ops_total{kind="write"}`] != 2 {
+		t.Fatalf("counter samples wrong: %v", samples)
+	}
+	if samples[`app_depth`] != 3 {
+		t.Fatalf("gauge sample wrong: %v", samples)
+	}
+
+	// Histogram invariants: buckets are cumulative, +Inf equals _count,
+	// and _sum is the observation total.
+	b1 := samples[`app_latency_seconds_bucket{route="GET /x",le="0.1"}`]
+	b2 := samples[`app_latency_seconds_bucket{route="GET /x",le="1"}`]
+	binf := samples[`app_latency_seconds_bucket{route="GET /x",le="+Inf"}`]
+	count := samples[`app_latency_seconds_count{route="GET /x"}`]
+	sum := samples[`app_latency_seconds_sum{route="GET /x"}`]
+	if b1 != 1 || b2 != 2 || binf != 3 {
+		t.Fatalf("buckets not cumulative: le0.1=%v le1=%v leInf=%v", b1, b2, binf)
+	}
+	if count != binf {
+		t.Fatalf("_count %v != +Inf bucket %v", count, binf)
+	}
+	if sum != 0.05+0.5+2 {
+		t.Fatalf("_sum = %v", sum)
+	}
+}
+
+func TestExpositionDeterministicOrder(t *testing.T) {
+	render := func() string {
+		reg := NewRegistry()
+		reg.Counter("z_total", "z").With().Inc()
+		reg.Counter("a_total", "a", "k").With("b").Inc()
+		reg.Counter("a_total", "a", "k").With("a").Inc()
+		reg.Gauge("m_depth", "m").With().Set(1)
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("exposition order is not deterministic")
+		}
+	}
+	// Families sorted by name, series by label value.
+	aIdx := strings.Index(first, "a_total{")
+	zIdx := strings.Index(first, "z_total")
+	if aIdx < 0 || zIdx < 0 || aIdx > zIdx {
+		t.Fatalf("families out of order:\n%s", first)
+	}
+	if strings.Index(first, `a_total{k="a"}`) > strings.Index(first, `a_total{k="b"}`) {
+		t.Fatalf("series out of order:\n%s", first)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	weird := "quote\" backslash\\ newline\n end"
+	reg.Counter("esc_total", "escapes", "v").With(weird).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `esc_total{v="quote\" backslash\\ newline\n end"} 1`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaped sample missing; got:\n%s", out)
+	}
+	// And the escaped form still parses as a single valid sample line.
+	parseExposition(t, out)
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served_total", "served").With().Add(4)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples := parseExposition(t, string(body)); samples["served_total"] != 4 {
+		t.Fatalf("served_total = %v", samples["served_total"])
+	}
+}

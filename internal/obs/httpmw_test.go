@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareCountsAndTimes(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg, nil)
+	mux := http.NewServeMux()
+	mux.Handle("GET /ok", hm.Wrap("GET /ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})))
+	mux.Handle("GET /missing", hm.Wrap("GET /missing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/ok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if got := hm.requests.With("GET /ok", "2xx").Value(); got != 3 {
+		t.Fatalf("2xx count = %v, want 3", got)
+	}
+	if got := hm.requests.With("GET /missing", "4xx").Value(); got != 1 {
+		t.Fatalf("4xx count = %v, want 1", got)
+	}
+	if got := hm.duration.With("GET /ok").Count(); got != 3 {
+		t.Fatalf("duration observations = %v, want 3", got)
+	}
+	if got := hm.inFlight.Value(); got != 0 {
+		t.Fatalf("in-flight after requests = %v, want 0", got)
+	}
+}
+
+func TestMiddlewareRequestID(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg, nil)
+	var seen string
+	h := hm.Wrap("GET /", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// A client-supplied ID is propagated to the handler context and
+	// echoed in the response.
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set(RequestIDHeader, "client-id-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if seen != "client-id-7" {
+		t.Fatalf("handler saw request ID %q, want client-id-7", seen)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "client-id-7" {
+		t.Fatalf("echoed request ID = %q", got)
+	}
+
+	// Absent IDs are minted and still echoed.
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if minted := resp.Header.Get(RequestIDHeader); len(minted) != 16 || seen != minted {
+		t.Fatalf("minted ID %q (handler saw %q)", minted, seen)
+	}
+}
+
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg, nil)
+	flushed := false
+	h := hm.Wrap("GET /stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("wrapped writer lost http.Flusher")
+			return
+		}
+		io.WriteString(w, "line\n")
+		f.Flush()
+		flushed = true
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !flushed {
+		t.Fatal("handler never flushed")
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not reach the underlying writer")
+	}
+	if !strings.Contains(rec.Body.String(), "line") {
+		t.Fatal("body lost")
+	}
+}

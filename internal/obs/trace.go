@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing here is deliberately small: a request ID that rides the
+// context (minted by the HTTP middleware from X-Request-ID, or fresh),
+// and a Span that stamps a start time and logs a structured finish line
+// with the measured duration. That is enough to reconstruct a job or
+// lease lifecycle from the log stream without an external collector.
+
+// RequestIDHeader is the HTTP header request IDs arrive on and are
+// echoed back through.
+const RequestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when none was set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// reqSeq backs the fallback request-ID generator when the system random
+// source fails (it practically never does).
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a 16-hex-character request ID. IDs only need to be
+// unique enough to correlate log lines; they carry no entropy contract.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger returns a structured text logger writing to w at the given
+// level — the daemon and worker binaries' log sink. A nil w logs to
+// stderr.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// DiscardLogger returns a logger that drops everything — the default
+// for library code whose caller wired no logger.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// Span is one timed unit of work (a job run, a lease lifetime). Start
+// with StartSpan, optionally mark intermediate Events, and End it to
+// log the structured finish line with the measured duration.
+type Span struct {
+	logger *slog.Logger
+	name   string
+	start  time.Time
+}
+
+// StartSpan begins a span. attrs are slog key-value pairs attached to
+// every line the span emits; a request ID on ctx is attached
+// automatically. The clock read is telemetry only — span timing never
+// feeds back into evaluation.
+func StartSpan(ctx context.Context, logger *slog.Logger, name string, attrs ...any) *Span {
+	if logger == nil {
+		logger = DiscardLogger()
+	}
+	if id := RequestID(ctx); id != "" {
+		attrs = append(attrs, "request_id", id)
+	}
+	l := logger.With(attrs...)
+	l.Debug(name + " started")
+	return &Span{logger: l, name: name, start: time.Now()}
+}
+
+// Event logs one intermediate structured event on the span.
+func (s *Span) Event(msg string, attrs ...any) {
+	s.logger.Info(msg, attrs...)
+}
+
+// End logs the span's finish line with its duration and returns the
+// duration. Extra attrs (an outcome state, an error) join the line.
+func (s *Span) End(attrs ...any) time.Duration {
+	d := time.Since(s.start)
+	attrs = append(attrs, "duration", d)
+	s.logger.Info(s.name+" finished", attrs...)
+	return d
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context has a request ID")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if RequestID(ctx) != "abc123" {
+		t.Fatalf("request ID = %q", RequestID(ctx))
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q has length %d, want 16", id, len(id))
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("request ID %q is not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanLogsDurationAndRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx := WithRequestID(context.Background(), "rid-1")
+
+	sp := StartSpan(ctx, logger, "job run", "job_id", "job-000001")
+	sp.Event("chunk leased", "lease_id", "lease-000001")
+	d := sp.End("state", "done")
+	if d < 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		"job run started", "chunk leased", "job run finished",
+		"job_id=job-000001", "request_id=rid-1", "state=done", "duration=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiscardLoggerDropsEverything(t *testing.T) {
+	// Must not panic and must not be enabled at any level used in code.
+	l := DiscardLogger()
+	l.Error("nothing")
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+}

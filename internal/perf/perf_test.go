@@ -86,6 +86,7 @@ func TestMeasurePropagatesRunError(t *testing.T) {
 func TestCatalogComplete(t *testing.T) {
 	want := []string{
 		"ldpc-decode-paper",
+		"metrics-overhead",
 		"noc-compiled-fig8",
 		"optimize-paper-space",
 		"service-submit-poll",

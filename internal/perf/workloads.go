@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/ldpc"
 	"repro/internal/noc"
 	"repro/internal/noc/analytic"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/sweep"
@@ -79,6 +81,7 @@ func init() {
 	register(serviceSubmitPoll())
 	register(storeReopenCold())
 	register(storeShardFanout())
+	register(metricsOverhead())
 }
 
 // ldpcDecodePaper measures the LDPC-CC sliding-window sum-product
@@ -407,6 +410,69 @@ func storeShardFanout() Workload {
 				return 0, err
 			}
 			return float64(workers * rounds * keys / workers), nil
+		},
+	}
+}
+
+// metricsOverhead measures the observability tax: warm lookups and
+// dedup re-puts against a store opened with Options.Metrics set — so
+// every Get and Put pays one clock read plus a histogram observation —
+// followed by a full Prometheus exposition of the registry each round,
+// the cost a scrape adds on top. The uninstrumented store workloads
+// above measure the free path (nil Metrics takes no clock reads at
+// all); this workload is the trajectory's record of what turning
+// observation on costs.
+func metricsOverhead() Workload {
+	const (
+		shards = 4
+		keys   = 512
+		rounds = 8
+	)
+	var (
+		dir string
+		st  *store.Sharded
+		reg *obs.Registry
+	)
+	return Workload{
+		Name:        "metrics-overhead",
+		Description: "512 warm instrumented lookups x 8 rounds with per-op latency histograms, plus a registry exposition per round",
+		Units:       "lookups",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			var err error
+			dir, err = os.MkdirTemp("", "perf-metrics-overhead-*")
+			if err != nil {
+				return nil, err
+			}
+			reg = obs.NewRegistry()
+			st, err = store.OpenSharded(dir, shards, store.Options{Metrics: reg})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			for i := 0; i < keys; i++ {
+				st.Put(perfKey(i), perfRecord(i))
+			}
+			return func() {
+				st.Close()
+				os.RemoveAll(dir)
+				st, reg = nil, nil
+			}, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					if _, ok := st.Get(perfKey(i)); !ok {
+						return 0, fmt.Errorf("warm key %d missed", i)
+					}
+					if i%16 == 0 {
+						st.Put(perfKey(i), perfRecord(i)) // dedup no-op, still timed
+					}
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					return 0, err
+				}
+			}
+			return float64(rounds * keys), nil
 		},
 	}
 }

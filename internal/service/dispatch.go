@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -98,9 +99,13 @@ type chunkTask struct {
 // took this particular lease, which the task alone cannot: after a
 // re-lease, task.worker is the new holder, but a late completion under
 // the old id must still credit the worker that actually did the work.
+// issuedAt anchors the lease-turnaround histogram to THIS lease's mint
+// time, so a late completion under an expired lease books its own
+// turnaround, not the re-lease's.
 type leaseRef struct {
-	t      *chunkTask
-	worker string
+	t        *chunkTask
+	worker   string
+	issuedAt time.Time
 }
 
 // workerStats accumulates one worker's fleet-view counters.
@@ -122,6 +127,8 @@ const fleetRetention = time.Hour
 type dispatcher struct {
 	ttl   time.Duration
 	clock func() time.Time
+	met   *serviceMetrics
+	log   *slog.Logger
 
 	mu      sync.Mutex
 	pending []*chunkTask
@@ -130,10 +137,12 @@ type dispatcher struct {
 	seq     uint64
 }
 
-func newDispatcher(ttl time.Duration, clock func() time.Time) *dispatcher {
+func newDispatcher(ttl time.Duration, clock func() time.Time, met *serviceMetrics, log *slog.Logger) *dispatcher {
 	return &dispatcher{
 		ttl:    ttl,
 		clock:  clock,
+		met:    met,
+		log:    log,
 		leases: make(map[string]leaseRef),
 		fleet:  make(map[string]*workerStats),
 	}
@@ -159,6 +168,10 @@ func (d *dispatcher) requeueExpiredLocked(now time.Time) {
 		if t.leaseID == id && !t.done && !t.cancelled && now.After(t.expires) {
 			t.leaseID = ""
 			d.pending = append(d.pending, t)
+			d.met.lease("expired")
+			d.log.Warn("lease expired, chunk re-queued",
+				"lease_id", id, "job_id", t.job.id, "worker", ref.worker,
+				"chunk_start", t.chunk.Start, "chunk_end", t.chunk.End)
 		}
 	}
 	// Piggyback fleet eviction on the same sweep: workers that have not
@@ -234,8 +247,12 @@ func (m *Manager) Lease(worker string) (Lease, bool, error) {
 		d.seq++
 		id := fmt.Sprintf("lease-%06d", d.seq)
 		t.leaseID, t.worker, t.expires = id, worker, now.Add(d.ttl)
-		d.leases[id] = leaseRef{t: t, worker: worker}
+		d.leases[id] = leaseRef{t: t, worker: worker, issuedAt: now}
+		d.met.lease("issued")
 		j := t.job
+		d.log.Debug("lease issued",
+			"lease_id", id, "job_id", j.id, "worker", worker,
+			"chunk_start", t.chunk.Start, "chunk_end", t.chunk.End)
 		l := Lease{
 			ID:         id,
 			JobID:      j.id,
@@ -300,7 +317,8 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 	// Credit the worker that held THIS lease, not the chunk's current
 	// holder: a late completion under an expired lease must not book
 	// work onto whoever the chunk was re-leased to.
-	ws := d.touchLocked(ref.worker, d.clock())
+	now := d.clock()
+	ws := d.touchLocked(ref.worker, now)
 	if t.done {
 		d.mu.Unlock()
 		return nil // duplicate completion: idempotent
@@ -316,6 +334,15 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 	ws.pointsDone += t.chunk.Len()
 	finished := t.dr.remaining == 0
 	d.mu.Unlock()
+
+	d.met.lease("completed")
+	d.met.leaseTurnaround.Observe(now.Sub(ref.issuedAt).Seconds())
+	d.met.points(false, t.chunk.Len())
+	d.met.workerChunks.With(ref.worker).Inc()
+	d.met.workerPoints.With(ref.worker).Add(float64(t.chunk.Len()))
+	d.log.Debug("lease completed",
+		"lease_id", leaseID, "job_id", t.job.id, "worker", ref.worker,
+		"points", t.chunk.Len(), "turnaround", now.Sub(ref.issuedAt))
 
 	j := t.job
 	j.done.Add(int64(t.chunk.Len()))
@@ -372,6 +399,10 @@ func (m *Manager) FailLease(leaseID, reason string) error {
 	}
 	dr := t.dr
 	d.mu.Unlock()
+	d.met.lease("failed")
+	d.log.Warn("lease failed",
+		"lease_id", leaseID, "job_id", t.job.id, "worker", ref.worker,
+		"reason", reason)
 	dr.finish()
 	return nil
 }
@@ -446,6 +477,7 @@ func (m *Manager) runDistributed(j *job) {
 	j.started = m.opts.Clock()
 	j.mu.Unlock()
 	defer cancel()
+	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
 
 	recs, cached, err := m.dispatchBatch(ctx, j, j.pts)
 	m.dispatch.endJob(j)
@@ -474,6 +506,7 @@ func (m *Manager) runDistributed(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	m.noteFinishedLocked(j)
 }
 
 // dispatchBatch evaluates one batch of points over the worker fleet: a
@@ -503,6 +536,7 @@ func (m *Manager) dispatchBatch(ctx context.Context, j *job, pts []sweep.Point) 
 	}
 	dr.remaining = len(todo)
 	cached := len(pts) - len(todo)
+	m.met.points(true, cached)
 
 	if len(todo) == 0 {
 		dr.finish()

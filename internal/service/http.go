@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
@@ -41,6 +42,14 @@ import (
 //	POST   /api/v1/workers/leases/{id}/fail      report an unevaluable chunk -> 200 | 410
 //	GET    /api/v1/workers                       fleet view: per-worker counters
 //
+// Observability rides on every route: each handler is registered
+// through instrument, which wraps it in obs.HTTPMetrics middleware
+// (per-route latency histogram, status-class counters, in-flight gauge,
+// X-Request-ID propagation), and the whole registry — HTTP, job, lease,
+// worker and store families — is served at:
+//
+//	GET    /metrics                  Prometheus text exposition (0.0.4)
+//
 // Every error is a JSON object {"error": "..."} with the obvious status:
 // 400 for bad submissions, 404 for unknown jobs, 409 for results
 // requested before completion, 410 for dead leases, 422 for completions
@@ -48,7 +57,9 @@ import (
 // docs/api.md is the full reference.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	hm := obs.NewHTTPMetrics(m.Metrics(), m.logger())
+	instrument(mux, hm, "GET /metrics", m.Metrics().Handler().ServeHTTP)
+	instrument(mux, hm, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// The engine version lets optimizer clients and worker binaries
 		// preflight-check compatibility before submitting or leasing:
 		// records are only comparable between equal engine versions.
@@ -65,7 +76,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, payload)
 	})
-	mux.HandleFunc("GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
 		total, shards, ok := m.StoreStats()
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("daemon is running without a result store"))
@@ -76,9 +87,9 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, storeView{Store: total, Shards: shards})
 	})
-	mux.HandleFunc("GET /api/v1/scenarios", handleScenarios)
-	mux.HandleFunc("GET /api/v1/spaces", handleSpaces)
-	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/scenarios", handleScenarios)
+	instrument(mux, hm, "GET /api/v1/spaces", handleSpaces)
+	instrument(mux, hm, "POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
@@ -89,12 +100,16 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, submitStatus(err), err)
 			return
 		}
+		// Tie the job id to the request id, so an operator holding either
+		// end of a submission can find the other in the logs.
+		m.logger().Info("job accepted",
+			"job_id", v.ID, "request_id", obs.RequestID(r.Context()))
 		writeJSON(w, http.StatusAccepted, v)
 	})
-	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
 	})
-	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		v, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, jobStatus(err), err)
@@ -102,7 +117,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := m.Cancel(id); err != nil {
 			writeError(w, jobStatus(err), err)
@@ -115,7 +130,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
-	mux.HandleFunc("GET /api/v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
 		res, err := m.Result(r.PathValue("id"))
 		if err != nil {
 			writeError(w, jobStatus(err), err)
@@ -133,7 +148,7 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	mux.HandleFunc("POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Worker string `json:"worker"`
 		}
@@ -152,7 +167,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, l)
 	})
-	mux.HandleFunc("POST /api/v1/workers/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		ttl, err := m.Heartbeat(r.PathValue("id"))
 		if err != nil {
 			writeError(w, leaseStatus(err), err)
@@ -160,7 +175,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]float64{"ttl_seconds": ttl.Seconds()})
 	})
-	mux.HandleFunc("POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Records []sweep.Record `json:"records"`
 		}
@@ -177,7 +192,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("POST /api/v1/workers/leases/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Error string `json:"error"`
 		}
@@ -191,14 +206,14 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		fleet := m.WorkerFleet()
 		if fleet == nil {
 			fleet = []WorkerView{}
 		}
 		writeJSON(w, http.StatusOK, fleet)
 	})
-	mux.HandleFunc("GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		// Snapshot the view before fetching the result: if the job is
 		// evicted between the two lookups, the Result call fails loudly
@@ -228,7 +243,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, payload)
 	})
-	mux.HandleFunc("GET /api/v1/jobs/{id}/generations", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, "GET /api/v1/jobs/{id}/generations", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		sent := 0
 		gens, terminal, err := m.Generations(id, sent)
@@ -263,6 +278,16 @@ func NewHandler(m *Manager) http.Handler {
 		}
 	})
 	return mux
+}
+
+// instrument is the single chokepoint where routes meet the mux: every
+// handler is wrapped in the metrics middleware under its route pattern
+// before registration, so no endpoint can silently escape the per-route
+// histograms and counters. tools/routelint enforces the chokepoint
+// statically — a direct mux.Handle/HandleFunc call anywhere else in this
+// file fails CI.
+func instrument(mux *http.ServeMux, hm *obs.HTTPMetrics, pattern string, fn http.HandlerFunc) {
+	mux.Handle(pattern, hm.Wrap(pattern, fn))
 }
 
 // genPollInterval is how often the generations stream re-checks a

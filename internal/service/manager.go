@@ -24,10 +24,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
@@ -241,6 +243,14 @@ type Options struct {
 	// the healthz cache-hit-rate field; a daemon running without a
 	// persistent store leaves it nil and the endpoint answers 404.
 	StoreStats func() (store.Stats, []store.Stats)
+	// Metrics is the registry the manager's metric families register on
+	// (nil = a private registry). cmd/sweepd passes one registry shared
+	// with the result store so GET /metrics exposes every layer.
+	Metrics *obs.Registry
+	// Logger receives structured job and lease lifecycle events
+	// (nil = discard). Metrics observe, logs narrate; neither influences
+	// results.
+	Logger *slog.Logger
 }
 
 // Manager owns the queue, the scheduler pool and the job table.
@@ -249,6 +259,8 @@ type Manager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	met    *serviceMetrics
+	log    *slog.Logger
 
 	// runSweep is sweep.Run, replaceable by tests that need jobs with
 	// controlled timing.
@@ -284,16 +296,38 @@ func New(opts Options) *Manager {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:     opts,
-		ctx:      ctx,
-		cancel:   cancel,
+		met:      newServiceMetrics(reg),
+		log:      logger,
 		jobs:     make(map[string]*job),
 		runSweep: sweep.Run,
 	}
+	m.ctx = ctx
+	m.cancel = cancel
+	reg.GaugeFunc("sweepd_job_queue_depth",
+		"Jobs waiting in the priority queue.", nil,
+		func(emit func(float64, ...string)) {
+			queued, _ := m.InFlight()
+			emit(float64(queued))
+		})
+	reg.GaugeFunc("sweepd_jobs_running",
+		"Jobs currently executing.", nil,
+		func(emit func(float64, ...string)) {
+			_, running := m.InFlight()
+			emit(float64(running))
+		})
 	if opts.Distributed {
-		m.dispatch = newDispatcher(opts.LeaseTTL, opts.Clock)
+		m.dispatch = newDispatcher(opts.LeaseTTL, opts.Clock, m.met, logger)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < opts.JobWorkers; i++ {
@@ -372,7 +406,54 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 	m.evictLocked()
 	m.queue.push(j)
 	m.cond.Signal()
+	m.met.jobsSubmitted.With(kind).Inc()
+	m.log.Info("job submitted",
+		"job_id", j.id, "kind", kind, "scenario", j.scenarioName,
+		"budget", j.budget.Name, "seed", req.Seed, "priority", req.Priority,
+		"points", j.total)
 	return j.view(), nil
+}
+
+// InFlight counts the jobs that have not yet reached a terminal state:
+// queued (waiting in the priority queue) and running. cmd/sweepd reports
+// both at SIGTERM so operators can see how much work a drain is waiting
+// on; the queue-depth and jobs-running gauges read the same numbers.
+func (m *Manager) InFlight() (queued, running int) {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+// noteFinishedLocked books the metrics and the structured log line for a
+// job that just reached a terminal state. Called with j.mu held.
+func (m *Manager) noteFinishedLocked(j *job) {
+	m.met.jobFinished(j.kind, j.state, j.started, j.finished)
+	attrs := []any{
+		"job_id", j.id, "kind", j.kind, "scenario", j.scenarioName,
+		"state", string(j.state),
+		"points_done", j.done.Load(), "points_cached", j.cached.Load(),
+	}
+	if !j.started.IsZero() {
+		attrs = append(attrs, "duration", j.finished.Sub(j.started))
+	}
+	if j.errMsg != "" {
+		attrs = append(attrs, "error", j.errMsg)
+	}
+	m.log.Info("job finished", attrs...)
 }
 
 // evictLocked drops the oldest terminal jobs once the table exceeds
@@ -469,6 +550,7 @@ func (m *Manager) Cancel(id string) error {
 		j.state = StateCancelled
 		j.errMsg = "cancelled while queued"
 		j.finished = m.opts.Clock()
+		m.noteFinishedLocked(j)
 	case StateRunning:
 		j.cancel()
 	}
@@ -488,6 +570,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			j.state = StateCancelled
 			j.errMsg = "cancelled at shutdown"
 			j.finished = m.opts.Clock()
+			m.noteFinishedLocked(j)
 		}
 		j.mu.Unlock()
 	}
@@ -548,6 +631,7 @@ func (m *Manager) run(j *job) {
 	j.started = m.opts.Clock()
 	j.mu.Unlock()
 	defer cancel()
+	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
 
 	res, err := func() (res *sweep.Result, err error) {
 		// A panicking point evaluation (sweep.Map re-raises worker
@@ -555,6 +639,7 @@ func (m *Manager) run(j *job) {
 		// goroutine and with it the whole daemon.
 		defer func() {
 			if r := recover(); r != nil {
+				m.met.jobPanics.Inc()
 				res, err = nil, fmt.Errorf("service: job panicked: %v", r)
 			}
 		}()
@@ -568,6 +653,7 @@ func (m *Manager) run(j *job) {
 				if cached {
 					j.cached.Add(1)
 				}
+				m.met.point(cached)
 			},
 		})
 	}()
@@ -586,6 +672,7 @@ func (m *Manager) run(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	m.noteFinishedLocked(j)
 }
 
 // runOptimize executes one optimization job through the adaptive
@@ -608,6 +695,7 @@ func (m *Manager) runOptimize(j *job) {
 	j.started = m.opts.Clock()
 	j.mu.Unlock()
 	defer cancel()
+	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
 
 	opts := j.searchOpts
 	opts.OnGeneration = func(g search.Generation) {
@@ -628,6 +716,7 @@ func (m *Manager) runOptimize(j *job) {
 				if cached {
 					j.cached.Add(1)
 				}
+				m.met.point(cached)
 			})
 	}
 
@@ -636,6 +725,7 @@ func (m *Manager) runOptimize(j *job) {
 		// evaluation fails this job, not the daemon.
 		defer func() {
 			if r := recover(); r != nil {
+				m.met.jobPanics.Inc()
 				res, err = nil, fmt.Errorf("service: job panicked: %v", r)
 			}
 		}()
@@ -668,6 +758,7 @@ func (m *Manager) runOptimize(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	m.noteFinishedLocked(j)
 }
 
 // Generations returns an optimization job's per-generation summaries

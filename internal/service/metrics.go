@@ -1,0 +1,111 @@
+package service
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serviceMetrics bundles the manager's and dispatcher's metric
+// families. One instance per Manager, registered on the Manager's
+// registry (Options.Metrics, or a private one), so tests and embedded
+// managers never collide.
+//
+// Family naming follows the conventions documented in ARCHITECTURE.md:
+// sweepd_job_* for the job manager, sweepd_lease_* / sweepd_worker_*
+// for the dispatcher, sweepd_http_* for the middleware (see
+// obs.NewHTTPMetrics), sweep_store_* for the storage engine.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	jobsSubmitted *obs.CounterVec   // kind
+	jobsFinished  *obs.CounterVec   // kind, state
+	jobDuration   *obs.HistogramVec // kind
+	// The two fates of sweepd_job_points_total, resolved once: point
+	// runs per design point, so the hot path must not rebuild label
+	// keys.
+	pointsComputed obs.Counter
+	pointsCached   obs.Counter
+	jobPanics      obs.Counter
+
+	leases          *obs.CounterVec // event: issued|completed|expired|failed
+	leaseTurnaround obs.Histogram
+	workerPoints    *obs.CounterVec // worker
+	workerChunks    *obs.CounterVec // worker
+}
+
+// jobDurationBuckets spans the realistic job range: a warm analytic
+// sweep finishes in milliseconds, a cold Monte-Carlo run takes minutes.
+var jobDurationBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300, 1800,
+}
+
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	jobPoints := reg.Counter("sweepd_job_points_total",
+		"Design points resolved across all jobs, by fate.", "fate")
+	return &serviceMetrics{
+		reg: reg,
+		jobsSubmitted: reg.Counter("sweepd_jobs_submitted_total",
+			"Jobs accepted into the queue, by kind.", "kind"),
+		jobsFinished: reg.Counter("sweepd_jobs_finished_total",
+			"Jobs reaching a terminal state, by kind and state.", "kind", "state"),
+		jobDuration: reg.Histogram("sweepd_job_duration_seconds",
+			"Wall time from job start to terminal state, by kind.", jobDurationBuckets, "kind"),
+		pointsComputed: jobPoints.With("computed"),
+		pointsCached:   jobPoints.With("cached"),
+		jobPanics: reg.Counter("sweepd_job_panics_total",
+			"Jobs failed by a panicking point evaluation.").With(),
+		leases: reg.Counter("sweepd_leases_total",
+			"Lease lifecycle events in the chunk dispatcher.", "event"),
+		leaseTurnaround: reg.Histogram("sweepd_lease_turnaround_seconds",
+			"Time from lease issue to accepted completion.", nil).With(),
+		workerPoints: reg.Counter("sweepd_worker_points_total",
+			"Design points completed per worker — the fleet throughput input for heterogeneity-aware scheduling.", "worker"),
+		workerChunks: reg.Counter("sweepd_worker_chunks_total",
+			"Chunks completed per worker.", "worker"),
+	}
+}
+
+// point books one resolved design point. Counting happens exactly where
+// job progress counters are bumped, so the metric and the JobView
+// progress can never drift apart.
+func (sm *serviceMetrics) point(cached bool) {
+	if cached {
+		sm.pointsCached.Inc()
+	} else {
+		sm.pointsComputed.Inc()
+	}
+}
+
+// points books n resolved design points at once — the chunk-completion
+// and cache-pre-pass bulk form of point.
+func (sm *serviceMetrics) points(cached bool, n int) {
+	if n <= 0 {
+		return
+	}
+	if cached {
+		sm.pointsCached.Add(float64(n))
+	} else {
+		sm.pointsComputed.Add(float64(n))
+	}
+}
+
+// lease books one dispatcher lifecycle event.
+func (sm *serviceMetrics) lease(event string) { sm.leases.With(event).Inc() }
+
+// jobFinished books a job's terminal transition: the state counter and,
+// when the job actually ran, the duration histogram.
+func (sm *serviceMetrics) jobFinished(kind string, state State, started, finished time.Time) {
+	sm.jobsFinished.With(kind, string(state)).Inc()
+	if !started.IsZero() && !finished.Before(started) {
+		sm.jobDuration.With(kind).Observe(finished.Sub(started).Seconds())
+	}
+}
+
+// Metrics returns the manager's metric registry — the one NewHandler
+// serves at GET /metrics and cmd/sweepd shares with the result store.
+func (m *Manager) Metrics() *obs.Registry { return m.met.reg }
+
+// logger returns the manager's structured logger (never nil).
+func (m *Manager) logger() *slog.Logger { return m.log }

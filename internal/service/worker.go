@@ -4,10 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -38,8 +39,10 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Workers bounds the local evaluation pool per chunk (0 = NumCPU).
 	Workers int
-	// Logger, when non-nil, receives one line per lease outcome.
-	Logger *log.Logger
+	// Logger receives one structured line per lease outcome, each
+	// carrying the worker name plus the lease and job ids (nil =
+	// discard).
+	Logger *slog.Logger
 }
 
 // RunWorker drains chunks from api until ctx is cancelled: lease,
@@ -59,18 +62,18 @@ func RunWorker(ctx context.Context, api WorkerAPI, opts WorkerOptions) error {
 	if opts.Poll <= 0 {
 		opts.Poll = 500 * time.Millisecond
 	}
-	logf := func(format string, args ...any) {
-		if opts.Logger != nil {
-			opts.Logger.Printf(format, args...)
-		}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
 	}
+	logger = logger.With("worker", opts.Name)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		l, ok, err := api.Lease(opts.Name)
 		if err != nil {
-			logf("lease: %v (retrying in %s)", err, opts.Poll)
+			logger.Warn("lease request failed", "error", err, "retry_in", opts.Poll)
 			if !sleep(ctx, opts.Poll) {
 				return ctx.Err()
 			}
@@ -82,7 +85,7 @@ func RunWorker(ctx context.Context, api WorkerAPI, opts WorkerOptions) error {
 			}
 			continue
 		}
-		if err := serveLease(ctx, api, l, opts, logf); err != nil {
+		if err := serveLease(ctx, api, l, opts, logger); err != nil {
 			return err
 		}
 	}
@@ -92,7 +95,10 @@ func RunWorker(ctx context.Context, api WorkerAPI, opts WorkerOptions) error {
 // that carries explicit Points (an optimizer generation) is evaluated
 // directly through sweep.EvaluatePoints; otherwise the chunk names a
 // registered scenario whose grid the worker regenerates locally.
-func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions, logf func(string, ...any)) error {
+func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions, logger *slog.Logger) error {
+	// Every line about this lease carries the ids an operator needs to
+	// join worker logs against the daemon's dispatcher logs.
+	logger = logger.With("lease_id", l.ID, "job_id", l.JobID)
 	if l.Engine != sweep.EngineVersion {
 		return fmt.Errorf("service: worker runs engine v%d but daemon leased engine v%d work — rebuild the worker",
 			sweep.EngineVersion, l.Engine)
@@ -133,7 +139,8 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 				return
 			case <-tick.C:
 				if _, err := api.Heartbeat(l.ID); errors.Is(err, ErrLeaseGone) {
-					logf("lease %s: gone, abandoning chunk [%d,%d)", l.ID, l.Start, l.End)
+					logger.Warn("lease gone, abandoning chunk",
+						"chunk_start", l.Start, "chunk_end", l.End)
 					leaseGone.Store(true)
 					cancelEval()
 					return
@@ -169,23 +176,25 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 		err := completeWithRetry(ctx, api, l.ID, recs)
 		switch {
 		case err == nil:
-			logf("lease %s: completed %s[%d,%d) (%d points)", l.ID, l.Scenario, l.Start, l.End, len(recs))
+			logger.Info("chunk completed",
+				"scenario", l.Scenario, "chunk_start", l.Start, "chunk_end", l.End,
+				"points", len(recs))
 		case errors.Is(err, ErrLeaseGone):
 			// Not a worker failure, but don't log it as a success: the
 			// daemon discarded these records (job cancelled, or the
 			// chunk was re-leased and finished by someone else).
-			logf("lease %s: gone at completion, records discarded", l.ID)
+			logger.Warn("lease gone at completion, records discarded")
 		case errors.Is(err, ErrBadRecords):
 			// The daemon rejected records this worker considers correct:
 			// the two binaries disagree on the grid. Deterministic, so
 			// every retry and every re-lease would be rejected the same
 			// way — fail the job instead of bouncing the chunk forever.
-			logf("lease %s: records rejected, failing job: %v", l.ID, err)
+			logger.Error("records rejected, failing job", "error", err)
 			if ferr := api.FailLease(l.ID, err.Error()); ferr != nil && !errors.Is(ferr, ErrLeaseGone) {
-				logf("lease %s: fail report: %v", l.ID, ferr)
+				logger.Warn("fail report not delivered", "error", ferr)
 			}
 		default:
-			logf("lease %s: complete: %v", l.ID, err)
+			logger.Warn("completion failed", "error", err)
 		}
 	case leaseGone.Load():
 		// Lease lost mid-evaluation: abandoned above, nothing to post.
@@ -196,7 +205,7 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 		// the job fails like an in-process panic would, instead of the
 		// chunk bouncing from worker to worker forever.
 		if err := api.FailLease(l.ID, evalErr.Error()); err != nil && !errors.Is(err, ErrLeaseGone) {
-			logf("lease %s: fail report: %v", l.ID, err)
+			logger.Warn("fail report not delivered", "error", err)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/fsio"
 	"repro/internal/sweep"
@@ -82,6 +83,11 @@ func (s *Store) failpoint(stage string) error {
 // never drop a servable record. The store is locked for the duration;
 // concurrent Gets and Puts block until the swap completes.
 func (s *Store) Compact() (CompactResult, error) {
+	if s.met != nil {
+		defer func(start time.Time) {
+			s.met.compactions.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var res CompactResult

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// storeMetrics bundles the storage engine's metric families. It exists
+// only when the store was opened with Options.Metrics — a nil bundle
+// means the hot path takes zero clock reads, so embedding a store in a
+// perf harness or a test costs exactly what it did before metrics
+// existed.
+//
+// Registration is idempotent on the registry, so every shard of a
+// Sharded store shares one set of families: the counters and histograms
+// aggregate across shards, while the per-shard breakdown is served by
+// gauge functions registered once per Sharded (see OpenSharded).
+type storeMetrics struct {
+	gets        *obs.CounterVec // result: hit|miss
+	puts        obs.Counter
+	getSeconds  obs.Histogram
+	putSeconds  obs.Histogram
+	compactions obs.Histogram
+}
+
+// storeLatencyBuckets resolves the store's hot path: a resident Get is
+// sub-microsecond, a fault-in or a rotating Put costs disk I/O.
+var storeLatencyBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		gets: reg.Counter("sweep_store_gets_total",
+			"Store lookups, by result.", "result"),
+		puts: reg.Counter("sweep_store_puts_total",
+			"Store appends that added a new entry.").With(),
+		getSeconds: reg.Histogram("sweep_store_get_seconds",
+			"Store lookup latency.", storeLatencyBuckets).With(),
+		putSeconds: reg.Histogram("sweep_store_put_seconds",
+			"Store append latency.", storeLatencyBuckets).With(),
+		compactions: reg.Histogram("sweep_store_compaction_seconds",
+			"Wall time of one shard compaction.", nil).With(),
+	}
+}
+
+// observeGet books one lookup: its latency and its hit/miss fate.
+func (sm *storeMetrics) observeGet(d time.Duration, hit bool) {
+	sm.getSeconds.Observe(d.Seconds())
+	if hit {
+		sm.gets.With("hit").Inc()
+	} else {
+		sm.gets.With("miss").Inc()
+	}
+}
+
+// registerShardGauges exposes the per-shard breakdown as gauge
+// functions evaluated at exposition time: entry and segment counts per
+// shard, each snapshot taken under the shard's own lock. Called once
+// per Sharded open; re-opening replaces the previous collector.
+func registerShardGauges(reg *obs.Registry, s *Sharded) {
+	reg.GaugeFunc("sweep_store_shard_entries",
+		"Distinct keys per shard.", []string{"shard"},
+		func(emit func(float64, ...string)) {
+			for i, st := range s.shards {
+				emit(float64(st.Len()), fmt.Sprintf("%d", i))
+			}
+		})
+	reg.GaugeFunc("sweep_store_shard_segments",
+		"Segment files per shard.", []string{"shard"},
+		func(emit func(float64, ...string)) {
+			for i, st := range s.shards {
+				st.mu.RLock()
+				n := len(st.segs)
+				st.mu.RUnlock()
+				emit(float64(n), fmt.Sprintf("%d", i))
+			}
+		})
+}

@@ -133,6 +133,9 @@ func OpenSharded(dir string, n int, o Options) (*Sharded, error) {
 		}
 		s.shards[i] = st
 	}
+	if o.Metrics != nil {
+		registerShardGauges(o.Metrics, s)
+	}
 	return s, nil
 }
 

@@ -41,7 +41,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -64,6 +66,11 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it grows past this
 	// size (0 = DefaultSegmentBytes).
 	SegmentBytes int64
+	// Metrics, when non-nil, registers the engine's metric families
+	// (sweep_store_*) on the registry and times every Get, Put and
+	// compaction. Nil keeps the hot path entirely free of clock reads —
+	// observation is strictly opt-in.
+	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time counter snapshot. For a Sharded store the
@@ -95,6 +102,7 @@ func (s Stats) HitRate() float64 {
 type Store struct {
 	dir      string
 	segLimit int64
+	met      *storeMetrics // nil unless Options.Metrics was set
 
 	hits, misses, puts atomic.Int64
 
@@ -136,6 +144,9 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 		segLimit: o.SegmentBytes,
 		index:    make(map[string]*indexEntry),
 		readers:  make(map[int]*os.File),
+	}
+	if o.Metrics != nil {
+		s.met = newStoreMetrics(o.Metrics)
 	}
 	seqs, sizes, err := listSegments(dir)
 	if err != nil {
@@ -229,6 +240,16 @@ func (s *Store) openActive(seq int, size int64) error {
 // Get returns the record stored under key, faulting it in from its
 // segment on first access. It implements sweep.Cache.
 func (s *Store) Get(key string) (sweep.Record, bool) {
+	if s.met != nil {
+		start := time.Now()
+		rec, ok := s.get(key)
+		s.met.observeGet(time.Since(start), ok)
+		return rec, ok
+	}
+	return s.get(key)
+}
+
+func (s *Store) get(key string) (sweep.Record, bool) {
 	s.mu.RLock()
 	e, ok := s.index[key]
 	var rec sweep.Record
@@ -329,6 +350,20 @@ func (s *Store) readerLocked(seq int) (*os.File, error) {
 // the entry stays served from memory and the error is reported by the
 // next Close.
 func (s *Store) Put(key string, rec sweep.Record) {
+	if s.met != nil {
+		start := time.Now()
+		if s.put(key, rec) {
+			s.met.puts.Inc()
+		}
+		s.met.putSeconds.Observe(time.Since(start).Seconds())
+		return
+	}
+	s.put(key, rec)
+}
+
+// put appends the record, reporting whether a new entry was added
+// (false on dedup).
+func (s *Store) put(key string, rec sweep.Record) bool {
 	// Marshal outside the lock: encoding is the expensive part of a
 	// Put, and holding the mutex across it would serialize every sweep
 	// worker behind one encoder.
@@ -343,23 +378,23 @@ func (s *Store) Put(key string, rec sweep.Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.index[key]; dup {
-		return
+		return false
 	}
 	e := &indexEntry{engine: sweep.EngineVersion, rec: &rec}
 	s.index[key] = e
 	s.puts.Add(1)
 	s.indexDirty = true
 	if s.closed {
-		return
+		return true
 	}
 	if merr != nil {
 		s.writeErr = merr
-		return
+		return true
 	}
 	if s.active == nil || s.activeSize >= s.segLimit {
 		if err := s.rotateLocked(); err != nil {
 			s.writeErr = err
-			return
+			return true
 		}
 	}
 	e.seg, e.off, e.length = s.activeSeq, s.activeSize, int64(len(line))
@@ -369,6 +404,7 @@ func (s *Store) Put(key string, rec sweep.Record) {
 	if err != nil {
 		s.writeErr = err
 	}
+	return true
 }
 
 // rotateLocked closes the active segment and opens the next one,

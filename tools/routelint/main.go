@@ -1,0 +1,122 @@
+// Command routelint fails (exit 1) if any HTTP route in
+// internal/service is registered without the metrics middleware. It is
+// the CI observability gate for the API surface: internal/service
+// funnels every registration through the instrument helper (which wraps
+// the handler in obs.HTTPMetrics under its route pattern), and this
+// tool keeps that invariant from rotting — a mux.Handle or
+// mux.HandleFunc call anywhere else in the package would register a
+// route invisible to the per-route latency histograms, status-class
+// counters and access log, and fails the build.
+//
+// Usage:
+//
+//	go run ./tools/routelint [dir]
+//
+// dir defaults to "internal/service". The check is purely syntactic —
+// any call expression whose selector is named Handle or HandleFunc,
+// outside the function declaration named "instrument", is a violation —
+// so it cannot be fooled by aliasing the mux, and it never needs type
+// information or a build cache. Test files are ignored: tests may wire
+// throwaway muxes however they like.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// allowedFunc is the one function allowed to register routes directly.
+const allowedFunc = "instrument"
+
+func main() {
+	root := "internal/service"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routelint:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "routelint: %d route registration(s) bypass the metrics middleware (use the %s helper):\n",
+			len(violations), allowedFunc)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("routelint: every route in %s goes through %s\n", root, allowedFunc)
+}
+
+// lint walks root's non-test Go files and returns every Handle or
+// HandleFunc call outside the allowed helper, as "file:line: call"
+// strings in sorted order.
+func lint(root string) ([]string, error) {
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		violations = append(violations, lintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// lintFile reports the offending registration calls in one parsed file.
+// Each top-level declaration is walked separately so a call can be
+// attributed to (and excused by) the function declaration it lives in.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Name.Name == allowedFunc {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc" {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: %s call outside %s",
+				pos.Filename, pos.Line, sel.Sel.Name, allowedFunc))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFindsBypassingRegistrations(t *testing.T) {
+	dir := t.TempDir()
+	// The blessed shape: registrations only inside instrument.
+	write(t, filepath.Join(dir, "good.go"), `package svc
+
+import "net/http"
+
+func instrument(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	mux.Handle(pattern, fn)
+}
+
+func handlers() *http.ServeMux {
+	mux := http.NewServeMux()
+	instrument(mux, "GET /x", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}
+`)
+	// Two bypasses: a direct HandleFunc, and a Handle through an alias —
+	// the syntactic check catches both, and reports the line.
+	write(t, filepath.Join(dir, "bad.go"), `package svc
+
+import "net/http"
+
+func sneaky() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /hidden", func(w http.ResponseWriter, r *http.Request) {})
+	alias := mux
+	alias.Handle("GET /aliased", http.NotFoundHandler())
+	return mux
+}
+`)
+	// Tests may wire throwaway muxes freely.
+	write(t, filepath.Join(dir, "bad_test.go"), `package svc
+
+import "net/http"
+
+func testMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scratch", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}
+`)
+
+	violations, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want exactly the two bypasses in bad.go", violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v, "bad.go") {
+			t.Fatalf("violation %q not attributed to bad.go", v)
+		}
+	}
+}
+
+func TestLintCleanOnThisModule(t *testing.T) {
+	// The repository's own invariant: every internal/service route is
+	// registered through instrument, hence wrapped by the middleware.
+	violations, err := lint(filepath.Join("..", "..", "internal", "service"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("routes bypassing the metrics middleware: %v", violations)
+	}
+}
