@@ -13,12 +13,15 @@
 // file: schema and engine versions, toolchain and git metadata, then
 // one entry per workload with ns/op, allocs/op and domain throughput
 // (codewords/s, points/s, records/s). Output goes to stdout, or
-// atomically (temp file + rename) to -o.
+// atomically (temp file + rename) to -o. run exits 1 when any measured
+// workload exceeds its allocation budget (Workload.MaxAllocsPerOp) —
+// allocations are deterministic per op, so that gate needs no baseline
+// file — and 2 on usage or I/O errors.
 //
 // diff compares two BENCH files and exits 1 when any workload slowed
-// past its threshold (or dropped out of the new file); thresholds live
-// in internal/perf, nowhere else. Exit codes: 0 no regression, 1
-// regression, 2 usage or I/O error.
+// past its threshold, blew past its allocation threshold, or dropped
+// out of the new file; thresholds live in internal/perf, nowhere else.
+// Exit codes: 0 no regression, 1 regression, 2 usage or I/O error.
 //
 // The committed baselines form the repository's performance
 // trajectory: each PR that touches a hot path records its effect in a
@@ -51,10 +54,12 @@ func main() {
 	case "list":
 		list()
 	case "run":
-		if err := run(ctx, os.Args[2:]); err != nil {
+		code, err := run(ctx, os.Args[2:])
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "perf:", err)
 			os.Exit(2)
 		}
+		os.Exit(code)
 	case "diff":
 		code, err := diff(os.Args[2:])
 		if err != nil {
@@ -79,24 +84,24 @@ func list() {
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	budgetName := fs.String("budget", "ci", "measurement effort: ci or full")
 	seed := fs.Uint64("seed", perf.DefaultSeed, "workload seed (committed baselines use the default)")
 	filter := fs.String("workloads", "", "only measure workloads whose name contains this substring")
 	out := fs.String("o", "", "output path (default stdout); written atomically")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2, err
 	}
 	budget, err := perf.ParseBudget(*budgetName)
 	if err != nil {
-		return err
+		return 2, err
 	}
 
 	file := perf.NewFile(budget, *seed)
 	file.GitCommit, file.GitDirty = gitMetadata()
 
-	measured := 0
+	measured, overBudget := 0, 0
 	for _, w := range perf.Catalog() {
 		if *filter != "" && !strings.Contains(w.Name, *filter) {
 			continue
@@ -104,27 +109,38 @@ func run(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "measuring %-22s ", w.Name)
 		m, err := w.Measure(ctx, *seed, budget)
 		if err != nil {
-			return err
+			return 2, err
 		}
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %12.0f %s/s  (%d iters)\n",
 			m.NsPerOp, m.UnitsPerSec, m.Units, m.Iters)
+		if err := w.CheckAllocs(m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			overBudget++
+		}
 		file.Workloads = append(file.Workloads, m)
 		measured++
 	}
 	if measured == 0 {
-		return fmt.Errorf("no workload matches -workloads %q", *filter)
+		return 2, fmt.Errorf("no workload matches -workloads %q", *filter)
 	}
 
 	if *out == "" {
-		return file.Encode(os.Stdout)
+		if err := file.Encode(os.Stdout); err != nil {
+			return 2, err
+		}
+	} else {
+		if err := fsio.WriteFileAtomic(*out, func(f *os.File) error {
+			return file.Encode(f)
+		}); err != nil {
+			return 2, err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
 	}
-	if err := fsio.WriteFileAtomic(*out, func(f *os.File) error {
-		return file.Encode(f)
-	}); err != nil {
-		return err
+	if overBudget > 0 {
+		fmt.Fprintf(os.Stderr, "%d workload(s) over their allocation budget\n", overBudget)
+		return 1, nil
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
-	return nil
+	return 0, nil
 }
 
 func diff(args []string) (int, error) {

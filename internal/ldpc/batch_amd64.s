@@ -1,0 +1,1070 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA lockstep kernels for the batch LDPC decoder. Four float64
+// lanes (one YMM register) are processed per step; the arithmetic
+// replicates the exact operation sequence of the scalar path bit for
+// bit: spCheckKernel/tanhHalf/atanh2 (fastmath.go, decoder.go), the
+// avxfma path of Go's own archExp (math/exp_amd64.s), archLog
+// (math/log_amd64.s) and the pure-Go math.Expm1 for |x| < 1. Every
+// clamp is a compare+blend pair (ordered predicates), never MINPD /
+// MAXPD, so NaN pass-through matches the scalar clamp; hard decisions
+// and sign flips use strict ordered less-than compares, so -0.0 and
+// NaN behave exactly as in the Go code.
+
+// CONST4 defines a 4-lane replicated 32-byte constant. Values are
+// spelled as bit patterns so the data section is bit-identical to the
+// Go constants regardless of decimal parsing.
+#define CONST4(name, val) \
+	DATA name<>+0(SB)/8, val  \
+	DATA name<>+8(SB)/8, val  \
+	DATA name<>+16(SB)/8, val \
+	DATA name<>+24(SB)/8, val \
+	GLOBL name<>(SB), RODATA|NOPTR, $32
+
+CONST4(cZERO, $0x0000000000000000)       // 0.0
+CONST4(cONE, $0x3FF0000000000000)        // 1.0
+CONST4(cTWO, $0x4000000000000000)        // 2.0
+CONST4(cHALF, $0x3FE0000000000000)       // 0.5
+CONST4(cTHREE, $0x4008000000000000)      // 3.0
+CONST4(cSIX, $0x4018000000000000)        // 6.0
+CONST4(cNEGQUARTER, $0xBFD0000000000000) // -0.25
+CONST4(cNEGTWO, $0xC000000000000000)     // -2.0
+CONST4(cNEGONE, $0xBFF0000000000000)     // -1.0
+CONST4(c38, $0x4043000000000000)         // 38.0 (tanhHalf class bound)
+CONST4(cNEG38, $0xC043000000000000)      // -38.0
+CONST4(cQUARTER, $0x3FD0000000000000)    // 0.25 (atanh2 series bound)
+
+CONST4(cABSMASK, $0x7FFFFFFFFFFFFFFF)
+CONST4(cSIGNMASK, $0x8000000000000000)
+CONST4(cINF, $0x7FF0000000000000)
+
+CONST4(cSAT, $0x4028000000000000)       // satLLR = 12.0
+CONST4(cEPS12, $0x3D719799812DEA11)     // 1e-12 zero-product threshold
+CONST4(cCLAMPT, $0x3FEFFFFFFFFFDCD1)    // 0.999999999999
+CONST4(cNEGCLAMPT, $0xBFEFFFFFFFFFDCD1) // -0.999999999999
+CONST4(cLLRC, $0x403E000000000000)      // llrClamp = 30.0
+CONST4(cNEGLLRC, $0xC03E000000000000)   // -30.0
+
+// archExp (SLEEF avxfma path) constants.
+CONST4(cLOG2E, $0x3FF71547652B82FE)
+CONST4(cLN2U, $0x3FE62E42FEFA3000)
+CONST4(cLN2L, $0x3D53DE6AF278ECE6)
+CONST4(cEXPSC, $0x3FB0000000000000) // 0.0625
+CONST4(cEC64, $0x3EFA01A01A01A01A)  // 1/40320
+CONST4(cEC56, $0x3F2A01A01A01A01A)  // 1/5040
+CONST4(cEC48, $0x3F56C16C16C16C17)  // 1/720
+CONST4(cEC40, $0x3F81111111111111)  // 1/120
+CONST4(cEC32, $0x3FA5555555555555)  // 1/24
+CONST4(cEC24, $0x3FC5555555555555)  // 1/6
+CONST4(cBIAS, $0x00000000000003FF)  // exponent bias (integer)
+
+// math.Expm1 constants (|x| < 1 branches only).
+CONST4(cLN2HALF, $0x3FD62E42FEFA39EF)
+CONST4(cLN2HI, $0x3FE62E42FEE00000)
+CONST4(cLN2LO, $0x3DEA39EF35793C76)
+CONST4(cNEGLN2HI, $0xBFE62E42FEE00000)
+CONST4(cNEGLN2LO, $0xBDEA39EF35793C76)
+CONST4(cTINY, $0x3C90000000000000) // 2**-54
+CONST4(cQ1, $0xBFA11111111110F4)
+CONST4(cQ2, $0x3F5A01A019FE5585)
+CONST4(cQ3, $0xBF14CE199EAADBB7)
+CONST4(cQ4, $0x3ED0CFCA86E65239)
+CONST4(cQ5, $0xBE8AFDB76E09C32D)
+
+// atanh2 Maclaurin series coefficients 1/3 .. 1/17.
+CONST4(cA3, $0x3FD5555555555555)
+CONST4(cA5, $0x3FC999999999999A)
+CONST4(cA7, $0x3FC2492492492492)
+CONST4(cA9, $0x3FBC71C71C71C71C)
+CONST4(cA11, $0x3FB745D1745D1746)
+CONST4(cA13, $0x3FB3B13B13B13B14)
+CONST4(cA15, $0x3FB1111111111111)
+CONST4(cA17, $0x3FAE1E1E1E1E1E1E)
+
+// archLog (fdlibm) constants.
+CONST4(cHSQRT2, $0x3FE6A09E667F3BCD)
+CONST4(cL1, $0x3FE5555555555593)
+CONST4(cL2, $0x3FD999999997FA04)
+CONST4(cL3, $0x3FD2492494229359)
+CONST4(cL4, $0x3FCC71C51D8E78AF)
+CONST4(cL5, $0x3FC7466496CB03DE)
+CONST4(cL6, $0x3FC39A09D078C69F)
+CONST4(cL7, $0x3FC2F112DF3E5244)
+CONST4(cMANTMASK, $0x000FFFFFFFFFFFFF)
+CONST4(cHALFBITS, $0x3FE0000000000000)
+CONST4(cEXPMAGIC, $0x4330000000000000)     // 2**52 (integer bits)
+CONST4(cEXPMAGICBIAS, $0x43300000000003FE) // 2**52 + 1022.0
+
+// CLAMP30 clamps reg to [-30, 30] with NaN pass-through, using two
+// temporaries. Both masks are computed from the pre-clamp value — they
+// are mutually exclusive (lo < hi), so the result is identical to the
+// scalar two-step clamp while halving the dependency chain.
+#define CLAMP30(reg, t1, t2) \
+	VCMPPD $1, cNEGLLRC<>(SB), reg, t1     \
+	VCMPPD $14, cLLRC<>(SB), reg, t2       \
+	VBLENDVPD t1, cNEGLLRC<>(SB), reg, reg \
+	VBLENDVPD t2, cLLRC<>(SB), reg, reg
+
+// MSEDGE computes the saturated min-sum output for one edge: v in Y0,
+// min1/min2/sign in Y10/Y11/Y12, result in Y2 (clobbers Y3).
+// Scalar: mag = (a==min1) ? min2 : min1; s = sign flipped if v < 0;
+// out = clamp(s*mag, -30, 30).
+#define MSEDGE() \
+	VANDPD cABSMASK<>(SB), Y0, Y1     \
+	VCMPPD $0, Y10, Y1, Y2            \
+	VBLENDVPD Y2, Y11, Y10, Y2        \
+	VCMPPD $1, cZERO<>(SB), Y0, Y3    \
+	VANDPD cSIGNMASK<>(SB), Y3, Y3    \
+	VXORPD Y12, Y3, Y3                \
+	VMULPD Y2, Y3, Y2                 \
+	CLAMP30(Y2, Y3, Y1)
+
+// Frame slots for spCheckRange. The per-quad min/sign/saturation fold
+// results live on the stack so that the two software-interleaved edge
+// chains of passes A2 and B have the full register file to themselves.
+#define SP_XSAVE_A 0
+#define SP_XSAVE_B 32
+#define SP_MSAT 64
+#define SP_MIN1 96
+#define SP_MIN2 128
+#define SP_SGN 160
+#define SP_MSER_A 192
+#define SP_MSER_B 224
+#define SP_SER_A 256
+#define SP_SER_B 288
+#define SP_FBQ 320
+
+// DERIVE_CX computes CX = &varToChk[checkPtr[i]*stride] + q32, the
+// byte address of the current check's first edge in the current quad.
+#define DERIVE_CX() \
+	MOVLQSX (R9)(R11*4), CX \
+	IMULQ   BX, CX          \
+	ADDQ    SI, CX          \
+	ADDQ    R14, CX
+
+// DEG loads the current check's degree into DX.
+#define DEG() \
+	MOVL 4(R9)(R11*4), DX \
+	SUBL (R9)(R11*4), DX
+
+// func spCheckRangeAVX2(checkPtr []int32, varToChk, tanh, chkToVar []float64,
+//	width, stride int, activeVec []float64, fallback []uint64)
+//
+// Passes A2 (tanh) and B (atanh outputs) process TWO edges per loop
+// iteration as independent software-interleaved chains: one edge's
+// arithmetic is a single ~100-cycle dependency chain of ~80 uops, which
+// fills the out-of-order scheduler and serializes consecutive
+// iterations at IPC~1; pairing the chains in program order keeps both
+// in flight and roughly doubles throughput. Chain A owns Y0-Y5 and
+// addresses through CX, chain B owns Y7-Y12 and addresses through
+// R12 = CX + strideB. Y13 holds the running tanh product, Y6/Y14/Y15
+// hold quad invariants, and the A1 fold results are spilled to the
+// frame slots above.
+TEXT ·spCheckRangeAVX2(SB), NOSPLIT, $352-160
+	MOVQ checkPtr_base+0(FP), R9
+	MOVQ varToChk_base+24(FP), SI
+	MOVQ tanh_base+48(FP), R8
+	SUBQ SI, R8 // R8 = tanh - varToChk (index delta)
+	MOVQ chkToVar_base+72(FP), DI
+	SUBQ SI, DI // DI = chkToVar - varToChk
+	MOVQ width+96(FP), R13
+	SHLQ $3, R13 // width bytes
+	MOVQ stride+104(FP), BX
+	SHLQ $3, BX // stride bytes
+	MOVQ fallback_base+136(FP), R10
+	XORQ R11, R11 // check index i
+
+spc_check_loop:
+	CMPQ R11, fallback_len+144(FP)
+	JGE  spc_done
+	XORQ R15, R15 // fb accumulator
+	// deg == 0: nothing to do
+	DEG()
+	TESTL DX, DX
+	JZ   spc_check_next
+	XORQ R14, R14 // quad byte offset q32
+
+spc_quad_loop:
+	// skip quads with no active lane
+	MOVQ    activeVec_base+112(FP), AX
+	VMOVUPD (AX)(R14*1), Y0
+	VPTEST  Y0, Y0
+	JZ      spc_quad_next
+
+	// ---- pass A1: min1/min2/sign fold over the check's edges ----
+	DEG()
+	DERIVE_CX()
+	VMOVUPD cINF<>(SB), Y10 // min1
+	VMOVUPD cINF<>(SB), Y11 // min2
+	VMOVUPD cONE<>(SB), Y12 // sign product (+-1.0)
+
+spc_a1_loop:
+	VMOVUPD (CX), Y0
+	VANDPD  cABSMASK<>(SB), Y0, Y1 // a = |v|
+	VCMPPD  $1, cZERO<>(SB), Y0, Y2
+	VANDPD  cSIGNMASK<>(SB), Y2, Y2
+	VXORPD  Y2, Y12, Y12           // sign flips where v < 0
+	VCMPPD  $1, Y10, Y1, Y3        // m1 = a < min1
+	VCMPPD  $1, Y11, Y1, Y4        // a < min2
+	VANDNPD Y4, Y3, Y4             // m2 = (a < min2) & ~m1
+	VBLENDVPD Y4, Y1, Y11, Y5      // m2 ? a : min2
+	VBLENDVPD Y3, Y10, Y5, Y11     // min2 = m1 ? min1 : ^
+	VBLENDVPD Y3, Y1, Y10, Y10     // min1 = m1 ? a : min1
+	ADDQ BX, CX
+	DECL DX
+	JNZ  spc_a1_loop
+
+	// spill the fold results; passes A2/B reread them from the frame
+	VMOVUPD Y10, SP_MIN1(SP)
+	VMOVUPD Y11, SP_MIN2(SP)
+	VMOVUPD Y12, SP_SGN(SP)
+	// m_sat = min1 >= satLLR, per lane
+	VCMPPD  $13, cSAT<>(SB), Y10, Y14
+	VMOVUPD Y14, SP_MSAT(SP)
+	VMOVMSKPD Y14, AX
+	CMPL    AX, $15
+	JE      spc_b_sat // whole quad saturated: plain min-sum, no tanh
+
+	// ---- pass A2: per-edge tanhHalf and product fold, edge pairs ----
+	DEG()
+	DERIVE_CX()
+	LEAQ (CX)(BX*1), R12 // chain B edge pointer
+	VMOVUPD cONE<>(SB), Y13 // prod
+	SHRL $1, DX          // edge pairs
+	JZ   spc_a2_tail_check
+
+spc_a2_pair_loop:
+	VMOVUPD (CX), Y0
+	VMOVUPD Y0, SP_XSAVE_A(SP)
+	VMOVUPD (R12), Y4
+	VMOVUPD Y4, SP_XSAVE_B(SP)
+	// mC = (x > -1) & (x < 1): the Expm1 branch of tanhHalf
+	VCMPPD $14, cNEGONE<>(SB), Y0, Y8
+	VCMPPD $1, cONE<>(SB), Y0, Y1
+	VANDPD Y1, Y8, Y8
+	VCMPPD $14, cNEGONE<>(SB), Y4, Y9
+	VCMPPD $1, cONE<>(SB), Y4, Y5
+	VANDPD Y5, Y9, Y9
+	// default branch: e = archExp(x) (SLEEF avxfma sequence)
+	VMULPD     cLOG2E<>(SB), Y0, Y1
+	VMULPD     cLOG2E<>(SB), Y4, Y5
+	VCVTPD2DQY Y1, X2                 // k = round-nearest(x*log2e)
+	VCVTPD2DQY Y5, X6
+	VCVTDQ2PD  X2, Y1
+	VCVTDQ2PD  X6, Y5
+	VFNMADD231PD cLN2U<>(SB), Y1, Y0  // x -= k*LN2U
+	VFNMADD231PD cLN2U<>(SB), Y5, Y4
+	VFNMADD231PD cLN2L<>(SB), Y1, Y0  // x -= k*LN2L
+	VFNMADD231PD cLN2L<>(SB), Y5, Y4
+	VMULPD     cEXPSC<>(SB), Y0, Y0   // r/16
+	VMULPD     cEXPSC<>(SB), Y4, Y4
+	VMOVUPD    cEC64<>(SB), Y3
+	VMOVUPD    cEC64<>(SB), Y7
+	VFMADD213PD cEC56<>(SB), Y0, Y3
+	VFMADD213PD cEC56<>(SB), Y4, Y7
+	VFMADD213PD cEC48<>(SB), Y0, Y3
+	VFMADD213PD cEC48<>(SB), Y4, Y7
+	VFMADD213PD cEC40<>(SB), Y0, Y3
+	VFMADD213PD cEC40<>(SB), Y4, Y7
+	VFMADD213PD cEC32<>(SB), Y0, Y3
+	VFMADD213PD cEC32<>(SB), Y4, Y7
+	VFMADD213PD cEC24<>(SB), Y0, Y3
+	VFMADD213PD cEC24<>(SB), Y4, Y7
+	VFMADD213PD cHALF<>(SB), Y0, Y3
+	VFMADD213PD cHALF<>(SB), Y4, Y7
+	VFMADD213PD cONE<>(SB), Y0, Y3
+	VFMADD213PD cONE<>(SB), Y4, Y7
+	VMULPD     Y3, Y0, Y0
+	VMULPD     Y7, Y4, Y4
+	VADDPD     cTWO<>(SB), Y0, Y3    // 4x (x*(x+2)) squaring steps
+	VADDPD     cTWO<>(SB), Y4, Y7
+	VMULPD     Y3, Y0, Y0
+	VMULPD     Y7, Y4, Y4
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VADDPD     cTWO<>(SB), Y4, Y7
+	VMULPD     Y3, Y0, Y0
+	VMULPD     Y7, Y4, Y4
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VADDPD     cTWO<>(SB), Y4, Y7
+	VMULPD     Y3, Y0, Y0
+	VMULPD     Y7, Y4, Y4
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VADDPD     cTWO<>(SB), Y4, Y7
+	VFMADD213PD cONE<>(SB), Y3, Y0
+	VFMADD213PD cONE<>(SB), Y7, Y4
+	VPMOVSXDQ  X2, Y1                // ldexp: *= 2**k
+	VPMOVSXDQ  X6, Y5
+	VPADDQ     cBIAS<>(SB), Y1, Y1
+	VPADDQ     cBIAS<>(SB), Y5, Y5
+	VPSLLQ     $52, Y1, Y1
+	VPSLLQ     $52, Y5, Y5
+	VMULPD     Y1, Y0, Y0
+	VMULPD     Y5, Y4, Y4
+	// archExp returns x itself for NaN input
+	VMOVUPD SP_XSAVE_A(SP), Y1
+	VCMPPD  $3, Y1, Y1, Y2
+	VBLENDVPD Y2, Y1, Y0, Y0
+	VMOVUPD SP_XSAVE_B(SP), Y5
+	VCMPPD  $3, Y5, Y5, Y6
+	VBLENDVPD Y6, Y5, Y4, Y4
+	// t = (e-1)/(e+1)
+	VSUBPD cONE<>(SB), Y0, Y14
+	VADDPD cONE<>(SB), Y0, Y2
+	VDIVPD Y2, Y14, Y14
+	VSUBPD cONE<>(SB), Y4, Y15
+	VADDPD cONE<>(SB), Y4, Y6
+	VDIVPD Y6, Y15, Y15
+	// mid-range lanes: t = em/(em+2) with em = Expm1(x). Taken for
+	// ~20% of quads; runs per chain behind its own branch (the block
+	// is too large to pay for unconditionally).
+	VMOVMSKPD Y8, AX
+	TESTL AX, AX
+	JZ    spc_a2p_skipa
+	VMOVUPD SP_XSAVE_A(SP), Y0
+	VCMPPD  $1, cZERO<>(SB), Y0, Y1   // m_neg = x < 0
+	VANDPD  cABSMASK<>(SB), Y0, Y7    // absx
+	VCMPPD  $14, cLN2HALF<>(SB), Y7, Y2 // m_red = absx > Ln2Half
+	VCMPPD  $1, cTINY<>(SB), Y7, Y3   // m_tiny = absx < 2**-54
+	VMOVUPD cLN2HI<>(SB), Y10
+	VBLENDVPD Y1, cNEGLN2HI<>(SB), Y10, Y10
+	VMOVUPD cLN2LO<>(SB), Y11
+	VBLENDVPD Y1, cNEGLN2LO<>(SB), Y11, Y11
+	VSUBPD  Y10, Y0, Y10              // hi = x - hiOff
+	VSUBPD  Y11, Y10, Y4              // xr = hi - lo
+	VSUBPD  Y4, Y10, Y10              // hi - xr
+	VSUBPD  Y11, Y10, Y5              // c = (hi - xr) - lo
+	VBLENDVPD Y2, Y4, Y0, Y4          // x_eff
+	VMULPD  cHALF<>(SB), Y4, Y7       // hfx
+	VMULPD  Y7, Y4, Y6                // hxs = x*hfx
+	VMULPD  cQ5<>(SB), Y6, Y10        // r1 = 1 + hxs*(Q1+hxs*(..Q5))
+	VADDPD  cQ4<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ3<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ2<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ1<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cONE<>(SB), Y10, Y10
+	VMULPD  Y7, Y10, Y11              // r1*hfx
+	VMOVUPD cTHREE<>(SB), Y7
+	VSUBPD  Y11, Y7, Y11              // t = 3 - r1*hfx
+	VSUBPD  Y11, Y10, Y10             // r1 - t
+	VMULPD  Y11, Y4, Y7               // x*t
+	VMOVUPD cSIX<>(SB), Y11
+	VSUBPD  Y7, Y11, Y7               // 6 - x*t
+	VDIVPD  Y7, Y10, Y10              // (r1-t)/(6-x*t)
+	VMULPD  Y10, Y6, Y10              // e = hxs * ^
+	VMULPD  Y10, Y4, Y11              // k=0: x - (x*e - hxs)
+	VSUBPD  Y6, Y11, Y11
+	VSUBPD  Y11, Y4, Y11
+	VSUBPD  Y5, Y10, Y7               // e2 = (x*(e-c) - c) - hxs
+	VMULPD  Y7, Y4, Y7
+	VSUBPD  Y5, Y7, Y7
+	VSUBPD  Y6, Y7, Y7
+	VSUBPD  Y7, Y4, Y5                // k=-1: 0.5*(x-e2) - 0.5
+	VMULPD  cHALF<>(SB), Y5, Y5
+	VSUBPD  cHALF<>(SB), Y5, Y5
+	VCMPPD  $1, cNEGQUARTER<>(SB), Y4, Y6 // k=1 sub-branch: x < -0.25
+	VADDPD  cHALF<>(SB), Y4, Y10      // -2*(e2 - (x+0.5))
+	VSUBPD  Y10, Y7, Y10
+	VMULPD  cNEGTWO<>(SB), Y10, Y10
+	VSUBPD  Y7, Y4, Y4                // 1 + 2*(x-e2)
+	VMULPD  cTWO<>(SB), Y4, Y4
+	VADDPD  cONE<>(SB), Y4, Y4
+	VBLENDVPD Y6, Y10, Y4, Y4         // k=1 result
+	VBLENDVPD Y1, Y5, Y4, Y4          // reduced result (k = +-1)
+	VBLENDVPD Y2, Y4, Y11, Y11        // m_red ? reduced : k=0
+	VBLENDVPD Y3, Y0, Y11, Y11        // m_tiny ? x : ^   -> em
+	VADDPD  cTWO<>(SB), Y11, Y7       // em/(em+2)
+	VDIVPD  Y7, Y11, Y11
+	VBLENDVPD Y8, Y11, Y14, Y14       // mC lanes take the Expm1 form
+
+spc_a2p_skipa:
+	VMOVMSKPD Y9, AX
+	TESTL AX, AX
+	JZ    spc_a2p_skipb
+	VMOVUPD SP_XSAVE_B(SP), Y0
+	VCMPPD  $1, cZERO<>(SB), Y0, Y1
+	VANDPD  cABSMASK<>(SB), Y0, Y7
+	VCMPPD  $14, cLN2HALF<>(SB), Y7, Y2
+	VCMPPD  $1, cTINY<>(SB), Y7, Y3
+	VMOVUPD cLN2HI<>(SB), Y10
+	VBLENDVPD Y1, cNEGLN2HI<>(SB), Y10, Y10
+	VMOVUPD cLN2LO<>(SB), Y11
+	VBLENDVPD Y1, cNEGLN2LO<>(SB), Y11, Y11
+	VSUBPD  Y10, Y0, Y10
+	VSUBPD  Y11, Y10, Y4
+	VSUBPD  Y4, Y10, Y10
+	VSUBPD  Y11, Y10, Y5
+	VBLENDVPD Y2, Y4, Y0, Y4
+	VMULPD  cHALF<>(SB), Y4, Y7
+	VMULPD  Y7, Y4, Y6
+	VMULPD  cQ5<>(SB), Y6, Y10
+	VADDPD  cQ4<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ3<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ2<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cQ1<>(SB), Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VADDPD  cONE<>(SB), Y10, Y10
+	VMULPD  Y7, Y10, Y11
+	VMOVUPD cTHREE<>(SB), Y7
+	VSUBPD  Y11, Y7, Y11
+	VSUBPD  Y11, Y10, Y10
+	VMULPD  Y11, Y4, Y7
+	VMOVUPD cSIX<>(SB), Y11
+	VSUBPD  Y7, Y11, Y7
+	VDIVPD  Y7, Y10, Y10
+	VMULPD  Y10, Y6, Y10
+	VMULPD  Y10, Y4, Y11
+	VSUBPD  Y6, Y11, Y11
+	VSUBPD  Y11, Y4, Y11
+	VSUBPD  Y5, Y10, Y7
+	VMULPD  Y7, Y4, Y7
+	VSUBPD  Y5, Y7, Y7
+	VSUBPD  Y6, Y7, Y7
+	VSUBPD  Y7, Y4, Y5
+	VMULPD  cHALF<>(SB), Y5, Y5
+	VSUBPD  cHALF<>(SB), Y5, Y5
+	VCMPPD  $1, cNEGQUARTER<>(SB), Y4, Y6
+	VADDPD  cHALF<>(SB), Y4, Y10
+	VSUBPD  Y10, Y7, Y10
+	VMULPD  cNEGTWO<>(SB), Y10, Y10
+	VSUBPD  Y7, Y4, Y4
+	VMULPD  cTWO<>(SB), Y4, Y4
+	VADDPD  cONE<>(SB), Y4, Y4
+	VBLENDVPD Y6, Y10, Y4, Y4
+	VBLENDVPD Y1, Y5, Y4, Y4
+	VBLENDVPD Y2, Y4, Y11, Y11
+	VBLENDVPD Y3, Y0, Y11, Y11
+	VADDPD  cTWO<>(SB), Y11, Y7
+	VDIVPD  Y7, Y11, Y11
+	VBLENDVPD Y9, Y11, Y15, Y15
+
+spc_a2p_skipb:
+	// outer classes: x > 38 -> 1, x < -38 -> -1
+	VMOVUPD SP_XSAVE_A(SP), Y0
+	VCMPPD  $1, cNEG38<>(SB), Y0, Y1
+	VBLENDVPD Y1, cNEGONE<>(SB), Y14, Y14
+	VCMPPD  $14, c38<>(SB), Y0, Y1
+	VBLENDVPD Y1, cONE<>(SB), Y14, Y14
+	VMOVUPD SP_XSAVE_B(SP), Y4
+	VCMPPD  $1, cNEG38<>(SB), Y4, Y5
+	VBLENDVPD Y5, cNEGONE<>(SB), Y15, Y15
+	VCMPPD  $14, c38<>(SB), Y4, Y5
+	VBLENDVPD Y5, cONE<>(SB), Y15, Y15
+	VMOVUPD Y14, (CX)(R8*1)  // tanh rows
+	VMOVUPD Y15, (R12)(R8*1)
+	VMULPD  Y14, Y13, Y13    // prod *= tA, then *= tB (edge order)
+	VMULPD  Y15, Y13, Y13
+	LEAQ (CX)(BX*2), CX
+	LEAQ (R12)(BX*2), R12
+	DECL DX
+	JNZ  spc_a2_pair_loop
+
+spc_a2_tail_check:
+	DEG()
+	TESTL $1, DX
+	JZ    spc_b_start
+	// odd trailing edge: the scalar-shaped single-edge update (CX
+	// already points at it after the pair loop)
+	VMOVUPD (CX), Y0
+	VMOVUPD Y0, SP_XSAVE_A(SP)
+	VCMPPD $14, cNEGONE<>(SB), Y0, Y14
+	VCMPPD $1, cONE<>(SB), Y0, Y1
+	VANDPD Y1, Y14, Y14
+	VMULPD     cLOG2E<>(SB), Y0, Y1
+	VCVTPD2DQY Y1, X2
+	VCVTDQ2PD  X2, Y1
+	VFNMADD231PD cLN2U<>(SB), Y1, Y0
+	VFNMADD231PD cLN2L<>(SB), Y1, Y0
+	VMULPD     cEXPSC<>(SB), Y0, Y0
+	VMOVUPD    cEC64<>(SB), Y3
+	VFMADD213PD cEC56<>(SB), Y0, Y3
+	VFMADD213PD cEC48<>(SB), Y0, Y3
+	VFMADD213PD cEC40<>(SB), Y0, Y3
+	VFMADD213PD cEC32<>(SB), Y0, Y3
+	VFMADD213PD cEC24<>(SB), Y0, Y3
+	VFMADD213PD cHALF<>(SB), Y0, Y3
+	VFMADD213PD cONE<>(SB), Y0, Y3
+	VMULPD     Y3, Y0, Y0
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VMULPD     Y3, Y0, Y0
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VMULPD     Y3, Y0, Y0
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VMULPD     Y3, Y0, Y0
+	VADDPD     cTWO<>(SB), Y0, Y3
+	VFMADD213PD cONE<>(SB), Y3, Y0
+	VPMOVSXDQ  X2, Y1
+	VPADDQ     cBIAS<>(SB), Y1, Y1
+	VPSLLQ     $52, Y1, Y1
+	VMULPD     Y1, Y0, Y0
+	VMOVUPD SP_XSAVE_A(SP), Y1
+	VCMPPD  $3, Y1, Y1, Y2
+	VBLENDVPD Y2, Y1, Y0, Y0
+	VSUBPD cONE<>(SB), Y0, Y15
+	VADDPD cONE<>(SB), Y0, Y2
+	VDIVPD Y2, Y15, Y15
+	VMOVMSKPD Y14, AX
+	TESTL AX, AX
+	JZ    spc_a2t_done
+	VMOVUPD SP_XSAVE_A(SP), Y0
+	VCMPPD  $1, cZERO<>(SB), Y0, Y1
+	VANDPD  cABSMASK<>(SB), Y0, Y7
+	VCMPPD  $14, cLN2HALF<>(SB), Y7, Y2
+	VCMPPD  $1, cTINY<>(SB), Y7, Y3
+	VMOVUPD cLN2HI<>(SB), Y8
+	VBLENDVPD Y1, cNEGLN2HI<>(SB), Y8, Y8
+	VMOVUPD cLN2LO<>(SB), Y9
+	VBLENDVPD Y1, cNEGLN2LO<>(SB), Y9, Y9
+	VSUBPD  Y8, Y0, Y8
+	VSUBPD  Y9, Y8, Y4
+	VSUBPD  Y4, Y8, Y8
+	VSUBPD  Y9, Y8, Y5
+	VBLENDVPD Y2, Y4, Y0, Y4
+	VMULPD  cHALF<>(SB), Y4, Y7
+	VMULPD  Y7, Y4, Y6
+	VMULPD  cQ5<>(SB), Y6, Y8
+	VADDPD  cQ4<>(SB), Y8, Y8
+	VMULPD  Y8, Y6, Y8
+	VADDPD  cQ3<>(SB), Y8, Y8
+	VMULPD  Y8, Y6, Y8
+	VADDPD  cQ2<>(SB), Y8, Y8
+	VMULPD  Y8, Y6, Y8
+	VADDPD  cQ1<>(SB), Y8, Y8
+	VMULPD  Y8, Y6, Y8
+	VADDPD  cONE<>(SB), Y8, Y8
+	VMULPD  Y7, Y8, Y9
+	VMOVUPD cTHREE<>(SB), Y7
+	VSUBPD  Y9, Y7, Y9
+	VSUBPD  Y9, Y8, Y8
+	VMULPD  Y9, Y4, Y7
+	VMOVUPD cSIX<>(SB), Y9
+	VSUBPD  Y7, Y9, Y7
+	VDIVPD  Y7, Y8, Y8
+	VMULPD  Y8, Y6, Y8
+	VMULPD  Y8, Y4, Y9
+	VSUBPD  Y6, Y9, Y9
+	VSUBPD  Y9, Y4, Y9
+	VSUBPD  Y5, Y8, Y7
+	VMULPD  Y7, Y4, Y7
+	VSUBPD  Y5, Y7, Y7
+	VSUBPD  Y6, Y7, Y7
+	VSUBPD  Y7, Y4, Y5
+	VMULPD  cHALF<>(SB), Y5, Y5
+	VSUBPD  cHALF<>(SB), Y5, Y5
+	VCMPPD  $1, cNEGQUARTER<>(SB), Y4, Y6
+	VADDPD  cHALF<>(SB), Y4, Y8
+	VSUBPD  Y8, Y7, Y8
+	VMULPD  cNEGTWO<>(SB), Y8, Y8
+	VSUBPD  Y7, Y4, Y4
+	VMULPD  cTWO<>(SB), Y4, Y4
+	VADDPD  cONE<>(SB), Y4, Y4
+	VBLENDVPD Y6, Y8, Y4, Y4
+	VBLENDVPD Y1, Y5, Y4, Y4
+	VBLENDVPD Y2, Y4, Y9, Y9
+	VBLENDVPD Y3, Y0, Y9, Y9
+	VADDPD  cTWO<>(SB), Y9, Y7
+	VDIVPD  Y7, Y9, Y9
+	VBLENDVPD Y14, Y9, Y15, Y15
+
+spc_a2t_done:
+	VMOVUPD SP_XSAVE_A(SP), Y0
+	VCMPPD  $1, cNEG38<>(SB), Y0, Y1
+	VBLENDVPD Y1, cNEGONE<>(SB), Y15, Y15
+	VCMPPD  $14, c38<>(SB), Y0, Y1
+	VBLENDVPD Y1, cONE<>(SB), Y15, Y15
+	VMOVUPD Y15, (CX)(R8*1)
+	VMULPD  Y15, Y13, Y13
+
+	// ---- pass B: per-edge outputs, branchless, edge pairs ----
+	// Both atanh2 forms (Maclaurin series and log((1+x)/(1-x))) are
+	// computed unconditionally and blended by m_ser: mixed quads
+	// dominate, and removing the data-dependent branches keeps the
+	// two chains schedulable.
+spc_b_start:
+	DEG()
+	DERIVE_CX()
+	LEAQ (CX)(BX*1), R12
+	MOVQ $0, SP_FBQ(SP)
+	VMOVUPD SP_MSAT(SP), Y14 // quad invariants kept in registers
+	VMOVUPD SP_MIN1(SP), Y15
+	SHRL $1, DX
+	JZ   spc_b_tail_check
+
+spc_b_pair_loop:
+	// chain A, phase 1: t, other = prod/t, fb detect, clamp to +-~1
+	VMOVUPD (CX)(R8*1), Y0            // t
+	VDIVPD  Y0, Y13, Y1               // other = prod/t
+	VANDPD  cABSMASK<>(SB), Y0, Y2
+	VCMPPD  $10, cEPS12<>(SB), Y2, Y2 // !(|t| > 1e-12), NaN -> true
+	VANDNPD Y2, Y14, Y2               // non-saturated lanes only
+	VMOVMSKPD Y2, AX
+	ORQ     AX, SP_FBQ(SP)
+	VCMPPD  $1, cNEGCLAMPT<>(SB), Y1, Y2
+	VCMPPD  $14, cCLAMPT<>(SB), Y1, Y3
+	VBLENDVPD Y2, cNEGCLAMPT<>(SB), Y1, Y1
+	VBLENDVPD Y3, cCLAMPT<>(SB), Y1, Y1
+	// chain B, phase 1
+	VMOVUPD (R12)(R8*1), Y7
+	VDIVPD  Y7, Y13, Y8
+	VANDPD  cABSMASK<>(SB), Y7, Y9
+	VCMPPD  $10, cEPS12<>(SB), Y9, Y9
+	VANDNPD Y9, Y14, Y9
+	VMOVMSKPD Y9, AX
+	ORQ     AX, SP_FBQ(SP)
+	VCMPPD  $1, cNEGCLAMPT<>(SB), Y8, Y9
+	VCMPPD  $14, cCLAMPT<>(SB), Y8, Y10
+	VBLENDVPD Y9, cNEGCLAMPT<>(SB), Y8, Y8
+	VBLENDVPD Y10, cCLAMPT<>(SB), Y8, Y8
+	// chain A, phase 2: m_ser and the series form
+	VANDPD  cABSMASK<>(SB), Y1, Y2
+	VCMPPD  $1, cQUARTER<>(SB), Y2, Y2 // m_ser (NaN -> log path)
+	VMOVUPD Y2, SP_MSER_A(SP)
+	VMULPD  Y1, Y1, Y2                // x2
+	VMULPD  cA17<>(SB), Y2, Y3
+	VADDPD  cA15<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA13<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA11<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA9<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA7<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA5<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA3<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cONE<>(SB), Y3, Y3
+	VMULPD  cTWO<>(SB), Y1, Y2        // 2x
+	VMULPD  Y3, Y2, Y3                // series value
+	VMOVUPD Y3, SP_SER_A(SP)
+	// chain B, phase 2
+	VANDPD  cABSMASK<>(SB), Y8, Y9
+	VCMPPD  $1, cQUARTER<>(SB), Y9, Y9
+	VMOVUPD Y9, SP_MSER_B(SP)
+	VMULPD  Y8, Y8, Y9
+	VMULPD  cA17<>(SB), Y9, Y10
+	VADDPD  cA15<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA13<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA11<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA9<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA7<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA5<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cA3<>(SB), Y10, Y10
+	VMULPD  Y10, Y9, Y10
+	VADDPD  cONE<>(SB), Y10, Y10
+	VMULPD  cTWO<>(SB), Y8, Y9
+	VMULPD  Y10, Y9, Y10
+	VMOVUPD Y10, SP_SER_B(SP)
+	// chain A, phase 3: arg = (1+x)/(1-x) and frexp
+	VADDPD  cONE<>(SB), Y1, Y2
+	VMOVUPD cONE<>(SB), Y3
+	VSUBPD  Y1, Y3, Y3
+	VDIVPD  Y3, Y2, Y2                // arg (Y2, kept live for NaN)
+	VPAND   cMANTMASK<>(SB), Y2, Y3
+	VPOR    cHALFBITS<>(SB), Y3, Y3   // f1
+	VPSRLQ  $52, Y2, Y4
+	VPOR    cEXPMAGIC<>(SB), Y4, Y4
+	VSUBPD  cEXPMAGICBIAS<>(SB), Y4, Y4 // k
+	VMOVUPD cHSQRT2<>(SB), Y5
+	VCMPPD  $5, Y3, Y5, Y5            // !(HSqrt2 < f1)
+	VANDPD  cONE<>(SB), Y5, Y5
+	VSUBPD  Y5, Y4, Y4                // k -= adj
+	VADDPD  cONE<>(SB), Y5, Y5
+	VMULPD  Y5, Y3, Y3                // f1 *= 1 or 2
+	VSUBPD  cONE<>(SB), Y3, Y3        // f
+	// chain B, phase 3
+	VADDPD  cONE<>(SB), Y8, Y9
+	VMOVUPD cONE<>(SB), Y10
+	VSUBPD  Y8, Y10, Y10
+	VDIVPD  Y10, Y9, Y9               // arg
+	VPAND   cMANTMASK<>(SB), Y9, Y10
+	VPOR    cHALFBITS<>(SB), Y10, Y10
+	VPSRLQ  $52, Y9, Y11
+	VPOR    cEXPMAGIC<>(SB), Y11, Y11
+	VSUBPD  cEXPMAGICBIAS<>(SB), Y11, Y11
+	VMOVUPD cHSQRT2<>(SB), Y12
+	VCMPPD  $5, Y10, Y12, Y12
+	VANDPD  cONE<>(SB), Y12, Y12
+	VSUBPD  Y12, Y11, Y11
+	VADDPD  cONE<>(SB), Y12, Y12
+	VMULPD  Y12, Y10, Y10
+	VSUBPD  cONE<>(SB), Y10, Y10
+	// chain A, phase 4: s = f/(2+f), log polynomial, combine
+	// (f=Y3, k=Y4, arg=Y2 live; Y0/Y1/Y5 scratch)
+	VADDPD  cTWO<>(SB), Y3, Y5
+	VDIVPD  Y5, Y3, Y5                // s
+	VMULPD  Y5, Y5, Y0                // s2
+	VMULPD  Y0, Y0, Y1                // s4
+	VMULPD  cL7<>(SB), Y1, Y6         // t1 = s2*(L1+s4*(L3+s4*(L5+s4*L7)))
+	VADDPD  cL5<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL3<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL1<>(SB), Y6, Y6
+	VMULPD  Y6, Y0, Y0
+	VMULPD  cL6<>(SB), Y1, Y6         // t2 = s4*(L2+s4*(L4+s4*L6))
+	VADDPD  cL4<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL2<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y1
+	VADDPD  Y1, Y0, Y0                // R = t1 + t2
+	VMULPD  cHALF<>(SB), Y3, Y1       // hfsq
+	VMULPD  Y3, Y1, Y1
+	VADDPD  Y1, Y0, Y0                // hfsq + R
+	VMULPD  Y0, Y5, Y5                // s*(hfsq+R)
+	VMULPD  cLN2LO<>(SB), Y4, Y0
+	VADDPD  Y0, Y5, Y5
+	VSUBPD  Y5, Y1, Y1                // hfsq - ^
+	VSUBPD  Y3, Y1, Y1                // ^ - f
+	VMULPD  cLN2HI<>(SB), Y4, Y4
+	VSUBPD  Y1, Y4, Y4                // log result
+	VCMPPD  $3, Y2, Y2, Y1            // archLog returns arg for NaN
+	VBLENDVPD Y1, Y2, Y4, Y4
+	// chain B, phase 4
+	VADDPD  cTWO<>(SB), Y10, Y12
+	VDIVPD  Y12, Y10, Y12
+	VMULPD  Y12, Y12, Y7
+	VMULPD  Y7, Y7, Y8
+	VMULPD  cL7<>(SB), Y8, Y6
+	VADDPD  cL5<>(SB), Y6, Y6
+	VMULPD  Y6, Y8, Y6
+	VADDPD  cL3<>(SB), Y6, Y6
+	VMULPD  Y6, Y8, Y6
+	VADDPD  cL1<>(SB), Y6, Y6
+	VMULPD  Y6, Y7, Y7
+	VMULPD  cL6<>(SB), Y8, Y6
+	VADDPD  cL4<>(SB), Y6, Y6
+	VMULPD  Y6, Y8, Y6
+	VADDPD  cL2<>(SB), Y6, Y6
+	VMULPD  Y6, Y8, Y8
+	VADDPD  Y8, Y7, Y7
+	VMULPD  cHALF<>(SB), Y10, Y8
+	VMULPD  Y10, Y8, Y8
+	VADDPD  Y8, Y7, Y7
+	VMULPD  Y7, Y12, Y12
+	VMULPD  cLN2LO<>(SB), Y11, Y7
+	VADDPD  Y7, Y12, Y12
+	VSUBPD  Y12, Y8, Y8
+	VSUBPD  Y10, Y8, Y8
+	VMULPD  cLN2HI<>(SB), Y11, Y11
+	VSUBPD  Y8, Y11, Y11              // log result
+	VCMPPD  $3, Y9, Y9, Y8
+	VBLENDVPD Y8, Y9, Y11, Y11
+	// chain A, phase 5: blend series/log, clamp, saturated blend, store
+	VMOVUPD SP_MSER_A(SP), Y1
+	VBLENDVPD Y1, SP_SER_A(SP), Y4, Y4
+	CLAMP30(Y4, Y1, Y2)
+	VMOVUPD (CX), Y0                  // v for the min-sum form
+	VANDPD  cABSMASK<>(SB), Y0, Y1
+	VCMPPD  $0, Y15, Y1, Y2           // a == min1
+	VBLENDVPD Y2, SP_MIN2(SP), Y15, Y2
+	VCMPPD  $1, cZERO<>(SB), Y0, Y3
+	VANDPD  cSIGNMASK<>(SB), Y3, Y3
+	VXORPD  SP_SGN(SP), Y3, Y3
+	VMULPD  Y2, Y3, Y2                // s*mag
+	CLAMP30(Y2, Y3, Y5)
+	VBLENDVPD Y14, Y2, Y4, Y4         // saturated lanes take min-sum
+	VMOVUPD Y4, (CX)(DI*1)
+	// chain B, phase 5
+	VMOVUPD SP_MSER_B(SP), Y8
+	VBLENDVPD Y8, SP_SER_B(SP), Y11, Y11
+	CLAMP30(Y11, Y8, Y9)
+	VMOVUPD (R12), Y7
+	VANDPD  cABSMASK<>(SB), Y7, Y8
+	VCMPPD  $0, Y15, Y8, Y9
+	VBLENDVPD Y9, SP_MIN2(SP), Y15, Y9
+	VCMPPD  $1, cZERO<>(SB), Y7, Y10
+	VANDPD  cSIGNMASK<>(SB), Y10, Y10
+	VXORPD  SP_SGN(SP), Y10, Y10
+	VMULPD  Y9, Y10, Y9
+	CLAMP30(Y9, Y10, Y12)
+	VBLENDVPD Y14, Y9, Y11, Y11
+	VMOVUPD Y11, (R12)(DI*1)
+	LEAQ (CX)(BX*2), CX
+	LEAQ (R12)(BX*2), R12
+	DECL DX
+	JNZ  spc_b_pair_loop
+
+spc_b_tail_check:
+	DEG()
+	TESTL $1, DX
+	JZ    spc_b_fold
+	// odd trailing edge: chain A body once
+	VMOVUPD (CX)(R8*1), Y0
+	VDIVPD  Y0, Y13, Y1
+	VANDPD  cABSMASK<>(SB), Y0, Y2
+	VCMPPD  $10, cEPS12<>(SB), Y2, Y2
+	VANDNPD Y2, Y14, Y2
+	VMOVMSKPD Y2, AX
+	ORQ     AX, SP_FBQ(SP)
+	VCMPPD  $1, cNEGCLAMPT<>(SB), Y1, Y2
+	VCMPPD  $14, cCLAMPT<>(SB), Y1, Y3
+	VBLENDVPD Y2, cNEGCLAMPT<>(SB), Y1, Y1
+	VBLENDVPD Y3, cCLAMPT<>(SB), Y1, Y1
+	VANDPD  cABSMASK<>(SB), Y1, Y2
+	VCMPPD  $1, cQUARTER<>(SB), Y2, Y2
+	VMOVUPD Y2, SP_MSER_A(SP)
+	VMULPD  Y1, Y1, Y2
+	VMULPD  cA17<>(SB), Y2, Y3
+	VADDPD  cA15<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA13<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA11<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA9<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA7<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA5<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cA3<>(SB), Y3, Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  cONE<>(SB), Y3, Y3
+	VMULPD  cTWO<>(SB), Y1, Y2
+	VMULPD  Y3, Y2, Y3
+	VMOVUPD Y3, SP_SER_A(SP)
+	VADDPD  cONE<>(SB), Y1, Y2
+	VMOVUPD cONE<>(SB), Y3
+	VSUBPD  Y1, Y3, Y3
+	VDIVPD  Y3, Y2, Y2
+	VPAND   cMANTMASK<>(SB), Y2, Y3
+	VPOR    cHALFBITS<>(SB), Y3, Y3
+	VPSRLQ  $52, Y2, Y4
+	VPOR    cEXPMAGIC<>(SB), Y4, Y4
+	VSUBPD  cEXPMAGICBIAS<>(SB), Y4, Y4
+	VMOVUPD cHSQRT2<>(SB), Y5
+	VCMPPD  $5, Y3, Y5, Y5
+	VANDPD  cONE<>(SB), Y5, Y5
+	VSUBPD  Y5, Y4, Y4
+	VADDPD  cONE<>(SB), Y5, Y5
+	VMULPD  Y5, Y3, Y3
+	VSUBPD  cONE<>(SB), Y3, Y3
+	VADDPD  cTWO<>(SB), Y3, Y5
+	VDIVPD  Y5, Y3, Y5
+	VMULPD  Y5, Y5, Y0
+	VMULPD  Y0, Y0, Y1
+	VMULPD  cL7<>(SB), Y1, Y6
+	VADDPD  cL5<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL3<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL1<>(SB), Y6, Y6
+	VMULPD  Y6, Y0, Y0
+	VMULPD  cL6<>(SB), Y1, Y6
+	VADDPD  cL4<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y6
+	VADDPD  cL2<>(SB), Y6, Y6
+	VMULPD  Y6, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMULPD  cHALF<>(SB), Y3, Y1
+	VMULPD  Y3, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMULPD  Y0, Y5, Y5
+	VMULPD  cLN2LO<>(SB), Y4, Y0
+	VADDPD  Y0, Y5, Y5
+	VSUBPD  Y5, Y1, Y1
+	VSUBPD  Y3, Y1, Y1
+	VMULPD  cLN2HI<>(SB), Y4, Y4
+	VSUBPD  Y1, Y4, Y4
+	VCMPPD  $3, Y2, Y2, Y1
+	VBLENDVPD Y1, Y2, Y4, Y4
+	VMOVUPD SP_MSER_A(SP), Y1
+	VBLENDVPD Y1, SP_SER_A(SP), Y4, Y4
+	CLAMP30(Y4, Y1, Y2)
+	VMOVUPD (CX), Y0
+	VANDPD  cABSMASK<>(SB), Y0, Y1
+	VCMPPD  $0, Y15, Y1, Y2
+	VBLENDVPD Y2, SP_MIN2(SP), Y15, Y2
+	VCMPPD  $1, cZERO<>(SB), Y0, Y3
+	VANDPD  cSIGNMASK<>(SB), Y3, Y3
+	VXORPD  SP_SGN(SP), Y3, Y3
+	VMULPD  Y2, Y3, Y2
+	CLAMP30(Y2, Y3, Y5)
+	VBLENDVPD Y14, Y2, Y4, Y4
+	VMOVUPD Y4, (CX)(DI*1)
+
+spc_b_fold:
+	// fold this quad's fallback bits into the check's mask
+	MOVQ SP_FBQ(SP), AX
+	MOVQ R14, CX
+	SHRQ $3, CX // bit base = lane base = q32/32*4
+	SHLQ CX, AX
+	ORQ  AX, R15
+	JMP  spc_quad_next
+
+	// all-saturated quad: min-sum only, no transcendentals
+spc_b_sat:
+	DEG()
+	DERIVE_CX()
+
+spc_b_sat_loop:
+	VMOVUPD (CX), Y0
+	MSEDGE()
+	VMOVUPD Y2, (CX)(DI*1)
+	ADDQ BX, CX
+	DECL DX
+	JNZ  spc_b_sat_loop
+
+spc_quad_next:
+	ADDQ $32, R14
+	CMPQ R14, R13
+	JL   spc_quad_loop
+
+spc_check_next:
+	MOVQ R15, (R10)(R11*8)
+	INCQ R11
+	JMP  spc_check_loop
+
+spc_done:
+	VZEROUPPER
+	RET
+
+// func varUpdRangeAVX2(varPtr []int32, varEdge []int32, chLLR, chkToVar,
+//	varToChk, posterior []float64, width, stride int,
+//	activeVec []float64, hardBits []uint64, active uint64)
+TEXT ·varUpdRangeAVX2(SB), NOSPLIT, $0-216
+	MOVQ varPtr_base+0(FP), R12
+	MOVQ varEdge_base+24(FP), R10
+	MOVQ chLLR_base+48(FP), R8
+	MOVQ chkToVar_base+72(FP), SI
+	MOVQ varToChk_base+96(FP), DI
+	SUBQ SI, DI // DI = varToChk - chkToVar
+	MOVQ posterior_base+120(FP), R9
+	MOVQ width+144(FP), R13
+	SHLQ $3, R13 // width bytes
+	MOVQ stride+152(FP), BX
+	SHLQ $3, BX // stride bytes
+	XORQ R11, R11 // variable index v
+
+vu_var_loop:
+	CMPQ R11, hardBits_len+192(FP)
+	JGE  vu_done
+	XORQ R15, R15 // new hard bits for v
+	XORQ R14, R14 // quad byte offset q32
+
+vu_quad_loop:
+	MOVQ    activeVec_base+160(FP), AX
+	VMOVUPD (AX)(R14*1), Y1 // lane blend mask
+	VPTEST  Y1, Y1
+	JZ      vu_quad_next
+
+	// sum = chLLR[v] + sum of chkToVar over the variable's edges
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (R8)(AX*1), Y0
+	MOVLQSX (R12)(R11*4), CX  // varPtr[v]
+	MOVLQSX 4(R12)(R11*4), DX // varPtr[v+1]
+	CMPQ    CX, DX
+	JGE     vu_sum_done
+
+vu_sum_loop:
+	MOVLQSX (R10)(CX*4), AX // edge id
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VADDPD  (SI)(AX*1), Y0, Y0
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      vu_sum_loop
+
+vu_sum_done:
+	// posterior: masked store (converged lanes keep frozen values)
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (R9)(AX*1), Y2
+	VBLENDVPD Y1, Y0, Y2, Y2
+	VMOVUPD Y2, (R9)(AX*1)
+	// hard decision bits: sum < 0 (strict: -0 and NaN decide 0)
+	VCMPPD  $1, cZERO<>(SB), Y0, Y2
+	VMOVMSKPD Y2, AX
+	MOVQ    R14, CX
+	SHRQ    $3, CX
+	SHLQ    CX, AX
+	ORQ     AX, R15
+	// extrinsic messages: varToChk[e] = clamp(sum - chkToVar[e])
+	MOVLQSX (R12)(R11*4), CX
+	MOVLQSX 4(R12)(R11*4), DX
+	CMPQ    CX, DX
+	JGE     vu_quad_next
+
+vu_ext_loop:
+	MOVLQSX (R10)(CX*4), AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (SI)(AX*1), Y2
+	VSUBPD  Y2, Y0, Y2
+	CLAMP30(Y2, Y3, Y4)
+	ADDQ    DI, AX
+	VMOVUPD Y2, (SI)(AX*1)
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      vu_ext_loop
+
+vu_quad_next:
+	ADDQ $32, R14
+	CMPQ R14, R13
+	JL   vu_quad_loop
+
+	// hardBits[v] = (old & ~active) | (new & active)
+	MOVQ hardBits_base+184(FP), AX
+	MOVQ active+208(FP), DX
+	MOVQ (AX)(R11*8), CX
+	NOTQ DX
+	ANDQ DX, CX
+	NOTQ DX
+	ANDQ DX, R15
+	ORQ  R15, CX
+	MOVQ CX, (AX)(R11*8)
+	INCQ R11
+	JMP  vu_var_loop
+
+vu_done:
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX2FMA() bool
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	// CX: bit 12 FMA, bit 27 OSXSAVE, bit 28 AVX
+	MOVL CX, BX
+	ANDL $(1<<12 | 1<<27 | 1<<28), BX
+	CMPL BX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  cpu_no
+	// XGETBV: OS must enable XMM (bit 1) and YMM (bit 2) state
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  cpu_no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	// BX bit 5: AVX2
+	TESTL $(1<<5), BX
+	JZ    cpu_no
+	MOVB  $1, ret+0(FP)
+	RET
+
+cpu_no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,1496 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX-512 lockstep kernels for the batch LDPC decoder: eight float64
+// lanes (one ZMM register) per step. The arithmetic is a literal
+// register-renamed translation of the AVX2 kernels in batch_amd64.s —
+// every instruction keeps its operand order, so rounding and NaN
+// behaviour are identical bit for bit. Blends become k-register
+// masked moves (VBLENDVPD has no 512-bit form), which also shortens
+// the dependency chains: a compare+masked-move pair is 2 uops against
+// the 3 of compare+blend. With 32 vector registers the per-oct fold
+// results and both software-interleaved edge chains live entirely in
+// registers; the frame is empty.
+
+#define CONST8(name, val) \
+	DATA name<>+0(SB)/8, val \
+	GLOBL name<>(SB), RODATA|NOPTR, $8
+
+CONST8(cZERO, $0x0000000000000000)
+CONST8(cONE, $0x3FF0000000000000)
+CONST8(cTWO, $0x4000000000000000)
+CONST8(cHALF, $0x3FE0000000000000)
+CONST8(cTHREE, $0x4008000000000000)
+CONST8(cSIX, $0x4018000000000000)
+CONST8(cNEGQUARTER, $0xBFD0000000000000)
+CONST8(cNEGTWO, $0xC000000000000000)
+CONST8(cNEGONE, $0xBFF0000000000000)
+CONST8(c38, $0x4043000000000000)
+CONST8(cNEG38, $0xC043000000000000)
+CONST8(cQUARTER, $0x3FD0000000000000)
+
+CONST8(cABSMASK, $0x7FFFFFFFFFFFFFFF)
+CONST8(cSIGNMASK, $0x8000000000000000)
+CONST8(cINF, $0x7FF0000000000000)
+
+CONST8(cSAT, $0x4028000000000000)
+CONST8(cEPS12, $0x3D719799812DEA11)
+CONST8(cCLAMPT, $0x3FEFFFFFFFFFDCD1)
+CONST8(cNEGCLAMPT, $0xBFEFFFFFFFFFDCD1)
+CONST8(cLLRC, $0x403E000000000000)
+CONST8(cNEGLLRC, $0xC03E000000000000)
+
+CONST8(cLOG2E, $0x3FF71547652B82FE)
+CONST8(cLN2U, $0x3FE62E42FEFA3000)
+CONST8(cLN2L, $0x3D53DE6AF278ECE6)
+CONST8(cEXPSC, $0x3FB0000000000000)
+CONST8(cEC64, $0x3EFA01A01A01A01A)
+CONST8(cEC56, $0x3F2A01A01A01A01A)
+CONST8(cEC48, $0x3F56C16C16C16C17)
+CONST8(cEC40, $0x3F81111111111111)
+CONST8(cEC32, $0x3FA5555555555555)
+CONST8(cEC24, $0x3FC5555555555555)
+CONST8(cBIAS, $0x00000000000003FF)
+
+CONST8(cLN2HALF, $0x3FD62E42FEFA39EF)
+CONST8(cLN2HI, $0x3FE62E42FEE00000)
+CONST8(cLN2LO, $0x3DEA39EF35793C76)
+CONST8(cNEGLN2HI, $0xBFE62E42FEE00000)
+CONST8(cNEGLN2LO, $0xBDEA39EF35793C76)
+CONST8(cTINY, $0x3C90000000000000)
+CONST8(cQ1, $0xBFA11111111110F4)
+CONST8(cQ2, $0x3F5A01A019FE5585)
+CONST8(cQ3, $0xBF14CE199EAADBB7)
+CONST8(cQ4, $0x3ED0CFCA86E65239)
+CONST8(cQ5, $0xBE8AFDB76E09C32D)
+
+CONST8(cA3, $0x3FD5555555555555)
+CONST8(cA5, $0x3FC999999999999A)
+CONST8(cA7, $0x3FC2492492492492)
+CONST8(cA9, $0x3FBC71C71C71C71C)
+CONST8(cA11, $0x3FB745D1745D1746)
+CONST8(cA13, $0x3FB3B13B13B13B14)
+CONST8(cA15, $0x3FB1111111111111)
+CONST8(cA17, $0x3FAE1E1E1E1E1E1E)
+
+CONST8(cHSQRT2, $0x3FE6A09E667F3BCD)
+CONST8(cL1, $0x3FE5555555555593)
+CONST8(cL2, $0x3FD999999997FA04)
+CONST8(cL3, $0x3FD2492494229359)
+CONST8(cL4, $0x3FCC71C51D8E78AF)
+CONST8(cL5, $0x3FC7466496CB03DE)
+CONST8(cL6, $0x3FC39A09D078C69F)
+CONST8(cL7, $0x3FC2F112DF3E5244)
+CONST8(cMANTMASK, $0x000FFFFFFFFFFFFF)
+CONST8(cHALFBITS, $0x3FE0000000000000)
+CONST8(cEXPMAGIC, $0x4330000000000000)
+CONST8(cEXPMAGICBIAS, $0x43300000000003FE)
+
+// Constant registers, loaded once per call:
+//   Z31 |x| mask   Z30 1.0   Z29 2.0   Z28 0.5   Z27 0.0
+//   Z26 30.0   Z25 -30.0   Z24 0.999999999999   Z23 -(^)
+//   Z22 0.25   Z21 1e-12   Z20 -1.0
+// K7 = per-oct saturation mask, K6 = per-oct fallback accumulator,
+// K4/K5 = per-chain persistent masks, K1-K3 scratch.
+
+// CLAMP30Z clamps reg to [-30, 30] with NaN pass-through. Both masks
+// come from the pre-clamp value (they are mutually exclusive), so the
+// two masked moves commute and match the scalar two-step clamp.
+#define CLAMP30Z(reg) \
+	VCMPPD  $1, Z25, reg, K1  \
+	VCMPPD  $14, Z26, reg, K2 \
+	VMOVAPD Z25, K1, reg      \
+	VMOVAPD Z26, K2, reg
+
+// MSEDGEZ computes the saturated min-sum output for one edge: v in
+// Z0, min1/min2/sign in Z14/Z15/Z16, result in Z2 (clobbers Z1, Z3).
+#define MSEDGEZ() \
+	VANDPD      Z31, Z0, Z1            \
+	VCMPPD      $0, Z14, Z1, K1        \
+	VBLENDMPD   Z15, Z14, K1, Z2       \
+	VCMPPD      $1, Z27, Z0, K2        \
+	VMOVAPD     Z16, Z3                \
+	VXORPD.BCST cSIGNMASK<>(SB), Z3, K2, Z3 \
+	VMULPD      Z2, Z3, Z2             \
+	CLAMP30Z(Z2)
+
+// EXPM1BLK is the mid-range tanhHalf branch t = em/(em+2) with
+// em = Expm1(x), |x| < 1 (pure-Go math.Expm1 sequence). x in xreg
+// (preserved), mC in kmask, result blended into treg on mC lanes.
+// Clobbers Z0-Z3, Z5-Z9, Z11, Z12, Z17 and K1-K3; preserves Z4, Z10,
+// Z13-Z16, Z18, Z19, K4-K7.
+#define EXPM1BLK(xreg, kmask, treg) \
+	VCMPPD       $1, Z27, xreg, K1            \ // m_neg = x < 0
+	VANDPD       Z31, xreg, Z7                \ // absx
+	VBROADCASTSD cLN2HALF<>(SB), Z12          \
+	VCMPPD       $14, Z12, Z7, K2             \ // m_red = absx > Ln2Half
+	VBROADCASTSD cLN2HI<>(SB), Z1             \
+	VBROADCASTSD cNEGLN2HI<>(SB), K1, Z1      \ // hiOff
+	VBROADCASTSD cLN2LO<>(SB), Z2             \
+	VBROADCASTSD cNEGLN2LO<>(SB), K1, Z2      \ // loOff
+	VSUBPD       Z1, xreg, Z1                 \ // hi = x - hiOff
+	VSUBPD       Z2, Z1, Z3                   \ // xr = hi - lo
+	VSUBPD       Z3, Z1, Z1                   \ // hi - xr
+	VSUBPD       Z2, Z1, Z5                   \ // c = (hi - xr) - lo
+	VMOVAPD      xreg, Z11                    \
+	VMOVAPD      Z3, K2, Z11                  \ // x_eff
+	VMULPD       Z28, Z11, Z6                 \ // hfx
+	VMULPD       Z6, Z11, Z7                  \ // hxs
+	VMULPD.BCST  cQ5<>(SB), Z7, Z8            \
+	VADDPD.BCST  cQ4<>(SB), Z8, Z8            \
+	VMULPD       Z8, Z7, Z8                   \
+	VADDPD.BCST  cQ3<>(SB), Z8, Z8            \
+	VMULPD       Z8, Z7, Z8                   \
+	VADDPD.BCST  cQ2<>(SB), Z8, Z8            \
+	VMULPD       Z8, Z7, Z8                   \
+	VADDPD.BCST  cQ1<>(SB), Z8, Z8            \
+	VMULPD       Z8, Z7, Z8                   \
+	VADDPD       Z30, Z8, Z8                  \ // r1
+	VMULPD       Z6, Z8, Z9                   \ // r1*hfx
+	VBROADCASTSD cTHREE<>(SB), Z12            \
+	VSUBPD       Z9, Z12, Z9                  \ // t = 3 - r1*hfx
+	VSUBPD       Z9, Z8, Z8                   \ // r1 - t
+	VMULPD       Z9, Z11, Z6                  \ // x*t
+	VBROADCASTSD cSIX<>(SB), Z12              \
+	VSUBPD       Z6, Z12, Z6                  \ // 6 - x*t
+	VDIVPD       Z6, Z8, Z8                   \ // (r1-t)/(6-x*t)
+	VMULPD       Z8, Z7, Z8                   \ // e = hxs * ^
+	VMULPD       Z8, Z11, Z9                  \ // k=0: x - (x*e - hxs)
+	VSUBPD       Z7, Z9, Z9                   \
+	VSUBPD       Z9, Z11, Z12                 \ // k=0 em
+	VSUBPD       Z5, Z8, Z9                   \ // e2 = (x*(e-c) - c) - hxs
+	VMULPD       Z9, Z11, Z9                  \
+	VSUBPD       Z5, Z9, Z9                   \
+	VSUBPD       Z7, Z9, Z9                   \ // e2
+	VSUBPD       Z9, Z11, Z17                 \ // k=-1: 0.5*(x-e2) - 0.5
+	VMULPD       Z28, Z17, Z17                \
+	VSUBPD       Z28, Z17, Z17                \
+	VBROADCASTSD cNEGQUARTER<>(SB), Z5        \
+	VCMPPD       $1, Z5, Z11, K3              \ // k=1 sub-branch: x < -0.25
+	VADDPD       Z28, Z11, Z8                 \ // -2*(e2 - (x+0.5))
+	VSUBPD       Z8, Z9, Z8                   \
+	VMULPD.BCST  cNEGTWO<>(SB), Z8, Z8        \
+	VSUBPD       Z9, Z11, Z3                  \ // 1 + 2*(x-e2)
+	VMULPD       Z29, Z3, Z3                  \
+	VADDPD       Z30, Z3, Z3                  \
+	VMOVAPD      Z8, K3, Z3                   \ // k=1 result
+	VMOVAPD      Z17, K1, Z3                  \ // reduced result (k = +-1)
+	VMOVAPD      Z3, K2, Z12                  \ // m_red ? reduced : k=0
+	VANDPD       Z31, xreg, Z7                \
+	VBROADCASTSD cTINY<>(SB), Z5              \
+	VCMPPD       $1, Z5, Z7, K3               \ // m_tiny = absx < 2**-54
+	VMOVAPD      xreg, K3, Z12                \ // em
+	VADDPD       Z29, Z12, Z9                 \ // em/(em+2)
+	VDIVPD       Z9, Z12, Z12                 \
+	VMOVAPD      Z12, kmask, treg
+
+#define DERIVE_CX() \
+	MOVLQSX (R9)(R11*4), CX \
+	IMULQ   BX, CX          \
+	ADDQ    SI, CX          \
+	ADDQ    R14, CX
+
+#define DEG() \
+	MOVL 4(R9)(R11*4), DX \
+	SUBL (R9)(R11*4), DX
+
+// func spCheckRangeAVX512(checkPtr []int32, varToChk, tanh, chkToVar []float64,
+//	width, stride int, activeVec []float64, fallback []uint64)
+//
+// Same two-edge software-interleaved structure as the AVX2 kernel:
+// chain A owns Z0-Z5 (addresses through CX), chain B owns Z6-Z11
+// (through R12 = CX + strideB), Z12/Z17 are shared transients, Z13 is
+// the running tanh product, Z14/Z15/Z16 hold the A1 fold results and
+// Z18/Z19 the saved inputs / series values.
+TEXT ·spCheckRangeAVX512(SB), NOSPLIT, $0-160
+	MOVQ checkPtr_base+0(FP), R9
+	MOVQ varToChk_base+24(FP), SI
+	MOVQ tanh_base+48(FP), R8
+	SUBQ SI, R8
+	MOVQ chkToVar_base+72(FP), DI
+	SUBQ SI, DI
+	MOVQ width+96(FP), R13
+	SHLQ $3, R13
+	MOVQ stride+104(FP), BX
+	SHLQ $3, BX
+	MOVQ fallback_base+136(FP), R10
+	XORQ R11, R11
+
+	VBROADCASTSD cABSMASK<>(SB), Z31
+	VBROADCASTSD cONE<>(SB), Z30
+	VBROADCASTSD cTWO<>(SB), Z29
+	VBROADCASTSD cHALF<>(SB), Z28
+	VXORPD       Z27, Z27, Z27
+	VBROADCASTSD cLLRC<>(SB), Z26
+	VBROADCASTSD cNEGLLRC<>(SB), Z25
+	VBROADCASTSD cCLAMPT<>(SB), Z24
+	VBROADCASTSD cNEGCLAMPT<>(SB), Z23
+	VBROADCASTSD cQUARTER<>(SB), Z22
+	VBROADCASTSD cEPS12<>(SB), Z21
+	VBROADCASTSD cNEGONE<>(SB), Z20
+
+zspc_check_loop:
+	CMPQ R11, fallback_len+144(FP)
+	JGE  zspc_done
+	XORQ R15, R15
+	DEG()
+	TESTL DX, DX
+	JZ    zspc_check_next
+	XORQ  R14, R14
+
+zspc_oct_loop:
+	MOVQ     activeVec_base+112(FP), AX
+	VMOVUPD  (AX)(R14*1), Z0
+	VPTESTMQ Z0, Z0, K1
+	KORTESTW K1, K1
+	JZ       zspc_oct_next
+
+	// ---- pass A1: min1/min2/sign fold over the check's edges ----
+	// (pass B of the previous oct used Z27 as a working register;
+	// restore the zero constant first)
+	DEG()
+	DERIVE_CX()
+	VXORPD       Z27, Z27, Z27
+	VBROADCASTSD cINF<>(SB), Z14 // min1
+	VMOVAPD      Z14, Z15        // min2
+	VMOVAPD      Z30, Z16        // sign product
+
+zspc_a1_loop:
+	VMOVUPD     (CX), Z0
+	VANDPD      Z31, Z0, Z1      // a = |v|
+	VCMPPD      $1, Z27, Z0, K1  // v < 0
+	VXORPD.BCST cSIGNMASK<>(SB), Z16, K1, Z16
+	VCMPPD      $1, Z14, Z1, K2  // m1 = a < min1
+	VCMPPD      $1, Z15, Z1, K3  // a < min2
+	VMOVAPD     Z1, K3, Z15      // a < min2 lanes first ...
+	VMOVAPD     Z14, K2, Z15     // ... then min2 = min1 on m1 lanes
+	VMOVAPD     Z1, K2, Z14      // min1 = m1 ? a : min1
+	ADDQ BX, CX
+	DECL DX
+	JNZ  zspc_a1_loop
+
+	// m_sat = min1 >= satLLR, per lane
+	VBROADCASTSD cSAT<>(SB), Z0
+	VCMPPD       $13, Z0, Z14, K7
+	KMOVW        K7, AX
+	CMPL         AX, $255
+	JE           zspc_b_sat
+
+	// ---- pass A2: per-edge tanhHalf and product fold, 3-way groups.
+	// Pass B of the previous oct used Z20/Z28/Z29 as chain-C working
+	// registers; rebroadcast the constants this pass consumes.
+	DEG()
+	DERIVE_CX()
+	VBROADCASTSD cNEGONE<>(SB), Z20
+	VBROADCASTSD cHALF<>(SB), Z28
+	VBROADCASTSD cTWO<>(SB), Z29
+	LEAQ    (CX)(BX*1), R12
+	LEAQ    (CX)(BX*2), AX
+	VMOVAPD Z30, Z13 // prod
+
+	// Edge-count dispatch, mirroring pass B: 3-way groups while 3+
+	// edges remain and the remainder will not strand a lone edge.
+zspc_a2_dispatch:
+	CMPL DX, $5
+	JGE  zspc_a2_3iter
+	CMPL DX, $3
+	JE   zspc_a2_3iter
+	CMPL DX, $2
+	JGE  zspc_a2_pair_iter
+	TESTL DX, DX
+	JNZ  zspc_a2_single
+	JMP  zspc_b_start
+
+	// Three software-interleaved tanhHalf chains; the exp critical
+	// path is latency-bound, so a third chain fills the FMA bubbles.
+	// Chain A: Z0-Z4/Z18/K4(K1), B: Z6-Z10/Z19/K5(K2),
+	// C: Z5,Z11,Z12,Z17,Z22/Z21/K6(K3).
+zspc_a2_3iter:
+	SUBL $3, DX
+	VMOVUPD (CX), Z0
+	VMOVUPD (R12), Z6
+	VMOVUPD (AX), Z5
+	VMOVAPD Z0, Z18
+	VMOVAPD Z6, Z19
+	VMOVAPD Z5, Z21
+	VCMPPD  $14, Z20, Z0, K4
+	VCMPPD  $14, Z20, Z6, K5
+	VCMPPD  $14, Z20, Z5, K6
+	VCMPPD  $1, Z30, Z0, K1
+	VCMPPD  $1, Z30, Z6, K2
+	VCMPPD  $1, Z30, Z5, K3
+	KANDW   K1, K4, K4
+	KANDW   K2, K5, K5
+	KANDW   K3, K6, K6
+	VMULPD.BCST  cLOG2E<>(SB), Z0, Z1
+	VMULPD.BCST  cLOG2E<>(SB), Z6, Z7
+	VMULPD.BCST  cLOG2E<>(SB), Z5, Z11
+	VCVTPD2DQ    Z1, Y2
+	VCVTPD2DQ    Z7, Y8
+	VCVTPD2DQ    Z11, Y12
+	VCVTDQ2PD    Y2, Z1
+	VCVTDQ2PD    Y8, Z7
+	VCVTDQ2PD    Y12, Z11
+	VFNMADD231PD.BCST cLN2U<>(SB), Z1, Z0
+	VFNMADD231PD.BCST cLN2U<>(SB), Z7, Z6
+	VFNMADD231PD.BCST cLN2U<>(SB), Z11, Z5
+	VFNMADD231PD.BCST cLN2L<>(SB), Z1, Z0
+	VFNMADD231PD.BCST cLN2L<>(SB), Z7, Z6
+	VFNMADD231PD.BCST cLN2L<>(SB), Z11, Z5
+	VMULPD.BCST  cEXPSC<>(SB), Z0, Z0
+	VMULPD.BCST  cEXPSC<>(SB), Z6, Z6
+	VMULPD.BCST  cEXPSC<>(SB), Z5, Z5
+	VBROADCASTSD cEC64<>(SB), Z3
+	VMOVAPD      Z3, Z9
+	VMOVAPD      Z3, Z17
+	VFMADD213PD.BCST cEC56<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC56<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC56<>(SB), Z5, Z17
+	VFMADD213PD.BCST cEC48<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC48<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC48<>(SB), Z5, Z17
+	VFMADD213PD.BCST cEC40<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC40<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC40<>(SB), Z5, Z17
+	VFMADD213PD.BCST cEC32<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC32<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC32<>(SB), Z5, Z17
+	VFMADD213PD.BCST cEC24<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC24<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC24<>(SB), Z5, Z17
+	VFMADD213PD  Z28, Z0, Z3
+	VFMADD213PD  Z28, Z6, Z9
+	VFMADD213PD  Z28, Z5, Z17
+	VFMADD213PD  Z30, Z0, Z3
+	VFMADD213PD  Z30, Z6, Z9
+	VFMADD213PD  Z30, Z5, Z17
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VMULPD       Z17, Z5, Z5
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VADDPD       Z29, Z5, Z17
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VMULPD       Z17, Z5, Z5
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VADDPD       Z29, Z5, Z17
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VMULPD       Z17, Z5, Z5
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VADDPD       Z29, Z5, Z17
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VMULPD       Z17, Z5, Z5
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VADDPD       Z29, Z5, Z17
+	VFMADD213PD  Z30, Z3, Z0
+	VFMADD213PD  Z30, Z9, Z6
+	VFMADD213PD  Z30, Z17, Z5
+	VPMOVSXDQ    Y2, Z1
+	VPMOVSXDQ    Y8, Z7
+	VPMOVSXDQ    Y12, Z11
+	VPADDQ.BCST  cBIAS<>(SB), Z1, Z1
+	VPADDQ.BCST  cBIAS<>(SB), Z7, Z7
+	VPADDQ.BCST  cBIAS<>(SB), Z11, Z11
+	VPSLLQ       $52, Z1, Z1
+	VPSLLQ       $52, Z7, Z7
+	VPSLLQ       $52, Z11, Z11
+	VMULPD       Z1, Z0, Z0
+	VMULPD       Z7, Z6, Z6
+	VMULPD       Z11, Z5, Z5
+	VCMPPD  $3, Z18, Z18, K1
+	VCMPPD  $3, Z19, Z19, K2
+	VCMPPD  $3, Z21, Z21, K3
+	VMOVAPD Z18, K1, Z0
+	VMOVAPD Z19, K2, Z6
+	VMOVAPD Z21, K3, Z5
+	VSUBPD  Z30, Z0, Z4
+	VSUBPD  Z30, Z6, Z10
+	VSUBPD  Z30, Z5, Z22
+	VADDPD  Z30, Z0, Z2
+	VADDPD  Z30, Z6, Z8
+	VADDPD  Z30, Z5, Z12
+	VDIVPD  Z2, Z4, Z4
+	VDIVPD  Z8, Z10, Z10
+	VDIVPD  Z12, Z22, Z22
+	// mid-range lanes: t = em/(em+2), per chain behind its own branch
+	KORTESTW K4, K4
+	JZ       zspc_a23_skipa
+	EXPM1BLK(Z18, K4, Z4)
+
+zspc_a23_skipa:
+	KORTESTW K5, K5
+	JZ       zspc_a23_skipb
+	EXPM1BLK(Z19, K5, Z10)
+
+zspc_a23_skipb:
+	KORTESTW K6, K6
+	JZ       zspc_a23_skipc
+	EXPM1BLK(Z21, K6, Z22)
+
+zspc_a23_skipc:
+	// outer classes: x > 38 -> 1, x < -38 -> -1
+	VBROADCASTSD cNEG38<>(SB), Z12
+	VBROADCASTSD c38<>(SB), Z17
+	VCMPPD  $1, Z12, Z18, K1
+	VMOVAPD Z20, K1, Z4
+	VCMPPD  $14, Z17, Z18, K1
+	VMOVAPD Z30, K1, Z4
+	VCMPPD  $1, Z12, Z19, K1
+	VMOVAPD Z20, K1, Z10
+	VCMPPD  $14, Z17, Z19, K1
+	VMOVAPD Z30, K1, Z10
+	VCMPPD  $1, Z12, Z21, K1
+	VMOVAPD Z20, K1, Z22
+	VCMPPD  $14, Z17, Z21, K1
+	VMOVAPD Z30, K1, Z22
+	VMOVUPD Z4, (CX)(R8*1)
+	VMOVUPD Z10, (R12)(R8*1)
+	VMOVUPD Z22, (AX)(R8*1)
+	VMULPD  Z4, Z13, Z13 // prod *= tA, tB, tC in edge order
+	VMULPD  Z10, Z13, Z13
+	VMULPD  Z22, Z13, Z13
+	LEAQ (AX)(BX*1), CX
+	LEAQ (CX)(BX*1), R12
+	LEAQ (CX)(BX*2), AX
+	JMP  zspc_a2_dispatch
+
+zspc_a2_pair_iter:
+	SUBL $2, DX
+	VMOVUPD (CX), Z0
+	VMOVAPD Z0, Z18
+	VMOVUPD (R12), Z6
+	VMOVAPD Z6, Z19
+	// mC = (x > -1) & (x < 1): the Expm1 branch of tanhHalf
+	VCMPPD $14, Z20, Z0, K4
+	VCMPPD $1, Z30, Z0, K1
+	KANDW  K1, K4, K4
+	VCMPPD $14, Z20, Z6, K5
+	VCMPPD $1, Z30, Z6, K1
+	KANDW  K1, K5, K5
+	// default branch: e = archExp(x) (SLEEF avxfma sequence)
+	VMULPD.BCST  cLOG2E<>(SB), Z0, Z1
+	VMULPD.BCST  cLOG2E<>(SB), Z6, Z7
+	VCVTPD2DQ    Z1, Y2
+	VCVTPD2DQ    Z7, Y8
+	VCVTDQ2PD    Y2, Z1
+	VCVTDQ2PD    Y8, Z7
+	VFNMADD231PD.BCST cLN2U<>(SB), Z1, Z0
+	VFNMADD231PD.BCST cLN2U<>(SB), Z7, Z6
+	VFNMADD231PD.BCST cLN2L<>(SB), Z1, Z0
+	VFNMADD231PD.BCST cLN2L<>(SB), Z7, Z6
+	VMULPD.BCST  cEXPSC<>(SB), Z0, Z0
+	VMULPD.BCST  cEXPSC<>(SB), Z6, Z6
+	VBROADCASTSD cEC64<>(SB), Z3
+	VMOVAPD      Z3, Z9
+	VFMADD213PD.BCST cEC56<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC56<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC48<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC48<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC40<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC40<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC32<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC32<>(SB), Z6, Z9
+	VFMADD213PD.BCST cEC24<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC24<>(SB), Z6, Z9
+	VFMADD213PD  Z28, Z0, Z3
+	VFMADD213PD  Z28, Z6, Z9
+	VFMADD213PD  Z30, Z0, Z3
+	VFMADD213PD  Z30, Z6, Z9
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VADDPD       Z29, Z0, Z3 // 4x (x*(x+2)) squaring steps
+	VADDPD       Z29, Z6, Z9
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VMULPD       Z3, Z0, Z0
+	VMULPD       Z9, Z6, Z6
+	VADDPD       Z29, Z0, Z3
+	VADDPD       Z29, Z6, Z9
+	VFMADD213PD  Z30, Z3, Z0
+	VFMADD213PD  Z30, Z9, Z6
+	VPMOVSXDQ    Y2, Z1 // ldexp: *= 2**k
+	VPMOVSXDQ    Y8, Z7
+	VPADDQ.BCST  cBIAS<>(SB), Z1, Z1
+	VPADDQ.BCST  cBIAS<>(SB), Z7, Z7
+	VPSLLQ       $52, Z1, Z1
+	VPSLLQ       $52, Z7, Z7
+	VMULPD       Z1, Z0, Z0
+	VMULPD       Z7, Z6, Z6
+	// archExp returns x itself for NaN input
+	VCMPPD  $3, Z18, Z18, K1
+	VMOVAPD Z18, K1, Z0
+	VCMPPD  $3, Z19, Z19, K1
+	VMOVAPD Z19, K1, Z6
+	// t = (e-1)/(e+1)
+	VSUBPD Z30, Z0, Z4
+	VADDPD Z30, Z0, Z2
+	VDIVPD Z2, Z4, Z4
+	VSUBPD Z30, Z6, Z10
+	VADDPD Z30, Z6, Z8
+	VDIVPD Z8, Z10, Z10
+	// mid-range lanes: t = em/(em+2), per chain behind its own branch
+	KORTESTW K4, K4
+	JZ       zspc_a2p_skipa
+	EXPM1BLK(Z18, K4, Z4)
+
+zspc_a2p_skipa:
+	KORTESTW K5, K5
+	JZ       zspc_a2p_skipb
+	EXPM1BLK(Z19, K5, Z10)
+
+zspc_a2p_skipb:
+	// outer classes: x > 38 -> 1, x < -38 -> -1
+	VBROADCASTSD cNEG38<>(SB), Z12
+	VBROADCASTSD c38<>(SB), Z17
+	VCMPPD  $1, Z12, Z18, K1
+	VMOVAPD Z20, K1, Z4
+	VCMPPD  $14, Z17, Z18, K1
+	VMOVAPD Z30, K1, Z4
+	VCMPPD  $1, Z12, Z19, K1
+	VMOVAPD Z20, K1, Z10
+	VCMPPD  $14, Z17, Z19, K1
+	VMOVAPD Z30, K1, Z10
+	VMOVUPD Z4, (CX)(R8*1)
+	VMOVUPD Z10, (R12)(R8*1)
+	VMULPD  Z4, Z13, Z13 // prod *= tA, then *= tB (edge order)
+	VMULPD  Z10, Z13, Z13
+	LEAQ (CX)(BX*2), CX
+	LEAQ (R12)(BX*2), R12
+	LEAQ (CX)(BX*2), AX
+	JMP  zspc_a2_dispatch
+
+zspc_a2_single:
+	// odd trailing edge: chain A body once
+	VMOVUPD (CX), Z0
+	VMOVAPD Z0, Z18
+	VCMPPD  $14, Z20, Z0, K4
+	VCMPPD  $1, Z30, Z0, K1
+	KANDW   K1, K4, K4
+	VMULPD.BCST  cLOG2E<>(SB), Z0, Z1
+	VCVTPD2DQ    Z1, Y2
+	VCVTDQ2PD    Y2, Z1
+	VFNMADD231PD.BCST cLN2U<>(SB), Z1, Z0
+	VFNMADD231PD.BCST cLN2L<>(SB), Z1, Z0
+	VMULPD.BCST  cEXPSC<>(SB), Z0, Z0
+	VBROADCASTSD cEC64<>(SB), Z3
+	VFMADD213PD.BCST cEC56<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC48<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC40<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC32<>(SB), Z0, Z3
+	VFMADD213PD.BCST cEC24<>(SB), Z0, Z3
+	VFMADD213PD  Z28, Z0, Z3
+	VFMADD213PD  Z30, Z0, Z3
+	VMULPD       Z3, Z0, Z0
+	VADDPD       Z29, Z0, Z3
+	VMULPD       Z3, Z0, Z0
+	VADDPD       Z29, Z0, Z3
+	VMULPD       Z3, Z0, Z0
+	VADDPD       Z29, Z0, Z3
+	VMULPD       Z3, Z0, Z0
+	VADDPD       Z29, Z0, Z3
+	VFMADD213PD  Z30, Z3, Z0
+	VPMOVSXDQ    Y2, Z1
+	VPADDQ.BCST  cBIAS<>(SB), Z1, Z1
+	VPSLLQ       $52, Z1, Z1
+	VMULPD       Z1, Z0, Z0
+	VCMPPD  $3, Z18, Z18, K1
+	VMOVAPD Z18, K1, Z0
+	VSUBPD  Z30, Z0, Z4
+	VADDPD  Z30, Z0, Z2
+	VDIVPD  Z2, Z4, Z4
+	KORTESTW K4, K4
+	JZ       zspc_a2t_done
+	EXPM1BLK(Z18, K4, Z4)
+
+zspc_a2t_done:
+	VBROADCASTSD cNEG38<>(SB), Z12
+	VBROADCASTSD c38<>(SB), Z17
+	VCMPPD  $1, Z12, Z18, K1
+	VMOVAPD Z20, K1, Z4
+	VCMPPD  $14, Z17, Z18, K1
+	VMOVAPD Z30, K1, Z4
+	VMOVUPD Z4, (CX)(R8*1)
+	VMULPD  Z4, Z13, Z13
+
+	// ---- pass B: per-edge outputs, three software-interleaved
+	// chains (A: Z0-Z5/Z18/K4, B: Z6-Z11/Z19/K5, C: Z17/Z20-Z22/
+	// Z27-Z29/K3). Chain C reuses registers that hold broadcast
+	// constants elsewhere, so this pass reads eps/quarter/half/two/
+	// zero via .BCST memory operands and the A2/A1/sat sections
+	// rebroadcast their constants per oct.
+zspc_b_start:
+	DEG()
+	DERIVE_CX()
+	LEAQ  (CX)(BX*1), R12
+	LEAQ  (CX)(BX*2), AX
+	KXORW K6, K6, K6
+
+	// Edge-count dispatch: 3-way groups while 3+ edges remain and the
+	// remainder will not strand a lone edge (even degrees split as
+	// 3k, 3k+2 or 2+2; only odd remainders fall to the single body).
+zspc_b_dispatch:
+	CMPL DX, $5
+	JGE  zspc_b3_iter
+	CMPL DX, $3
+	JE   zspc_b3_iter
+	CMPL DX, $2
+	JGE  zspc_b2_iter
+	TESTL DX, DX
+	JNZ  zspc_b_tail_loop
+	JMP  zspc_b_fold
+
+zspc_b3_iter:
+	SUBL $3, DX
+	// phase 1: t, other = prod/t, fb detect, clamp to +-~1
+	VMOVUPD (CX)(R8*1), Z0
+	VDIVPD  Z0, Z13, Z1
+	VANDPD  Z31, Z0, Z2
+	VCMPPD.BCST $10, cEPS12<>(SB), Z2, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z1, K1
+	VCMPPD  $14, Z24, Z1, K2
+	VMOVAPD Z23, K1, Z1
+	VMOVAPD Z24, K2, Z1
+	VMOVUPD (R12)(R8*1), Z6
+	VDIVPD  Z6, Z13, Z7
+	VANDPD  Z31, Z6, Z8
+	VCMPPD.BCST $10, cEPS12<>(SB), Z8, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z7, K1
+	VCMPPD  $14, Z24, Z7, K2
+	VMOVAPD Z23, K1, Z7
+	VMOVAPD Z24, K2, Z7
+	VMOVUPD (AX)(R8*1), Z21
+	VDIVPD  Z21, Z13, Z22
+	VANDPD  Z31, Z21, Z12
+	VCMPPD.BCST $10, cEPS12<>(SB), Z12, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z22, K1
+	VCMPPD  $14, Z24, Z22, K2
+	VMOVAPD Z23, K1, Z22
+	VMOVAPD Z24, K2, Z22
+	// phase 2: m_ser and the series form, skipped when no lane is
+	// below the series threshold (a stale series register is
+	// harmless: the masked blend in phase 5 then merges nothing)
+	VANDPD Z31, Z1, Z2
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z2, K4
+	KORTESTW K4, K4
+	JZ     zspc_b3_noser_a
+	VMULPD Z1, Z1, Z2            // x2
+	VMULPD.BCST cA17<>(SB), Z2, Z3
+	VADDPD.BCST cA15<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA13<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA11<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA9<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA7<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA5<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA3<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD Z30, Z3, Z3
+	VMULPD.BCST cTWO<>(SB), Z1, Z2 // 2x
+	VMULPD Z3, Z2, Z18           // series value
+
+zspc_b3_noser_a:
+	VANDPD Z31, Z7, Z8
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z8, K5
+	KORTESTW K5, K5
+	JZ     zspc_b3_noser_b
+	VMULPD Z7, Z7, Z8
+	VMULPD.BCST cA17<>(SB), Z8, Z9
+	VADDPD.BCST cA15<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA13<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA11<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA9<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA7<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA5<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA3<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD Z30, Z9, Z9
+	VMULPD.BCST cTWO<>(SB), Z7, Z8
+	VMULPD Z9, Z8, Z19
+
+zspc_b3_noser_b:
+	VANDPD Z31, Z22, Z12
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z12, K3
+	KORTESTW K3, K3
+	JZ     zspc_b3_noser_c
+	VMULPD Z22, Z22, Z27
+	VMULPD.BCST cA17<>(SB), Z27, Z28
+	VADDPD.BCST cA15<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA13<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA11<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA9<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA7<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA5<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD.BCST cA3<>(SB), Z28, Z28
+	VMULPD Z28, Z27, Z28
+	VADDPD Z30, Z28, Z28
+	VMULPD.BCST cTWO<>(SB), Z22, Z27
+	VMULPD Z28, Z27, Z20
+
+zspc_b3_noser_c:
+	// phase 3: arg = (1+x)/(1-x) and frexp
+	VADDPD     Z30, Z1, Z2
+	VSUBPD     Z1, Z30, Z3
+	VDIVPD     Z3, Z2, Z2        // arg (kept live for NaN)
+	VPANDQ.BCST cMANTMASK<>(SB), Z2, Z3
+	VPORQ.BCST cHALFBITS<>(SB), Z3, Z3 // f1
+	VPSRLQ     $52, Z2, Z4
+	VPORQ.BCST cEXPMAGIC<>(SB), Z4, Z4
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z4, Z4 // k
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z3, K1 // !(f1 > HSqrt2)
+	VSUBPD     Z30, Z4, K1, Z4   // k -= adj
+	VADDPD     Z3, Z3, K1, Z3    // f1 *= 1 or 2
+	VSUBPD     Z30, Z3, Z3       // f
+	VADDPD     Z30, Z7, Z8
+	VSUBPD     Z7, Z30, Z9
+	VDIVPD     Z9, Z8, Z8
+	VPANDQ.BCST cMANTMASK<>(SB), Z8, Z9
+	VPORQ.BCST cHALFBITS<>(SB), Z9, Z9
+	VPSRLQ     $52, Z8, Z10
+	VPORQ.BCST cEXPMAGIC<>(SB), Z10, Z10
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z10, Z10
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z9, K1
+	VSUBPD     Z30, Z10, K1, Z10
+	VADDPD     Z9, Z9, K1, Z9
+	VSUBPD     Z30, Z9, Z9
+	VADDPD     Z30, Z22, Z27
+	VSUBPD     Z22, Z30, Z12
+	VDIVPD     Z12, Z27, Z27
+	VPANDQ.BCST cMANTMASK<>(SB), Z27, Z28
+	VPORQ.BCST cHALFBITS<>(SB), Z28, Z28
+	VPSRLQ     $52, Z27, Z29
+	VPORQ.BCST cEXPMAGIC<>(SB), Z29, Z29
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z29, Z29
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z28, K1
+	VSUBPD     Z30, Z29, K1, Z29
+	VADDPD     Z28, Z28, K1, Z28
+	VSUBPD     Z30, Z28, Z28
+	// phase 4: s = f/(2+f), log polynomial, combine
+	VADDPD.BCST cTWO<>(SB), Z3, Z5
+	VDIVPD Z5, Z3, Z5            // s
+	VMULPD Z5, Z5, Z0            // s2
+	VMULPD Z0, Z0, Z1            // s4
+	VMULPD.BCST cL7<>(SB), Z1, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD Z12, Z0, Z0           // t1
+	VMULPD.BCST cL6<>(SB), Z1, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z1           // t2
+	VADDPD Z1, Z0, Z0            // R
+	VMULPD.BCST cHALF<>(SB), Z3, Z1 // hfsq
+	VMULPD Z3, Z1, Z1
+	VADDPD Z1, Z0, Z0
+	VMULPD Z0, Z5, Z5
+	VMULPD.BCST cLN2LO<>(SB), Z4, Z0
+	VADDPD Z0, Z5, Z5
+	VSUBPD Z5, Z1, Z1
+	VSUBPD Z3, Z1, Z1
+	VMULPD.BCST cLN2HI<>(SB), Z4, Z4
+	VSUBPD Z1, Z4, Z4            // log result
+	VCMPPD $3, Z2, Z2, K1        // archLog returns arg for NaN
+	VMOVAPD Z2, K1, Z4
+	VADDPD.BCST cTWO<>(SB), Z9, Z11
+	VDIVPD Z11, Z9, Z11
+	VMULPD Z11, Z11, Z6
+	VMULPD Z6, Z6, Z7
+	VMULPD.BCST cL7<>(SB), Z7, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD Z12, Z6, Z6
+	VMULPD.BCST cL6<>(SB), Z7, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z7
+	VADDPD Z7, Z6, Z6
+	VMULPD.BCST cHALF<>(SB), Z9, Z7
+	VMULPD Z9, Z7, Z7
+	VADDPD Z7, Z6, Z6
+	VMULPD Z6, Z11, Z11
+	VMULPD.BCST cLN2LO<>(SB), Z10, Z6
+	VADDPD Z6, Z11, Z11
+	VSUBPD Z11, Z7, Z7
+	VSUBPD Z9, Z7, Z7
+	VMULPD.BCST cLN2HI<>(SB), Z10, Z10
+	VSUBPD Z7, Z10, Z10          // log result
+	VCMPPD $3, Z8, Z8, K1
+	VMOVAPD Z8, K1, Z10
+	VADDPD.BCST cTWO<>(SB), Z28, Z17
+	VDIVPD Z17, Z28, Z17
+	VMULPD Z17, Z17, Z21
+	VMULPD Z21, Z21, Z22
+	VMULPD.BCST cL7<>(SB), Z22, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD Z12, Z22, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD Z12, Z22, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD Z12, Z21, Z21
+	VMULPD.BCST cL6<>(SB), Z22, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD Z12, Z22, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD Z12, Z22, Z22
+	VADDPD Z22, Z21, Z21
+	VMULPD.BCST cHALF<>(SB), Z28, Z22
+	VMULPD Z28, Z22, Z22
+	VADDPD Z22, Z21, Z21
+	VMULPD Z21, Z17, Z17
+	VMULPD.BCST cLN2LO<>(SB), Z29, Z21
+	VADDPD Z21, Z17, Z17
+	VSUBPD Z17, Z22, Z22
+	VSUBPD Z28, Z22, Z22
+	VMULPD.BCST cLN2HI<>(SB), Z29, Z29
+	VSUBPD Z22, Z29, Z29         // log result
+	VCMPPD $3, Z27, Z27, K1
+	VMOVAPD Z27, K1, Z29
+	// phase 5: blend series/log, clamp, saturated blend, store. The
+	// min-sum reconstruction only feeds K7-masked lanes, so it is
+	// skipped outright in unsaturated octs (K7 is constant across
+	// the oct: the branch predicts perfectly).
+	VMOVAPD Z18, K4, Z4
+	CLAMP30Z(Z4)
+	KORTESTW K7, K7
+	JZ      zspc_b3_st_a
+	VMOVUPD (CX), Z0             // v for the min-sum form
+	VANDPD  Z31, Z0, Z1
+	VCMPPD  $0, Z14, Z1, K1      // a == min1
+	VBLENDMPD Z15, Z14, K1, Z2
+	VCMPPD.BCST $1, cZERO<>(SB), Z0, K2
+	VMOVAPD Z16, Z3
+	VXORPD.BCST cSIGNMASK<>(SB), Z3, K2, Z3
+	VMULPD  Z2, Z3, Z2           // s*mag
+	CLAMP30Z(Z2)
+	VMOVAPD Z2, K7, Z4           // saturated lanes take min-sum
+
+zspc_b3_st_a:
+	VMOVUPD Z4, (CX)(DI*1)
+	VMOVAPD Z19, K5, Z10
+	CLAMP30Z(Z10)
+	KORTESTW K7, K7
+	JZ      zspc_b3_st_b
+	VMOVUPD (R12), Z6
+	VANDPD  Z31, Z6, Z7
+	VCMPPD  $0, Z14, Z7, K1
+	VBLENDMPD Z15, Z14, K1, Z8
+	VCMPPD.BCST $1, cZERO<>(SB), Z6, K2
+	VMOVAPD Z16, Z9
+	VXORPD.BCST cSIGNMASK<>(SB), Z9, K2, Z9
+	VMULPD  Z8, Z9, Z8
+	CLAMP30Z(Z8)
+	VMOVAPD Z8, K7, Z10
+
+zspc_b3_st_b:
+	VMOVUPD Z10, (R12)(DI*1)
+	VMOVAPD Z20, K3, Z29
+	CLAMP30Z(Z29)
+	KORTESTW K7, K7
+	JZ      zspc_b3_st_c
+	VMOVUPD (AX), Z21
+	VANDPD  Z31, Z21, Z22
+	VCMPPD  $0, Z14, Z22, K1
+	VBLENDMPD Z15, Z14, K1, Z22
+	VCMPPD.BCST $1, cZERO<>(SB), Z21, K2
+	VMOVAPD Z16, Z27
+	VXORPD.BCST cSIGNMASK<>(SB), Z27, K2, Z27
+	VMULPD  Z22, Z27, Z22
+	CLAMP30Z(Z22)
+	VMOVAPD Z22, K7, Z29
+
+zspc_b3_st_c:
+	VMOVUPD Z29, (AX)(DI*1)
+	LEAQ (AX)(BX*1), CX
+	LEAQ (CX)(BX*1), R12
+	LEAQ (R12)(BX*1), AX
+	JMP  zspc_b_dispatch
+
+	// two edges: chains A and B of the 3-way body
+zspc_b2_iter:
+	SUBL $2, DX
+	VMOVUPD (CX)(R8*1), Z0
+	VDIVPD  Z0, Z13, Z1
+	VANDPD  Z31, Z0, Z2
+	VCMPPD.BCST $10, cEPS12<>(SB), Z2, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z1, K1
+	VCMPPD  $14, Z24, Z1, K2
+	VMOVAPD Z23, K1, Z1
+	VMOVAPD Z24, K2, Z1
+	VMOVUPD (R12)(R8*1), Z6
+	VDIVPD  Z6, Z13, Z7
+	VANDPD  Z31, Z6, Z8
+	VCMPPD.BCST $10, cEPS12<>(SB), Z8, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z7, K1
+	VCMPPD  $14, Z24, Z7, K2
+	VMOVAPD Z23, K1, Z7
+	VMOVAPD Z24, K2, Z7
+	VANDPD Z31, Z1, Z2
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z2, K4
+	KORTESTW K4, K4
+	JZ     zspc_b2_noser_a
+	VMULPD Z1, Z1, Z2
+	VMULPD.BCST cA17<>(SB), Z2, Z3
+	VADDPD.BCST cA15<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA13<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA11<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA9<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA7<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA5<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD.BCST cA3<>(SB), Z3, Z3
+	VMULPD Z3, Z2, Z3
+	VADDPD Z30, Z3, Z3
+	VMULPD.BCST cTWO<>(SB), Z1, Z2
+	VMULPD Z3, Z2, Z18
+
+zspc_b2_noser_a:
+	VANDPD Z31, Z7, Z8
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z8, K5
+	KORTESTW K5, K5
+	JZ     zspc_b2_noser_b
+	VMULPD Z7, Z7, Z8
+	VMULPD.BCST cA17<>(SB), Z8, Z9
+	VADDPD.BCST cA15<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA13<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA11<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA9<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA7<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA5<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD.BCST cA3<>(SB), Z9, Z9
+	VMULPD Z9, Z8, Z9
+	VADDPD Z30, Z9, Z9
+	VMULPD.BCST cTWO<>(SB), Z7, Z8
+	VMULPD Z9, Z8, Z19
+
+zspc_b2_noser_b:
+	VADDPD     Z30, Z1, Z2
+	VSUBPD     Z1, Z30, Z3
+	VDIVPD     Z3, Z2, Z2
+	VPANDQ.BCST cMANTMASK<>(SB), Z2, Z3
+	VPORQ.BCST cHALFBITS<>(SB), Z3, Z3
+	VPSRLQ     $52, Z2, Z4
+	VPORQ.BCST cEXPMAGIC<>(SB), Z4, Z4
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z4, Z4
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z3, K1
+	VSUBPD     Z30, Z4, K1, Z4
+	VADDPD     Z3, Z3, K1, Z3
+	VSUBPD     Z30, Z3, Z3
+	VADDPD     Z30, Z7, Z8
+	VSUBPD     Z7, Z30, Z9
+	VDIVPD     Z9, Z8, Z8
+	VPANDQ.BCST cMANTMASK<>(SB), Z8, Z9
+	VPORQ.BCST cHALFBITS<>(SB), Z9, Z9
+	VPSRLQ     $52, Z8, Z10
+	VPORQ.BCST cEXPMAGIC<>(SB), Z10, Z10
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z10, Z10
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z9, K1
+	VSUBPD     Z30, Z10, K1, Z10
+	VADDPD     Z9, Z9, K1, Z9
+	VSUBPD     Z30, Z9, Z9
+	VADDPD.BCST cTWO<>(SB), Z3, Z5
+	VDIVPD Z5, Z3, Z5
+	VMULPD Z5, Z5, Z0
+	VMULPD Z0, Z0, Z1
+	VMULPD.BCST cL7<>(SB), Z1, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD Z12, Z0, Z0
+	VMULPD.BCST cL6<>(SB), Z1, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD Z12, Z1, Z1
+	VADDPD Z1, Z0, Z0
+	VMULPD.BCST cHALF<>(SB), Z3, Z1
+	VMULPD Z3, Z1, Z1
+	VADDPD Z1, Z0, Z0
+	VMULPD Z0, Z5, Z5
+	VMULPD.BCST cLN2LO<>(SB), Z4, Z0
+	VADDPD Z0, Z5, Z5
+	VSUBPD Z5, Z1, Z1
+	VSUBPD Z3, Z1, Z1
+	VMULPD.BCST cLN2HI<>(SB), Z4, Z4
+	VSUBPD Z1, Z4, Z4
+	VCMPPD $3, Z2, Z2, K1
+	VMOVAPD Z2, K1, Z4
+	VADDPD.BCST cTWO<>(SB), Z9, Z11
+	VDIVPD Z11, Z9, Z11
+	VMULPD Z11, Z11, Z6
+	VMULPD Z6, Z6, Z7
+	VMULPD.BCST cL7<>(SB), Z7, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD Z12, Z6, Z6
+	VMULPD.BCST cL6<>(SB), Z7, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD Z12, Z7, Z7
+	VADDPD Z7, Z6, Z6
+	VMULPD.BCST cHALF<>(SB), Z9, Z7
+	VMULPD Z9, Z7, Z7
+	VADDPD Z7, Z6, Z6
+	VMULPD Z6, Z11, Z11
+	VMULPD.BCST cLN2LO<>(SB), Z10, Z6
+	VADDPD Z6, Z11, Z11
+	VSUBPD Z11, Z7, Z7
+	VSUBPD Z9, Z7, Z7
+	VMULPD.BCST cLN2HI<>(SB), Z10, Z10
+	VSUBPD Z7, Z10, Z10
+	VCMPPD $3, Z8, Z8, K1
+	VMOVAPD Z8, K1, Z10
+	VMOVAPD Z18, K4, Z4
+	CLAMP30Z(Z4)
+	KORTESTW K7, K7
+	JZ      zspc_b2_st_a
+	VMOVUPD (CX), Z0
+	VANDPD  Z31, Z0, Z1
+	VCMPPD  $0, Z14, Z1, K1
+	VBLENDMPD Z15, Z14, K1, Z2
+	VCMPPD.BCST $1, cZERO<>(SB), Z0, K2
+	VMOVAPD Z16, Z3
+	VXORPD.BCST cSIGNMASK<>(SB), Z3, K2, Z3
+	VMULPD  Z2, Z3, Z2
+	CLAMP30Z(Z2)
+	VMOVAPD Z2, K7, Z4
+
+zspc_b2_st_a:
+	VMOVUPD Z4, (CX)(DI*1)
+	VMOVAPD Z19, K5, Z10
+	CLAMP30Z(Z10)
+	KORTESTW K7, K7
+	JZ      zspc_b2_st_b
+	VMOVUPD (R12), Z6
+	VANDPD  Z31, Z6, Z7
+	VCMPPD  $0, Z14, Z7, K1
+	VBLENDMPD Z15, Z14, K1, Z8
+	VCMPPD.BCST $1, cZERO<>(SB), Z6, K2
+	VMOVAPD Z16, Z9
+	VXORPD.BCST cSIGNMASK<>(SB), Z9, K2, Z9
+	VMULPD  Z8, Z9, Z8
+	CLAMP30Z(Z8)
+	VMOVAPD Z8, K7, Z10
+
+zspc_b2_st_b:
+	VMOVUPD Z10, (R12)(DI*1)
+	LEAQ (R12)(BX*1), CX
+	LEAQ (CX)(BX*1), R12
+	LEAQ (CX)(BX*2), AX
+	JMP  zspc_b_dispatch
+
+	// one trailing edge: chain A body
+zspc_b_tail_loop:
+	VMOVUPD (CX)(R8*1), Z0
+	VDIVPD  Z0, Z13, Z1
+	VANDPD  Z31, Z0, Z2
+	VCMPPD.BCST $10, cEPS12<>(SB), Z2, K1
+	KORW    K1, K6, K6
+	VCMPPD  $1, Z23, Z1, K1
+	VCMPPD  $14, Z24, Z1, K2
+	VMOVAPD Z23, K1, Z1
+	VMOVAPD Z24, K2, Z1
+	VANDPD  Z31, Z1, Z2
+	VCMPPD.BCST $1, cQUARTER<>(SB), Z2, K4
+	KORTESTW K4, K4
+	JZ      zspc_bt_noser
+	VMULPD  Z1, Z1, Z2
+	VMULPD.BCST cA17<>(SB), Z2, Z3
+	VADDPD.BCST cA15<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA13<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA11<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA9<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA7<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA5<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD.BCST cA3<>(SB), Z3, Z3
+	VMULPD  Z3, Z2, Z3
+	VADDPD  Z30, Z3, Z3
+	VMULPD.BCST cTWO<>(SB), Z1, Z2
+	VMULPD  Z3, Z2, Z18
+
+zspc_bt_noser:
+	VADDPD  Z30, Z1, Z2
+	VSUBPD  Z1, Z30, Z3
+	VDIVPD  Z3, Z2, Z2
+	VPANDQ.BCST cMANTMASK<>(SB), Z2, Z3
+	VPORQ.BCST cHALFBITS<>(SB), Z3, Z3
+	VPSRLQ  $52, Z2, Z4
+	VPORQ.BCST cEXPMAGIC<>(SB), Z4, Z4
+	VSUBPD.BCST cEXPMAGICBIAS<>(SB), Z4, Z4
+	VCMPPD.BCST $10, cHSQRT2<>(SB), Z3, K1
+	VSUBPD  Z30, Z4, K1, Z4
+	VADDPD  Z3, Z3, K1, Z3
+	VSUBPD  Z30, Z3, Z3
+	VADDPD.BCST cTWO<>(SB), Z3, Z5
+	VDIVPD  Z5, Z3, Z5
+	VMULPD  Z5, Z5, Z0
+	VMULPD  Z0, Z0, Z1
+	VMULPD.BCST cL7<>(SB), Z1, Z12
+	VADDPD.BCST cL5<>(SB), Z12, Z12
+	VMULPD  Z12, Z1, Z12
+	VADDPD.BCST cL3<>(SB), Z12, Z12
+	VMULPD  Z12, Z1, Z12
+	VADDPD.BCST cL1<>(SB), Z12, Z12
+	VMULPD  Z12, Z0, Z0
+	VMULPD.BCST cL6<>(SB), Z1, Z12
+	VADDPD.BCST cL4<>(SB), Z12, Z12
+	VMULPD  Z12, Z1, Z12
+	VADDPD.BCST cL2<>(SB), Z12, Z12
+	VMULPD  Z12, Z1, Z1
+	VADDPD  Z1, Z0, Z0
+	VMULPD.BCST cHALF<>(SB), Z3, Z1
+	VMULPD  Z3, Z1, Z1
+	VADDPD  Z1, Z0, Z0
+	VMULPD  Z0, Z5, Z5
+	VMULPD.BCST cLN2LO<>(SB), Z4, Z0
+	VADDPD  Z0, Z5, Z5
+	VSUBPD  Z5, Z1, Z1
+	VSUBPD  Z3, Z1, Z1
+	VMULPD.BCST cLN2HI<>(SB), Z4, Z4
+	VSUBPD  Z1, Z4, Z4
+	VCMPPD  $3, Z2, Z2, K1
+	VMOVAPD Z2, K1, Z4
+	VMOVAPD Z18, K4, Z4
+	CLAMP30Z(Z4)
+	KORTESTW K7, K7
+	JZ      zspc_bt_st
+	VMOVUPD (CX), Z0
+	VANDPD  Z31, Z0, Z1
+	VCMPPD  $0, Z14, Z1, K1
+	VBLENDMPD Z15, Z14, K1, Z2
+	VCMPPD.BCST $1, cZERO<>(SB), Z0, K2
+	VMOVAPD Z16, Z3
+	VXORPD.BCST cSIGNMASK<>(SB), Z3, K2, Z3
+	VMULPD  Z2, Z3, Z2
+	CLAMP30Z(Z2)
+	VMOVAPD Z2, K7, Z4
+
+zspc_bt_st:
+	VMOVUPD Z4, (CX)(DI*1)
+	JMP  zspc_b_fold
+
+zspc_b_fold:
+	// fold this oct's fallback bits (non-saturated lanes only) into
+	// the check's mask
+	KANDNW K6, K7, K6
+	KMOVW  K6, AX
+	MOVQ   R14, CX
+	SHRQ   $3, CX // bit base = lane base = q64/64*8
+	SHLQ   CX, AX
+	ORQ    AX, R15
+	JMP    zspc_oct_next
+
+	// all-saturated oct: min-sum only, no transcendentals (Z27 may
+	// hold pass-B chain-C state from the previous oct; MSEDGEZ needs
+	// the zero constant)
+zspc_b_sat:
+	DEG()
+	DERIVE_CX()
+	VXORPD Z27, Z27, Z27
+
+zspc_b_sat_loop:
+	VMOVUPD (CX), Z0
+	MSEDGEZ()
+	VMOVUPD Z2, (CX)(DI*1)
+	ADDQ BX, CX
+	DECL DX
+	JNZ  zspc_b_sat_loop
+
+zspc_oct_next:
+	ADDQ $64, R14
+	CMPQ R14, R13
+	JL   zspc_oct_loop
+
+zspc_check_next:
+	MOVQ R15, (R10)(R11*8)
+	INCQ R11
+	JMP  zspc_check_loop
+
+zspc_done:
+	VZEROUPPER
+	RET
+
+// func varUpdRangeAVX512(varPtr []int32, varEdge []int32, chLLR, chkToVar,
+//	varToChk, posterior []float64, width, stride int,
+//	activeVec []float64, hardBits []uint64, active uint64)
+TEXT ·varUpdRangeAVX512(SB), NOSPLIT, $0-216
+	MOVQ varPtr_base+0(FP), R12
+	MOVQ varEdge_base+24(FP), R10
+	MOVQ chLLR_base+48(FP), R8
+	MOVQ chkToVar_base+72(FP), SI
+	MOVQ varToChk_base+96(FP), DI
+	SUBQ SI, DI
+	MOVQ posterior_base+120(FP), R9
+	MOVQ width+144(FP), R13
+	SHLQ $3, R13
+	MOVQ stride+152(FP), BX
+	SHLQ $3, BX
+	XORQ R11, R11
+
+	VBROADCASTSD cLLRC<>(SB), Z26
+	VBROADCASTSD cNEGLLRC<>(SB), Z25
+	VXORPD       Z27, Z27, Z27
+
+zvu_var_loop:
+	CMPQ R11, hardBits_len+192(FP)
+	JGE  zvu_done
+	XORQ R15, R15
+	XORQ R14, R14
+
+	// Octs are processed in pairs: the two lane groups share the
+	// edge-index and address arithmetic, and their posterior-sum
+	// dependency chains run in parallel.
+zvu_oct_loop:
+	LEAQ 64(R14), AX
+	CMPQ AX, R13
+	JL   zvu_pair
+	CMPQ R14, R13
+	JGE  zvu_var_done
+
+	// ---- single trailing oct
+	MOVQ     activeVec_base+160(FP), AX
+	VMOVUPD  (AX)(R14*1), Z1
+	VPTESTMQ Z1, Z1, K3 // lane store mask
+	KORTESTW K3, K3
+	JZ       zvu_s_next
+
+	// sum = chLLR[v] + sum of chkToVar over the variable's edges
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (R8)(AX*1), Z0
+	MOVLQSX (R12)(R11*4), CX
+	MOVLQSX 4(R12)(R11*4), DX
+	CMPQ    CX, DX
+	JGE     zvu_s_sum_done
+
+zvu_s_sum_loop:
+	MOVLQSX (R10)(CX*4), AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VADDPD  (SI)(AX*1), Z0, Z0
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      zvu_s_sum_loop
+
+zvu_s_sum_done:
+	// posterior: masked store (converged lanes keep frozen values)
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD Z0, K3, (R9)(AX*1)
+	// hard decision bits: sum < 0 (strict: -0 and NaN decide 0)
+	VCMPPD $1, Z27, Z0, K2
+	KMOVW  K2, AX
+	MOVQ   R14, CX
+	SHRQ   $3, CX
+	SHLQ   CX, AX
+	ORQ    AX, R15
+	// extrinsic messages: varToChk[e] = clamp(sum - chkToVar[e])
+	MOVLQSX (R12)(R11*4), CX
+	MOVLQSX 4(R12)(R11*4), DX
+	CMPQ    CX, DX
+	JGE     zvu_s_next
+
+zvu_s_ext_loop:
+	MOVLQSX (R10)(CX*4), AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (SI)(AX*1), Z2
+	VSUBPD  Z2, Z0, Z2
+	CLAMP30Z(Z2)
+	ADDQ    DI, AX
+	VMOVUPD Z2, (SI)(AX*1)
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      zvu_s_ext_loop
+
+zvu_s_next:
+	ADDQ $64, R14
+	JMP  zvu_oct_loop
+
+	// ---- oct pair
+zvu_pair:
+	MOVQ     activeVec_base+160(FP), AX
+	VMOVUPD  (AX)(R14*1), Z1
+	VMOVUPD  64(AX)(R14*1), Z2
+	VPTESTMQ Z1, Z1, K3 // store mask, low oct
+	VPTESTMQ Z2, Z2, K4 // store mask, high oct
+	KORW     K3, K4, K1
+	KORTESTW K1, K1
+	JZ       zvu_p_next
+
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (R8)(AX*1), Z0
+	VMOVUPD 64(R8)(AX*1), Z5
+	MOVLQSX (R12)(R11*4), CX
+	MOVLQSX 4(R12)(R11*4), DX
+	CMPQ    CX, DX
+	JGE     zvu_p_sum_done
+
+zvu_p_sum_loop:
+	MOVLQSX (R10)(CX*4), AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VADDPD  (SI)(AX*1), Z0, Z0
+	VADDPD  64(SI)(AX*1), Z5, Z5
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      zvu_p_sum_loop
+
+zvu_p_sum_done:
+	MOVQ    R11, AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD Z0, K3, (R9)(AX*1)
+	VMOVUPD Z5, K4, 64(R9)(AX*1)
+	MOVQ   R14, CX
+	SHRQ   $3, CX
+	VCMPPD $1, Z27, Z0, K2
+	KMOVW  K2, AX
+	SHLQ   CX, AX
+	ORQ    AX, R15
+	VCMPPD $1, Z27, Z5, K2
+	KMOVW  K2, AX
+	SHLQ   CX, AX
+	SHLQ   $8, AX
+	ORQ    AX, R15
+	MOVLQSX (R12)(R11*4), CX
+	MOVLQSX 4(R12)(R11*4), DX
+	CMPQ    CX, DX
+	JGE     zvu_p_next
+
+zvu_p_ext_loop:
+	MOVLQSX (R10)(CX*4), AX
+	IMULQ   BX, AX
+	ADDQ    R14, AX
+	VMOVUPD (SI)(AX*1), Z2
+	VMOVUPD 64(SI)(AX*1), Z3
+	VSUBPD  Z2, Z0, Z2
+	VSUBPD  Z3, Z5, Z3
+	CLAMP30Z(Z2)
+	CLAMP30Z(Z3)
+	ADDQ    DI, AX
+	VMOVUPD Z2, (SI)(AX*1)
+	VMOVUPD Z3, 64(SI)(AX*1)
+	INCQ    CX
+	CMPQ    CX, DX
+	JL      zvu_p_ext_loop
+
+zvu_p_next:
+	ADDQ $128, R14
+	JMP  zvu_oct_loop
+
+zvu_var_done:
+	// hardBits[v] = (old & ~active) | (new & active)
+	MOVQ hardBits_base+184(FP), AX
+	MOVQ active+208(FP), DX
+	MOVQ (AX)(R11*8), CX
+	NOTQ DX
+	ANDQ DX, CX
+	NOTQ DX
+	ANDQ DX, R15
+	ORQ  R15, CX
+	MOVQ CX, (AX)(R11*8)
+	INCQ R11
+	JMP  zvu_var_loop
+
+zvu_done:
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX512() bool
+//
+// AVX512F + AVX512DQ, plus OS-enabled opmask/ZMM state via XGETBV
+// (XCR0 bits 1,2 for XMM/YMM and 5,6,7 for opmask, ZMM-hi256,
+// hi16-ZMM).
+TEXT ·cpuSupportsAVX512(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ    zcpu_no
+	XORL  CX, CX
+	XGETBV
+	ANDL $0xE6, AX
+	CMPL AX, $0xE6
+	JNE  zcpu_no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	// BX: bit 16 AVX512F, bit 17 AVX512DQ
+	ANDL $(1<<16 | 1<<17), BX
+	CMPL BX, $(1<<16 | 1<<17)
+	JNE  zcpu_no
+	MOVB $1, ret+0(FP)
+	RET
+
+zcpu_no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,71 @@
+//go:build amd64
+
+package ldpc
+
+// useBatchASM reports whether the AVX2+FMA batch kernels are usable on
+// this CPU. The kernels replicate the exact scalar operation sequences
+// (including Go's own assembly Exp/Log fast paths), so enabling them
+// never changes a single output bit — see batch_amd64.s.
+var useBatchASM = cpuSupportsAVX2FMA()
+
+// useAVX512 selects the 8-lane ZMM kernels (batch_avx512_amd64.s) over
+// the 4-lane YMM ones. Both implement the same literal translation of
+// the scalar arithmetic, so the choice is invisible in the outputs.
+var useAVX512 = useBatchASM && cpuSupportsAVX512()
+
+func init() {
+	if useAVX512 {
+		laneWidth = 8
+	}
+}
+
+// cpuSupportsAVX2FMA checks CPUID for AVX2, FMA and OS-enabled YMM
+// state (OSXSAVE + XGETBV), the exact feature set batch_amd64.s needs.
+func cpuSupportsAVX2FMA() bool
+
+// cpuSupportsAVX512 checks CPUID for AVX512F+DQ and OS-enabled
+// opmask/ZMM state, the feature set batch_avx512_amd64.s needs.
+func cpuSupportsAVX512() bool
+
+// spCheckRange runs the flooding sum-product check update for checks
+// [0, len(fallback)) of the given checkPtr window over the first width
+// lanes (width is a multiple of laneWidth covering the live lanes; the
+// padded tail lanes may hold garbage). Register-width groups whose
+// activeVec lanes are all zero are skipped, leaving their chkToVar rows
+// untouched. fallback[i] receives a lane bitmask of (check, lane) pairs
+// whose near-zero tanh product needs the scalar O(deg^2) recompute;
+// their stored outputs are garbage until the caller redoes them.
+func spCheckRange(checkPtr []int32, varToChk, tanh, chkToVar []float64, width, stride int, activeVec []float64, fallback []uint64) {
+	if useAVX512 {
+		spCheckRangeAVX512(checkPtr, varToChk, tanh, chkToVar, width, stride, activeVec, fallback)
+		return
+	}
+	spCheckRangeAVX2(checkPtr, varToChk, tanh, chkToVar, width, stride, activeVec, fallback)
+}
+
+// varUpdRange runs the variable update for variables
+// [0, len(hardBits)) of the given varPtr window over the first width
+// lanes: posterior sum, hard decision and clamped extrinsic messages.
+// Posterior and hard-decision writes are masked by activeVec/active so
+// converged lanes keep their frozen state; varToChk rows are written
+// unmasked (inactive-lane messages are never read before the next
+// re-initialisation).
+func varUpdRange(varPtr []int32, varEdge []int32, chLLR, chkToVar, varToChk, posterior []float64, width, stride int, activeVec []float64, hardBits []uint64, active uint64) {
+	if useAVX512 {
+		varUpdRangeAVX512(varPtr, varEdge, chLLR, chkToVar, varToChk, posterior, width, stride, activeVec, hardBits, active)
+		return
+	}
+	varUpdRangeAVX2(varPtr, varEdge, chLLR, chkToVar, varToChk, posterior, width, stride, activeVec, hardBits, active)
+}
+
+//go:noescape
+func spCheckRangeAVX2(checkPtr []int32, varToChk, tanh, chkToVar []float64, width, stride int, activeVec []float64, fallback []uint64)
+
+//go:noescape
+func varUpdRangeAVX2(varPtr []int32, varEdge []int32, chLLR, chkToVar, varToChk, posterior []float64, width, stride int, activeVec []float64, hardBits []uint64, active uint64)
+
+//go:noescape
+func spCheckRangeAVX512(checkPtr []int32, varToChk, tanh, chkToVar []float64, width, stride int, activeVec []float64, fallback []uint64)
+
+//go:noescape
+func varUpdRangeAVX512(varPtr []int32, varEdge []int32, chLLR, chkToVar, varToChk, posterior []float64, width, stride int, activeVec []float64, hardBits []uint64, active uint64)

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package ldpc
+
+// useBatchASM is false off amd64: the batch decoder runs its generic
+// per-lane Go paths, which share the scalar kernels and are bit-exact
+// with them by construction.
+const useBatchASM = false
+
+func spCheckRange(checkPtr []int32, varToChk, tanh, chkToVar []float64, width, stride int, activeVec []float64, fallback []uint64) {
+	panic("ldpc: spCheckRange without asm support")
+}
+
+func varUpdRange(varPtr []int32, varEdge []int32, chLLR, chkToVar, varToChk, posterior []float64, width, stride int, activeVec []float64, hardBits []uint64, active uint64) {
+	panic("ldpc: varUpdRange without asm support")
+}

@@ -108,9 +108,11 @@ const berBatch = 64
 // SimulateBER transmits all-zero codewords (valid for any linear code on
 // the output-symmetric BPSK/AWGN channel) and counts post-decoding bit
 // errors. The run is deterministic for a fixed Seed regardless of
-// Workers: codewords carry per-index random streams, workers stride over
-// fixed-size batches, and every stopping rule is evaluated only at batch
-// boundaries.
+// Workers: codewords carry per-index random streams, workers own fixed
+// contiguous sub-batches, and every stopping rule is evaluated only at
+// batch boundaries. Decoding runs through the lockstep BatchDecoder —
+// each worker decodes its sub-batch in one DecodeBatch/Decode call —
+// which is bit-exact with the scalar per-codeword path.
 func SimulateBER(p BERParams) BERResult {
 	p = p.defaults()
 	if p.Workers > berBatch {
@@ -126,16 +128,27 @@ func SimulateBER(p BERParams) BERResult {
 	results := make([]int, berBatch)
 	var wg sync.WaitGroup
 
-	decoders := make([]*Decoder, p.Workers)
+	// Each worker owns the contiguous codeword lanes
+	// [worker*per, worker*per+per) of every batch, so its decoder and
+	// staging buffers are sized once and reused across batches.
+	per := (berBatch + p.Workers - 1) / p.Workers
+	batches := make([]*BatchDecoder, p.Workers)
 	windows := make([]*WindowDecoder, p.Workers)
+	lanes := make([][][]float64, p.Workers)
 	for w := 0; w < p.Workers; w++ {
 		if p.Window > 0 {
 			windows[w] = NewWindowDecoder(p.Code, p.Window, p.Alg, p.MaxIter)
 			windows[w].SetSchedule(p.Sched)
 		} else {
-			decoders[w] = NewDecoder(p.Code, p.Alg, p.MaxIter)
-			decoders[w].Sched = p.Sched
+			batches[w] = NewBatchDecoder(p.Code, p.Alg, p.MaxIter, per)
+			batches[w].Sched = p.Sched
 		}
+		buf := make([]float64, per*n)
+		rows := make([][]float64, per)
+		for k := range rows {
+			rows[k] = buf[k*n : (k+1)*n]
+		}
+		lanes[w] = rows
 	}
 
 	for start := 0; start < p.MaxCodewords && !berDone(p, res, errsSumSq); start += berBatch {
@@ -147,25 +160,36 @@ func SimulateBER(p BERParams) BERResult {
 		for w := 0; w < p.Workers; w++ {
 			go func(worker int) {
 				defer wg.Done()
-				llr := make([]float64, n)
-				for i := worker; i < count; i += p.Workers {
+				lo := worker * per
+				hi := lo + per
+				if hi > count {
+					hi = count
+				}
+				if lo >= hi {
+					return
+				}
+				rows := lanes[worker][:hi-lo]
+				for i := lo; i < hi; i++ {
 					stream := rng.New(p.Seed).Split(uint64(start+i) + 1)
-					for v := range llr {
-						llr[v] = llrScale * (1 + sigma*stream.Norm())
+					row := rows[i-lo]
+					for v := range row {
+						row[v] = llrScale * (1 + sigma*stream.Norm())
 					}
-					var hard []uint8
-					if p.Window > 0 {
-						hard = windows[worker].Decode(llr)
-					} else {
-						hard = decoders[worker].Decode(llr).Hard
-					}
+				}
+				var hards [][]uint8
+				if p.Window > 0 {
+					hards = windows[worker].DecodeBatch(rows)
+				} else {
+					hards = batches[worker].Decode(rows).Hard
+				}
+				for k, hard := range hards {
 					errs := 0
 					for _, b := range hard {
 						if b != 0 {
 							errs++
 						}
 					}
-					results[i] = errs
+					results[lo+k] = errs
 				}
 			}(w)
 		}

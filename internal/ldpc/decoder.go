@@ -147,61 +147,74 @@ func (d *Decoder) decodeRange(channelLLR []float64, chkLo, chkHi, varLo, varHi i
 
 // updateCheckSumProduct applies the tanh rule to one check's edges.
 func (d *Decoder) updateCheckSumProduct(lo, hi int32) {
+	spCheckKernel(d.varToChk[lo:hi], d.chkToVar[lo:hi], d.tanhBuf)
+}
+
+// updateCheckMinSum applies the normalised min-sum rule to one check.
+func (d *Decoder) updateCheckMinSum(lo, hi int32) {
+	msCheckKernel(d.varToChk[lo:hi], d.chkToVar[lo:hi], minSumScale)
+}
+
+// spCheckKernel is the flooding sum-product check update over one
+// check's extrinsic inputs: msgs holds the variable-to-check messages,
+// out receives the check-to-variable outputs (out may alias msgs), ts
+// is caller-owned scratch of at least len(msgs). It is the single
+// definition of the tanh-rule arithmetic: the scalar decoder calls it
+// with contiguous edge views and the batch decoder's fallback and
+// conformance paths call it with gathered lane columns, so both paths
+// are bit-exact by construction.
+func spCheckKernel(msgs, out, ts []float64) {
 	// Saturated shortcut: when every input is strong the tanh rule and
 	// plain min-sum agree to within e^-satLLR, with no transcendentals.
 	minAbs := math.Inf(1)
-	for e := lo; e < hi; e++ {
-		if a := math.Abs(d.varToChk[e]); a < minAbs {
+	for _, v := range msgs {
+		if a := math.Abs(v); a < minAbs {
 			minAbs = a
 		}
 	}
 	if minAbs >= satLLR {
 		// In the saturated regime plain (unnormalised) min-sum is exact
 		// to within e^-satLLR, with no transcendentals.
-		d.updateCheckMinSumScaled(lo, hi, 1)
+		msCheckKernel(msgs, out, 1)
 		return
 	}
 
-	ts := d.tanhBuf[:hi-lo]
+	ts = ts[:len(msgs)]
 	prod := 1.0
-	for e := lo; e < hi; e++ {
-		t := tanhHalf(d.varToChk[e])
-		ts[e-lo] = t
+	for i, v := range msgs {
+		t := tanhHalf(v)
+		ts[i] = t
 		prod *= t
 	}
-	for e := lo; e < hi; e++ {
-		t := ts[e-lo]
+	for i := range msgs {
+		t := ts[i]
 		var other float64
 		if math.Abs(t) > 1e-12 {
 			other = prod / t
 		} else {
-			// Recompute excluding e to avoid division blow-up.
+			// Recompute excluding i to avoid division blow-up.
 			other = 1
-			for e2 := lo; e2 < hi; e2++ {
-				if e2 != e {
-					other *= ts[e2-lo]
+			for j := range ts {
+				if j != i {
+					other *= ts[j]
 				}
 			}
 		}
 		other = clamp(other, -0.999999999999, 0.999999999999)
-		d.chkToVar[e] = clamp(atanh2(other), -llrClamp, llrClamp)
+		out[i] = clamp(atanh2(other), -llrClamp, llrClamp)
 	}
 }
 
-// updateCheckMinSum applies the normalised min-sum rule to one check.
-func (d *Decoder) updateCheckMinSum(lo, hi int32) {
-	d.updateCheckMinSumScaled(lo, hi, minSumScale)
-}
-
-// updateCheckMinSumScaled is the min-sum kernel: sign product and
-// first/second minima, scaled by the given normalisation factor (1 for
-// the saturated sum-product shortcut).
-func (d *Decoder) updateCheckMinSumScaled(lo, hi int32, scale float64) {
+// msCheckKernel is the min-sum check update: sign product and
+// first/second minima over msgs, scaled by the given normalisation
+// factor (minSumScale for MinSum, 1 for the saturated sum-product
+// shortcut). out may alias msgs: every input is read before its slot
+// is written.
+func msCheckKernel(msgs, out []float64, scale float64) {
 	min1, min2 := math.Inf(1), math.Inf(1)
-	var minEdge int32 = -1
+	minIdx := -1
 	sign := 1.0
-	for e := lo; e < hi; e++ {
-		v := d.varToChk[e]
+	for i, v := range msgs {
 		if v < 0 {
 			sign = -sign
 		}
@@ -209,21 +222,21 @@ func (d *Decoder) updateCheckMinSumScaled(lo, hi int32, scale float64) {
 		if a < min1 {
 			min2 = min1
 			min1 = a
-			minEdge = e
+			minIdx = i
 		} else if a < min2 {
 			min2 = a
 		}
 	}
-	for e := lo; e < hi; e++ {
+	for i, v := range msgs {
 		mag := min1
-		if e == minEdge {
+		if i == minIdx {
 			mag = min2
 		}
 		s := sign
-		if d.varToChk[e] < 0 {
+		if v < 0 {
 			s = -s
 		}
-		d.chkToVar[e] = clamp(scale*s*mag, -llrClamp, llrClamp)
+		out[i] = clamp(scale*s*mag, -llrClamp, llrClamp)
 	}
 }
 

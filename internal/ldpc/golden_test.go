@@ -1,0 +1,102 @@
+package ldpc
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// goldenBERCase mirrors one entry of testdata/ber_golden.json: the
+// SimulateBER parameters and the exact counters the scalar per-codeword
+// decoder produced for them before the batch rewrite.
+type goldenBERCase struct {
+	Name         string    `json:"name"`
+	Alg          int       `json:"alg"`
+	Sched        int       `json:"sched"`
+	MaxIter      int       `json:"max_iter"`
+	Window       int       `json:"window"`
+	EbN0DB       float64   `json:"ebn0_db"`
+	MaxCodewords int       `json:"max_codewords"`
+	Seed         uint64    `json:"seed"`
+	RelCI        float64   `json:"rel_ci"`
+	L            int       `json:"l"`
+	N            int       `json:"n"`
+	Result       BERResult `json:"result"`
+}
+
+func loadGoldenBER(t *testing.T) []goldenBERCase {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/ber_golden.json")
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+	var cases []goldenBERCase
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatalf("parse golden file: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("golden file is empty")
+	}
+	return cases
+}
+
+func (g goldenBERCase) params(code *Code, workers int) BERParams {
+	return BERParams{
+		Code:    code,
+		Alg:     Algorithm(g.Alg),
+		Sched:   Schedule(g.Sched),
+		MaxIter: g.MaxIter,
+		Window:  g.Window,
+		EbN0DB:  g.EbN0DB,
+		// The capture ran with unreachable error targets so every
+		// non-adaptive case spends its full codeword budget — the
+		// golden then exercises a fixed, known number of decodes.
+		TargetBitErrors:   1 << 30,
+		TargetFrameErrors: 1 << 30,
+		MaxCodewords:      g.MaxCodewords,
+		Seed:              g.Seed,
+		RelCI:             g.RelCI,
+		Workers:           workers,
+	}
+}
+
+// TestBERGoldenRecords pins SimulateBER to byte-identical results
+// captured from the scalar per-codeword decoder immediately before the
+// batch rewrite. The BER records every sweep persists are a pure
+// function of these counters, so equality here is the old-vs-new
+// record-identity proof: any decoder change that alters a single bit
+// decision on any simulated codeword changes BitErrors and fails.
+func TestBERGoldenRecords(t *testing.T) {
+	for _, g := range loadGoldenBER(t) {
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			code := LiftConvolutional(PaperSpreading(), g.L, g.N, 3)
+			got := SimulateBER(g.params(code, 2))
+			if got != g.Result {
+				t.Fatalf("SimulateBER diverged from scalar-era golden:\n got  %+v\n want %+v", got, g.Result)
+			}
+		})
+	}
+}
+
+// TestBERGoldenWorkerInvariance re-runs two golden points with
+// different worker counts: the batch partitioning must not leak into
+// the results (the determinism contract says records depend only on
+// (seed, point), never on parallelism).
+func TestBERGoldenWorkerInvariance(t *testing.T) {
+	cases := loadGoldenBER(t)
+	for _, g := range cases {
+		if g.Name != "paper-window-sp" && g.Name != "block-sp" {
+			continue
+		}
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			code := LiftConvolutional(PaperSpreading(), g.L, g.N, 3)
+			for _, workers := range []int{1, 3, 7} {
+				if got := SimulateBER(g.params(code, workers)); got != g.Result {
+					t.Fatalf("workers=%d diverged:\n got  %+v\n want %+v", workers, got, g.Result)
+				}
+			}
+		})
+	}
+}

@@ -150,33 +150,9 @@ func layeredSumProduct(msgs, tanhBuf []float64) {
 func layeredMinSum(msgs []float64) { layeredMinSumScaled(msgs, minSumScale) }
 
 // layeredMinSumScaled is the min-sum kernel with an explicit
-// normalisation factor (1 for the saturated sum-product shortcut).
+// normalisation factor (1 for the saturated sum-product shortcut). It
+// shares msCheckKernel with the flooding schedule; the kernel's output
+// clamp is a no-op for the layered caller, which clamps again at store.
 func layeredMinSumScaled(msgs []float64, scale float64) {
-	min1, min2 := math.Inf(1), math.Inf(1)
-	minIdx := -1
-	sign := 1.0
-	for i, m := range msgs {
-		if m < 0 {
-			sign = -sign
-		}
-		a := math.Abs(m)
-		if a < min1 {
-			min2 = min1
-			min1 = a
-			minIdx = i
-		} else if a < min2 {
-			min2 = a
-		}
-	}
-	for i, m := range msgs {
-		mag := min1
-		if i == minIdx {
-			mag = min2
-		}
-		s := sign
-		if m < 0 {
-			s = -s
-		}
-		msgs[i] = scale * s * mag
-	}
+	msCheckKernel(msgs, msgs, scale)
 }

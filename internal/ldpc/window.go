@@ -29,6 +29,10 @@ type WindowDecoder struct {
 	W   int
 	dec *Decoder
 	llr []float64
+	// batch serves DecodeBatch (created lazily, sized to the first
+	// batch and regrown on demand).
+	batch *BatchDecoder
+	out   [][]uint8
 }
 
 // NewWindowDecoder wraps a terminated convolutional code. maxIter bounds
@@ -95,6 +99,77 @@ func (w *WindowDecoder) Decode(channelLLR []float64) []uint8 {
 		}
 	}
 	return out
+}
+
+// DecodeBatch runs the sliding window over a batch of received channel
+// LLR vectors in lockstep, one BatchDecoder lane per codeword, and
+// returns per-lane hard decisions (row l for llrs[l]). Each lane's
+// result is bit-identical to Decode(llrs[l]): every window position
+// decodes all lanes with the same schedule, freezes the target block
+// per lane from that lane's own posterior, and feeds the soft decision
+// back into that lane's channel column. len(llrs) must be in
+// [1, MaxBatchLanes]. The returned rows are owned by the decoder and
+// valid until its next DecodeBatch call; the inputs are not modified.
+func (w *WindowDecoder) DecodeBatch(llrs [][]float64) [][]uint8 {
+	c := w.code
+	n := len(llrs)
+	if n < 1 || n > MaxBatchLanes {
+		panic(fmt.Sprintf("ldpc: batch size %d outside [1, %d]", n, MaxBatchLanes))
+	}
+	if w.batch == nil || w.batch.lanes < n {
+		w.batch = NewBatchDecoder(c, w.dec.Alg, w.dec.MaxIter, n)
+	}
+	b := w.batch
+	b.Alg, b.Sched, b.MaxIter = w.dec.Alg, w.dec.Sched, w.dec.MaxIter
+	for l, llr := range llrs {
+		if len(llr) != c.NumVars {
+			panic(fmt.Sprintf("ldpc: lane %d LLR length %d, want %d", l, len(llr), c.NumVars))
+		}
+		b.SetChannelLLR(l, llr)
+	}
+	if cap(w.out) < n {
+		w.out = append(w.out[:cap(w.out)], make([][]uint8, n-cap(w.out))...)
+	}
+	w.out = w.out[:n]
+	for l := range w.out {
+		if w.out[l] == nil {
+			w.out[l] = make([]uint8, c.NumVars)
+		}
+	}
+
+	s := b.stride
+	L := c.Positions
+	for t := 0; t < L; t++ {
+		chkHi := t + w.W
+		if chkHi > L+c.Memory {
+			chkHi = L + c.Memory
+		}
+		varLo := t - c.Memory
+		if varLo < 0 {
+			varLo = 0
+		}
+		varHi := t + w.W
+		if varHi > L {
+			varHi = L
+		}
+		b.decodeRangeBatch(
+			t*c.CheckBlockLen, chkHi*c.CheckBlockLen,
+			varLo*c.BlockLen, varHi*c.BlockLen, n)
+
+		// Decide the target block t per lane and feed each lane's
+		// posterior back as its effective channel information, exactly
+		// as the scalar path does.
+		for v := t * c.BlockLen; v < (t+1)*c.BlockLen; v++ {
+			bits := b.hardBits[v]
+			row := b.posterior[v*s : v*s+n]
+			ch := b.chLLR[v*s : v*s+n]
+			for l := 0; l < n; l++ {
+				w.out[l][v] = uint8(bits >> uint(l) & 1)
+				ch[l] = clampLLR(row[l], frozenLLR)
+			}
+		}
+	}
+	return w.out
 }
 
 // WindowLatencyBits is the structural latency of the window decoder in

@@ -31,6 +31,13 @@ type Delta struct {
 	OldNsPerOp, NewNsPerOp float64
 	// Ratio is NewNsPerOp / OldNsPerOp (0 when either side is missing).
 	Ratio float64
+	// OldAllocs/NewAllocs are allocs/op; AllocRatio is their quotient
+	// (0 when either side is missing or zero). An alloc blow-up gates
+	// exactly like a time regression: allocations are deterministic per
+	// op, so a ratio past the threshold is a real code change, never
+	// runner jitter.
+	OldAllocs, NewAllocs float64
+	AllocRatio           float64
 	// Threshold is the fractional slowdown tolerated for this workload.
 	Threshold float64
 	Status    DeltaStatus
@@ -78,6 +85,7 @@ func Diff(old, new *File) DiffResult {
 		d := Delta{
 			Name: om.Name, Units: om.Units,
 			OldNsPerOp: om.NsPerOp, NewNsPerOp: nm.NsPerOp,
+			OldAllocs: om.AllocsPerOp, NewAllocs: nm.AllocsPerOp,
 			Threshold: threshold, Status: StatusOK,
 		}
 		if om.NsPerOp > 0 {
@@ -88,6 +96,13 @@ func Diff(old, new *File) DiffResult {
 				res.Regressions++
 			case d.Ratio < 1/(1+threshold):
 				d.Status = StatusImproved
+			}
+		}
+		if om.AllocsPerOp > 0 && nm.AllocsPerOp > 0 {
+			d.AllocRatio = nm.AllocsPerOp / om.AllocsPerOp
+			if d.AllocRatio > 1+threshold && d.Status != StatusRegressed {
+				d.Status = StatusRegressed
+				res.Regressions++
 			}
 		}
 		res.Deltas = append(res.Deltas, d)
@@ -108,15 +123,18 @@ func (d DiffResult) Render(w io.Writer) {
 	if d.EngineMismatch {
 		fmt.Fprintln(w, "note: engine versions differ between the files; deltas reflect changed work, not just changed speed — record a fresh baseline under the new engine")
 	}
-	fmt.Fprintf(w, "%-24s %14s %14s %8s %7s  %s\n",
-		"workload", "old ns/op", "new ns/op", "ratio", "thresh", "status")
+	fmt.Fprintf(w, "%-24s %14s %14s %8s %10s %8s %7s  %s\n",
+		"workload", "old ns/op", "new ns/op", "ratio", "allocs/op", "aratio", "thresh", "status")
 	for _, dl := range d.Deltas {
-		ratio := "-"
+		ratio, aratio := "-", "-"
 		if dl.Ratio > 0 {
 			ratio = fmt.Sprintf("%.3f", dl.Ratio)
 		}
-		fmt.Fprintf(w, "%-24s %14.0f %14.0f %8s %6.0f%%  %s\n",
-			dl.Name, dl.OldNsPerOp, dl.NewNsPerOp, ratio, dl.Threshold*100, dl.Status)
+		if dl.AllocRatio > 0 {
+			aratio = fmt.Sprintf("%.3f", dl.AllocRatio)
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %8s %10.0f %8s %6.0f%%  %s\n",
+			dl.Name, dl.OldNsPerOp, dl.NewNsPerOp, ratio, dl.NewAllocs, aratio, dl.Threshold*100, dl.Status)
 	}
 	if d.Regressions > 0 {
 		fmt.Fprintf(w, "%d workload(s) regressed\n", d.Regressions)

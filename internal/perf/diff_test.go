@@ -111,3 +111,61 @@ func TestDiffEngineMismatchFlagged(t *testing.T) {
 		t.Fatalf("cross-engine regression must still gate: %+v", res)
 	}
 }
+
+// TestDiffAllocRegression: an allocation blow-up gates like a time
+// regression, improvements and steady states pass, and the two ratio
+// channels never double-count one workload.
+func TestDiffAllocRegression(t *testing.T) {
+	cases := []struct {
+		name           string
+		newNs, newAllo float64
+		wantStatus     DeltaStatus
+		wantRegress    int
+	}{
+		{"allocs steady", 100, 1000, StatusOK, 0},
+		{"allocs within threshold", 100, 1000 * (1 + DefaultRegressFrac), StatusOK, 0},
+		{"allocs past threshold", 100, 1000 * (1 + DefaultRegressFrac + 0.001), StatusRegressed, 1},
+		{"allocs way up", 100, 19000, StatusRegressed, 1},
+		{"allocs down", 100, 50, StatusOK, 0},
+		{"time and allocs both up", 1000, 19000, StatusRegressed, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := fileWith(Measurement{Name: "not-in-catalog", Units: "points", NsPerOp: 100, AllocsPerOp: 1000})
+			cur := fileWith(Measurement{Name: "not-in-catalog", Units: "points", NsPerOp: tc.newNs, AllocsPerOp: tc.newAllo})
+			res := Diff(old, cur)
+			if res.Deltas[0].Status != tc.wantStatus {
+				t.Fatalf("status = %s, want %s (alloc ratio %.4f)",
+					res.Deltas[0].Status, tc.wantStatus, res.Deltas[0].AllocRatio)
+			}
+			if res.Regressions != tc.wantRegress {
+				t.Fatalf("regressions = %d, want %d", res.Regressions, tc.wantRegress)
+			}
+		})
+	}
+}
+
+// TestCheckAllocs pins the alloc-budget gate of cmd/perf run.
+func TestCheckAllocs(t *testing.T) {
+	w := Workload{Name: "w", MaxAllocsPerOp: 100}
+	if err := w.CheckAllocs(Measurement{AllocsPerOp: 100}); err != nil {
+		t.Fatalf("at budget: %v", err)
+	}
+	if err := w.CheckAllocs(Measurement{AllocsPerOp: 100.5}); err == nil {
+		t.Fatal("over budget not flagged")
+	}
+	unbudgeted := Workload{Name: "w2"}
+	if err := unbudgeted.CheckAllocs(Measurement{AllocsPerOp: 1e9}); err != nil {
+		t.Fatalf("workload without budget must always pass: %v", err)
+	}
+}
+
+// TestCatalogAllocBudgets: every catalog workload carries an explicit
+// allocation budget, so new workloads cannot join unbudgeted.
+func TestCatalogAllocBudgets(t *testing.T) {
+	for _, w := range Catalog() {
+		if w.MaxAllocsPerOp <= 0 {
+			t.Errorf("workload %s has no MaxAllocsPerOp budget", w.Name)
+		}
+	}
+}

@@ -48,6 +48,13 @@ type Workload struct {
 	Units string
 	// Threshold overrides DefaultRegressFrac when positive.
 	Threshold float64
+	// MaxAllocsPerOp, when positive, is the workload's allocation
+	// budget: cmd/perf run fails a measurement that exceeds it. Budgets
+	// are pinned from measured values with headroom, so an accidental
+	// per-item allocation on a hot path (the failure mode behind the
+	// historical ~19k allocs/op of metrics-overhead) trips the gate
+	// even when wall time hides it on a fast machine.
+	MaxAllocsPerOp float64
 	// Setup, when non-nil, prepares per-measurement state (a warm
 	// store, a running server) before the first Run and returns its
 	// cleanup. Setup time is never measured.
@@ -55,6 +62,16 @@ type Workload struct {
 	// Run executes one iteration and reports how many domain units it
 	// processed.
 	Run func(ctx context.Context, seed uint64) (units float64, err error)
+}
+
+// CheckAllocs validates a measurement against the workload's
+// MaxAllocsPerOp budget; workloads without a budget always pass.
+func (w Workload) CheckAllocs(m Measurement) error {
+	if w.MaxAllocsPerOp > 0 && m.AllocsPerOp > w.MaxAllocsPerOp {
+		return fmt.Errorf("perf: %s allocates %.1f allocs/op, over its budget of %.0f",
+			w.Name, m.AllocsPerOp, w.MaxAllocsPerOp)
+	}
+	return nil
 }
 
 // RegressFrac returns the workload's regression threshold.

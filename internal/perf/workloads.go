@@ -92,9 +92,10 @@ func init() {
 func ldpcDecodePaper() Workload {
 	const codewords = 16
 	return Workload{
-		Name:        "ldpc-decode-paper",
-		Description: "window-decode 16 codewords of the paper's LDPC-CC (N=25, L=12, W=5) over BPSK/AWGN",
-		Units:       "codewords",
+		Name:           "ldpc-decode-paper",
+		MaxAllocsPerOp: 350,
+		Description:    "window-decode 16 codewords of the paper's LDPC-CC (N=25, L=12, W=5) over BPSK/AWGN",
+		Units:          "codewords",
 		Run: func(ctx context.Context, seed uint64) (float64, error) {
 			code := ldpc.LiftConvolutional(ldpc.PaperSpreading(), 12, 25, 3)
 			r := ldpc.SimulateBER(ldpc.BERParams{
@@ -126,9 +127,10 @@ func ldpcDecodePaper() Workload {
 func nocCompiledFig8() Workload {
 	const curvePoints = 16
 	return Workload{
-		Name:        "noc-compiled-fig8",
-		Description: "compile Fig. 8 meshes (8x8, 4x4x4, 8x8x8) and evaluate 16-point latency curves",
-		Units:       "points",
+		Name:           "noc-compiled-fig8",
+		MaxAllocsPerOp: 700000,
+		Description:    "compile Fig. 8 meshes (8x8, 4x4x4, 8x8x8) and evaluate 16-point latency curves",
+		Units:          "points",
 		Run: func(ctx context.Context, seed uint64) (float64, error) {
 			meshes := []*noc.Mesh{
 				noc.NewMesh2D(8, 8),
@@ -161,9 +163,10 @@ func nocCompiledFig8() Workload {
 // with no cache in front of it.
 func sweepAnalyticCold() Workload {
 	return Workload{
-		Name:        "sweep-analytic-cold",
-		Description: "cold paper-baseline analytic sweep: full design pipeline per grid point",
-		Units:       "points",
+		Name:           "sweep-analytic-cold",
+		MaxAllocsPerOp: 300,
+		Description:    "cold paper-baseline analytic sweep: full design pipeline per grid point",
+		Units:          "points",
 		Run: func(ctx context.Context, seed uint64) (float64, error) {
 			sc, err := sweep.Get("paper-baseline")
 			if err != nil {
@@ -202,9 +205,10 @@ func sweepWarmStore() Workload {
 		})
 	}
 	return Workload{
-		Name:        "sweep-warm-store",
-		Description: "paper-baseline sweep with every point served from a warm result store",
-		Units:       "points",
+		Name:           "sweep-warm-store",
+		MaxAllocsPerOp: 150,
+		Description:    "paper-baseline sweep with every point served from a warm result store",
+		Units:          "points",
 		Setup: func(ctx context.Context, seed uint64) (func(), error) {
 			var err error
 			dir, err = os.MkdirTemp("", "perf-warm-store-*")
@@ -247,9 +251,10 @@ func sweepWarmStore() Workload {
 // design evaluation and front extraction.
 func optimizePaperSpace() Workload {
 	return Workload{
-		Name:        "optimize-paper-space",
-		Description: "NSGA-II over the paper-baseline space: 4 generations x 16 individuals, analytic budget",
-		Units:       "points",
+		Name:           "optimize-paper-space",
+		MaxAllocsPerOp: 3200,
+		Description:    "NSGA-II over the paper-baseline space: 4 generations x 16 individuals, analytic budget",
+		Units:          "points",
 		Run: func(ctx context.Context, seed uint64) (float64, error) {
 			sp, err := search.Get("paper-baseline")
 			if err != nil {
@@ -296,9 +301,10 @@ func storeReopenCold() Workload {
 	const entries = 2048
 	var dir string
 	return Workload{
-		Name:        "store-reopen-cold",
-		Description: "reopen a 2048-entry segmented store through its persisted index (no replay)",
-		Units:       "entries",
+		Name:           "store-reopen-cold",
+		MaxAllocsPerOp: 7000,
+		Description:    "reopen a 2048-entry segmented store through its persisted index (no replay)",
+		Units:          "entries",
 		Setup: func(ctx context.Context, seed uint64) (func(), error) {
 			var err error
 			dir, err = os.MkdirTemp("", "perf-reopen-cold-*")
@@ -360,9 +366,10 @@ func storeShardFanout() Workload {
 		st  *store.Sharded
 	)
 	return Workload{
-		Name:        "store-shard-fanout",
-		Description: "8 goroutines x 512 warm lookups against an 8-shard store, with dedup re-puts",
-		Units:       "lookups",
+		Name:           "store-shard-fanout",
+		MaxAllocsPerOp: 20000,
+		Description:    "8 goroutines x 512 warm lookups against an 8-shard store, with dedup re-puts",
+		Units:          "lookups",
 		Setup: func(ctx context.Context, seed uint64) (func(), error) {
 			var err error
 			dir, err = os.MkdirTemp("", "perf-shard-fanout-*")
@@ -434,9 +441,10 @@ func metricsOverhead() Workload {
 		reg *obs.Registry
 	)
 	return Workload{
-		Name:        "metrics-overhead",
-		Description: "512 warm instrumented lookups x 8 rounds with per-op latency histograms, plus a registry exposition per round",
-		Units:       "lookups",
+		Name:           "metrics-overhead",
+		MaxAllocsPerOp: 24000,
+		Description:    "512 warm instrumented lookups x 8 rounds with per-op latency histograms, plus a registry exposition per round",
+		Units:          "lookups",
 		Setup: func(ctx context.Context, seed uint64) (func(), error) {
 			var err error
 			dir, err = os.MkdirTemp("", "perf-metrics-overhead-*")
@@ -488,9 +496,10 @@ func serviceSubmitPoll() Workload {
 		srv *httptest.Server
 	)
 	return Workload{
-		Name:        "service-submit-poll",
-		Description: "HTTP service round trip: submit an embedded-box job, poll to done, fetch records",
-		Units:       "records",
+		Name:           "service-submit-poll",
+		MaxAllocsPerOp: 900,
+		Description:    "HTTP service round trip: submit an embedded-box job, poll to done, fetch records",
+		Units:          "records",
 		Setup: func(ctx context.Context, seed uint64) (func(), error) {
 			mgr = service.New(service.Options{JobWorkers: 2})
 			srv = httptest.NewServer(service.NewHandler(mgr))

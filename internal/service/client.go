@@ -76,10 +76,16 @@ func (c *Client) Heartbeat(leaseID string) (time.Duration, error) {
 
 // Complete implements WorkerAPI.
 func (c *Client) Complete(leaseID string, recs []sweep.Record) error {
-	body, err := json.Marshal(map[string]any{"records": recs})
+	// Chunk completions are the fattest bodies on the worker wire; the
+	// columnar block encoder builds one in a single buffer, emitting the
+	// same bytes json.Marshal would per record.
+	body := make([]byte, 0, 128+256*len(recs))
+	body = append(body, `{"records":`...)
+	body, err := sweep.BlockRecords(recs).AppendRecordsJSON(body)
 	if err != nil {
 		return fmt.Errorf("service: encode records: %w", err)
 	}
+	body = append(body, '}')
 	resp, err := c.hc.Post(c.base+"/api/v1/workers/leases/"+leaseID+"/complete", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err

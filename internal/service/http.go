@@ -137,10 +137,18 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
+		// One reused buffer for the whole stream: the columnar record
+		// encoder writes json.Marshal's exact bytes without per-record
+		// reflection or allocation.
+		line := make([]byte, 0, 1024)
 		for _, rec := range res.Records {
-			if err := enc.Encode(rec); err != nil {
+			var err error
+			if line, err = sweep.AppendRecordJSON(line[:0], rec); err != nil {
+				return // unencodable record; matches the old encoder bail-out
+			}
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
 				return // client went away mid-stream
 			}
 			if flusher != nil {

@@ -1,0 +1,363 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/core"
+)
+
+// RecordBlock is a columnar (struct-of-arrays) representation of a
+// []Record: one flat array per field, all of equal length. It exists
+// for the batch-oriented hot paths — store segment appends, worker
+// chunk-completion bodies and NDJSON record streams — where encoding
+// row-structs one at a time through encoding/json dominates the
+// profile with per-record reflection and allocation. A block encodes
+// records through AppendRecordJSON, which emits bytes identical to
+// json.Marshal of the equivalent Record, so switching a path to the
+// block representation can never change what lands on disk or on the
+// wire. The in-memory round trip is exact too: float columns carry
+// NaN payloads and infinities bit-for-bit, which the fuzz harness
+// FuzzRecordColumnarRoundTrip pins down.
+type RecordBlock struct {
+	Scenario []string
+	Index    []int
+	Label    []string
+
+	// Spec columns (core.SystemSpec flattened).
+	SpecBoards             []int
+	SpecBoardSpacingM      []float64
+	SpecBoardEdgeM         []float64
+	SpecNodesPerBoard      []int
+	SpecLinkRateGbps       []float64
+	SpecLatencyBudgetBits  []int
+	SpecStackModules       []int
+	SpecStackInjectionRate []float64
+	SpecButler             []bool
+	SpecSNRMarginDB        []float64
+
+	Err []string
+
+	TxPowerDBm         []float64
+	SpectralEfficiency []float64
+
+	CodeLifting       []int
+	CodeWindow        []int
+	DecodeLatencyBits []float64
+
+	Topology         []string
+	NoCLatencyCycles []float64
+	NoCSaturation    []float64
+
+	BEREbN0DB        []float64
+	BER              []float64
+	BERCodewords     []int
+	SimLatencyCycles []float64
+	SimLatencyCI95   []float64
+	SimReplications  []int
+
+	Pareto []bool
+}
+
+// Len returns the number of records in the block.
+func (b *RecordBlock) Len() int { return len(b.Index) }
+
+// Append adds one record's fields to the block's columns.
+func (b *RecordBlock) Append(r Record) {
+	b.Scenario = append(b.Scenario, r.Scenario)
+	b.Index = append(b.Index, r.Index)
+	b.Label = append(b.Label, r.Label)
+	b.SpecBoards = append(b.SpecBoards, r.Spec.Boards)
+	b.SpecBoardSpacingM = append(b.SpecBoardSpacingM, r.Spec.BoardSpacingM)
+	b.SpecBoardEdgeM = append(b.SpecBoardEdgeM, r.Spec.BoardEdgeM)
+	b.SpecNodesPerBoard = append(b.SpecNodesPerBoard, r.Spec.NodesPerBoard)
+	b.SpecLinkRateGbps = append(b.SpecLinkRateGbps, r.Spec.LinkRateGbps)
+	b.SpecLatencyBudgetBits = append(b.SpecLatencyBudgetBits, r.Spec.LatencyBudgetBits)
+	b.SpecStackModules = append(b.SpecStackModules, r.Spec.StackModules)
+	b.SpecStackInjectionRate = append(b.SpecStackInjectionRate, r.Spec.StackInjectionRate)
+	b.SpecButler = append(b.SpecButler, r.Spec.Butler)
+	b.SpecSNRMarginDB = append(b.SpecSNRMarginDB, r.Spec.SNRMarginDB)
+	b.Err = append(b.Err, r.Err)
+	b.TxPowerDBm = append(b.TxPowerDBm, r.TxPowerDBm)
+	b.SpectralEfficiency = append(b.SpectralEfficiency, r.SpectralEfficiency)
+	b.CodeLifting = append(b.CodeLifting, r.CodeLifting)
+	b.CodeWindow = append(b.CodeWindow, r.CodeWindow)
+	b.DecodeLatencyBits = append(b.DecodeLatencyBits, r.DecodeLatencyBits)
+	b.Topology = append(b.Topology, r.Topology)
+	b.NoCLatencyCycles = append(b.NoCLatencyCycles, r.NoCLatencyCycles)
+	b.NoCSaturation = append(b.NoCSaturation, r.NoCSaturation)
+	b.BEREbN0DB = append(b.BEREbN0DB, r.BEREbN0DB)
+	b.BER = append(b.BER, r.BER)
+	b.BERCodewords = append(b.BERCodewords, r.BERCodewords)
+	b.SimLatencyCycles = append(b.SimLatencyCycles, r.SimLatencyCycles)
+	b.SimLatencyCI95 = append(b.SimLatencyCI95, r.SimLatencyCI95)
+	b.SimReplications = append(b.SimReplications, r.SimReplications)
+	b.Pareto = append(b.Pareto, r.Pareto)
+}
+
+// BlockRecords builds a block from a record slice.
+func BlockRecords(recs []Record) *RecordBlock {
+	b := &RecordBlock{}
+	for _, r := range recs {
+		b.Append(r)
+	}
+	return b
+}
+
+// Record reconstructs record i from the columns.
+func (b *RecordBlock) Record(i int) Record {
+	return Record{
+		Scenario: b.Scenario[i],
+		Index:    b.Index[i],
+		Label:    b.Label[i],
+		Spec: core.SystemSpec{
+			Boards:             b.SpecBoards[i],
+			BoardSpacingM:      b.SpecBoardSpacingM[i],
+			BoardEdgeM:         b.SpecBoardEdgeM[i],
+			NodesPerBoard:      b.SpecNodesPerBoard[i],
+			LinkRateGbps:       b.SpecLinkRateGbps[i],
+			LatencyBudgetBits:  b.SpecLatencyBudgetBits[i],
+			StackModules:       b.SpecStackModules[i],
+			StackInjectionRate: b.SpecStackInjectionRate[i],
+			Butler:             b.SpecButler[i],
+			SNRMarginDB:        b.SpecSNRMarginDB[i],
+		},
+		Err:                b.Err[i],
+		TxPowerDBm:         b.TxPowerDBm[i],
+		SpectralEfficiency: b.SpectralEfficiency[i],
+		CodeLifting:        b.CodeLifting[i],
+		CodeWindow:         b.CodeWindow[i],
+		DecodeLatencyBits:  b.DecodeLatencyBits[i],
+		Topology:           b.Topology[i],
+		NoCLatencyCycles:   b.NoCLatencyCycles[i],
+		NoCSaturation:      b.NoCSaturation[i],
+		BEREbN0DB:          b.BEREbN0DB[i],
+		BER:                b.BER[i],
+		BERCodewords:       b.BERCodewords[i],
+		SimLatencyCycles:   b.SimLatencyCycles[i],
+		SimLatencyCI95:     b.SimLatencyCI95[i],
+		SimReplications:    b.SimReplications[i],
+		Pareto:             b.Pareto[i],
+	}
+}
+
+// Records materialises the block back into a record slice.
+func (b *RecordBlock) Records() []Record {
+	out := make([]Record, b.Len())
+	for i := range out {
+		out[i] = b.Record(i)
+	}
+	return out
+}
+
+// AppendRecordJSON appends the compact JSON encoding of record i to
+// dst, producing exactly the bytes json.Marshal would for the
+// equivalent Record. A NaN or infinite float returns the failure
+// json.Marshal reports, with dst unchanged.
+func (b *RecordBlock) AppendRecordJSON(dst []byte, i int) ([]byte, error) {
+	return AppendRecordJSON(dst, b.Record(i))
+}
+
+// AppendRecordJSON appends one record's compact JSON to dst —
+// byte-identical to json.Marshal(r): same field order, same omitempty
+// behaviour, same float formatting, same string escaping. It neither
+// reflects nor allocates (beyond growing dst), which is what makes the
+// columnar wire and segment paths cheap.
+func AppendRecordJSON(dst []byte, r Record) ([]byte, error) {
+	for _, v := range [...]float64{
+		r.Spec.BoardSpacingM, r.Spec.BoardEdgeM, r.Spec.LinkRateGbps,
+		r.Spec.StackInjectionRate, r.Spec.SNRMarginDB,
+		r.TxPowerDBm, r.SpectralEfficiency, r.DecodeLatencyBits,
+		r.NoCLatencyCycles, r.NoCSaturation,
+		r.BEREbN0DB, r.BER,
+		r.SimLatencyCycles, r.SimLatencyCI95,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Match encoding/json's *UnsupportedValueError text so callers
+			// switching to this encoder see familiar failures.
+			return dst, fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	dst = append(dst, `{"scenario":`...)
+	dst = AppendJSONString(dst, r.Scenario)
+	dst = append(dst, `,"index":`...)
+	dst = strconv.AppendInt(dst, int64(r.Index), 10)
+	dst = append(dst, `,"label":`...)
+	dst = AppendJSONString(dst, r.Label)
+	// core.SystemSpec has no json tags: keys are the Go field names.
+	dst = append(dst, `,"spec":{"Boards":`...)
+	dst = strconv.AppendInt(dst, int64(r.Spec.Boards), 10)
+	dst = append(dst, `,"BoardSpacingM":`...)
+	dst = appendJSONFloat(dst, r.Spec.BoardSpacingM)
+	dst = append(dst, `,"BoardEdgeM":`...)
+	dst = appendJSONFloat(dst, r.Spec.BoardEdgeM)
+	dst = append(dst, `,"NodesPerBoard":`...)
+	dst = strconv.AppendInt(dst, int64(r.Spec.NodesPerBoard), 10)
+	dst = append(dst, `,"LinkRateGbps":`...)
+	dst = appendJSONFloat(dst, r.Spec.LinkRateGbps)
+	dst = append(dst, `,"LatencyBudgetBits":`...)
+	dst = strconv.AppendInt(dst, int64(r.Spec.LatencyBudgetBits), 10)
+	dst = append(dst, `,"StackModules":`...)
+	dst = strconv.AppendInt(dst, int64(r.Spec.StackModules), 10)
+	dst = append(dst, `,"StackInjectionRate":`...)
+	dst = appendJSONFloat(dst, r.Spec.StackInjectionRate)
+	dst = append(dst, `,"Butler":`...)
+	dst = strconv.AppendBool(dst, r.Spec.Butler)
+	dst = append(dst, `,"SNRMarginDB":`...)
+	dst = appendJSONFloat(dst, r.Spec.SNRMarginDB)
+	dst = append(dst, '}')
+	if r.Err != "" {
+		dst = append(dst, `,"err":`...)
+		dst = AppendJSONString(dst, r.Err)
+	}
+	dst = append(dst, `,"tx_power_dbm":`...)
+	dst = appendJSONFloat(dst, r.TxPowerDBm)
+	dst = append(dst, `,"spectral_efficiency_bps_hz":`...)
+	dst = appendJSONFloat(dst, r.SpectralEfficiency)
+	dst = append(dst, `,"code_lifting":`...)
+	dst = strconv.AppendInt(dst, int64(r.CodeLifting), 10)
+	dst = append(dst, `,"code_window":`...)
+	dst = strconv.AppendInt(dst, int64(r.CodeWindow), 10)
+	dst = append(dst, `,"decode_latency_bits":`...)
+	dst = appendJSONFloat(dst, r.DecodeLatencyBits)
+	dst = append(dst, `,"topology":`...)
+	dst = AppendJSONString(dst, r.Topology)
+	dst = append(dst, `,"noc_latency_cycles":`...)
+	dst = appendJSONFloat(dst, r.NoCLatencyCycles)
+	dst = append(dst, `,"noc_saturation":`...)
+	dst = appendJSONFloat(dst, r.NoCSaturation)
+	if r.BEREbN0DB != 0 {
+		dst = append(dst, `,"ber_ebn0_db":`...)
+		dst = appendJSONFloat(dst, r.BEREbN0DB)
+	}
+	if r.BER != 0 {
+		dst = append(dst, `,"ber":`...)
+		dst = appendJSONFloat(dst, r.BER)
+	}
+	if r.BERCodewords != 0 {
+		dst = append(dst, `,"ber_codewords":`...)
+		dst = strconv.AppendInt(dst, int64(r.BERCodewords), 10)
+	}
+	if r.SimLatencyCycles != 0 {
+		dst = append(dst, `,"sim_latency_cycles":`...)
+		dst = appendJSONFloat(dst, r.SimLatencyCycles)
+	}
+	if r.SimLatencyCI95 != 0 {
+		dst = append(dst, `,"sim_latency_ci95":`...)
+		dst = appendJSONFloat(dst, r.SimLatencyCI95)
+	}
+	if r.SimReplications != 0 {
+		dst = append(dst, `,"sim_replications":`...)
+		dst = strconv.AppendInt(dst, int64(r.SimReplications), 10)
+	}
+	dst = append(dst, `,"pareto":`...)
+	dst = strconv.AppendBool(dst, r.Pareto)
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendJSONFloat appends a float the way encoding/json does: shortest
+// round-trip form, 'f' format except for very small or very large
+// magnitudes, and a trimmed single-digit exponent ("1e-7", not
+// "1e-07"). Callers have already rejected NaN and infinities.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// jsonSafe marks bytes encoding/json emits verbatim inside a quoted
+// string (its htmlSafeSet: printable ASCII minus `"`, `\`, `<`, `>`,
+// `&`).
+var jsonSafe = func() (s [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		s[c] = true
+	}
+	s['"'], s['\\'], s['<'], s['>'], s['&'] = false, false, false, false, false
+	return
+}()
+
+const jsonHex = "0123456789abcdef"
+
+// AppendJSONString appends a quoted string with encoding/json's exact
+// escaping rules (HTML escaping on, invalid UTF-8 replaced by U+FFFD,
+// U+2028/U+2029 escaped). The store's segment writer uses it for entry
+// keys.
+func AppendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendRecordsJSON appends a compact JSON array of every record in
+// the block — the chunk-completion wire shape — to dst.
+func (b *RecordBlock) AppendRecordsJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, '[')
+	for i := 0; i < b.Len(); i++ {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		var err error
+		if dst, err = b.AppendRecordJSON(dst, i); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, ']'), nil
+}

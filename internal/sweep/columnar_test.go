@@ -1,0 +1,191 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// columnarCorpus returns records that exercise every encoder edge:
+// omitempty fields present and absent, floats that switch encoding/json
+// into exponent form, negative zero, subnormals, and strings that need
+// escaping (HTML characters, quotes, control bytes, invalid UTF-8,
+// U+2028).
+func columnarCorpus() []Record {
+	return []Record{
+		{},
+		{
+			Scenario: "paper-grid", Index: 7, Label: "boards=4 rate=100",
+			Spec: core.SystemSpec{
+				Boards: 4, BoardSpacingM: 0.1, BoardEdgeM: 0.1, NodesPerBoard: 16,
+				LinkRateGbps: 100, LatencyBudgetBits: 1024, StackModules: 8,
+				StackInjectionRate: 0.05, Butler: true, SNRMarginDB: 3,
+			},
+			TxPowerDBm: -3.75, SpectralEfficiency: 6.25,
+			CodeLifting: 12, CodeWindow: 5, DecodeLatencyBits: 300,
+			Topology: "folded-torus", NoCLatencyCycles: 14.5, NoCSaturation: 0.35,
+			BEREbN0DB: 3, BER: 1.25e-5, BERCodewords: 4096,
+			SimLatencyCycles: 200.25, SimLatencyCI95: 1.5, SimReplications: 30,
+			Pareto: true,
+		},
+		{Err: "no topology sustains injection rate", Index: -3},
+		{Label: `quotes " and \ backslash`, Topology: "<mesh> & torus"},
+		{Scenario: "ctrl\x01\n\r\t\x7f", Label: "bad utf8 \xff\xfe", Err: "line sep s"},
+		{TxPowerDBm: 1e-7, SpectralEfficiency: 1e21, NoCLatencyCycles: 9.999999e20,
+			NoCSaturation: 1.0000001e-6, DecodeLatencyBits: 5e-324, SimLatencyCycles: math.MaxFloat64},
+		{TxPowerDBm: math.Copysign(0, -1), BER: 0.1, BEREbN0DB: -2.5},
+		{BER: 3.141592653589793, SimLatencyCI95: 2.718281828459045e-15},
+	}
+}
+
+// TestAppendRecordJSONMatchesMarshal pins the columnar encoder to
+// encoding/json byte for byte — the property that makes it safe to
+// swap into the store segment and wire paths.
+func TestAppendRecordJSONMatchesMarshal(t *testing.T) {
+	for i, r := range columnarCorpus() {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("record %d: marshal: %v", i, err)
+		}
+		got, err := AppendRecordJSON(nil, r)
+		if err != nil {
+			t.Fatalf("record %d: AppendRecordJSON: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("record %d: encoding mismatch\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestAppendRecordsJSONMatchesMarshal checks the array form used by
+// chunk-completion bodies.
+func TestAppendRecordsJSONMatchesMarshal(t *testing.T) {
+	recs := columnarCorpus()
+	want, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BlockRecords(recs).AppendRecordsJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("array encoding mismatch\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAppendRecordJSONRejectsNonFinite mirrors json.Marshal's refusal
+// of NaN and infinities, leaving dst untouched.
+func TestAppendRecordJSONRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r := Record{BER: bad}
+		if _, err := json.Marshal(r); err == nil {
+			t.Fatalf("json.Marshal accepted %v", bad)
+		}
+		dst := []byte("prefix")
+		out, err := AppendRecordJSON(dst, r)
+		if err == nil {
+			t.Fatalf("AppendRecordJSON accepted %v", bad)
+		}
+		if string(out) != "prefix" {
+			t.Fatalf("dst modified on error: %q", out)
+		}
+	}
+}
+
+// recordsBitEqual compares records exactly, treating floats by bit
+// pattern so NaN payloads and negative zero count.
+func recordsBitEqual(a, b Record) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Scenario == b.Scenario && a.Index == b.Index && a.Label == b.Label &&
+		a.Spec.Boards == b.Spec.Boards && feq(a.Spec.BoardSpacingM, b.Spec.BoardSpacingM) &&
+		feq(a.Spec.BoardEdgeM, b.Spec.BoardEdgeM) && a.Spec.NodesPerBoard == b.Spec.NodesPerBoard &&
+		feq(a.Spec.LinkRateGbps, b.Spec.LinkRateGbps) && a.Spec.LatencyBudgetBits == b.Spec.LatencyBudgetBits &&
+		a.Spec.StackModules == b.Spec.StackModules && feq(a.Spec.StackInjectionRate, b.Spec.StackInjectionRate) &&
+		a.Spec.Butler == b.Spec.Butler && feq(a.Spec.SNRMarginDB, b.Spec.SNRMarginDB) &&
+		a.Err == b.Err && feq(a.TxPowerDBm, b.TxPowerDBm) &&
+		feq(a.SpectralEfficiency, b.SpectralEfficiency) && a.CodeLifting == b.CodeLifting &&
+		a.CodeWindow == b.CodeWindow && feq(a.DecodeLatencyBits, b.DecodeLatencyBits) &&
+		a.Topology == b.Topology && feq(a.NoCLatencyCycles, b.NoCLatencyCycles) &&
+		feq(a.NoCSaturation, b.NoCSaturation) && feq(a.BEREbN0DB, b.BEREbN0DB) &&
+		feq(a.BER, b.BER) && a.BERCodewords == b.BERCodewords &&
+		feq(a.SimLatencyCycles, b.SimLatencyCycles) && feq(a.SimLatencyCI95, b.SimLatencyCI95) &&
+		a.SimReplications == b.SimReplications && a.Pareto == b.Pareto
+}
+
+// TestRecordBlockRoundTrip checks the in-memory columnar round trip,
+// including non-finite floats the JSON encoder refuses: the block
+// itself must carry them losslessly.
+func TestRecordBlockRoundTrip(t *testing.T) {
+	recs := append(columnarCorpus(), Record{
+		BER:              math.NaN(),
+		SimLatencyCycles: math.Inf(1),
+		SimLatencyCI95:   math.Inf(-1),
+		TxPowerDBm:       math.Float64frombits(0x7ff8_dead_beef_0001), // NaN with payload
+	})
+	b := BlockRecords(recs)
+	if b.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(recs))
+	}
+	back := b.Records()
+	for i := range recs {
+		if !recordsBitEqual(recs[i], back[i]) {
+			t.Errorf("record %d: round trip drifted\n got %+v\nwant %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+// FuzzRecordColumnarRoundTrip drives records with fuzzer-chosen field
+// values — float bit patterns included, so NaN payloads and infinities
+// appear — through the block round trip and, when finite, through the
+// JSON identity against encoding/json.
+func FuzzRecordColumnarRoundTrip(f *testing.F) {
+	f.Add("paper-grid", "label", "", "mesh", 3, 0.1, -3.75, uint64(0x3ff0000000000000), uint64(0), 4096, true, false)
+	f.Add("", "", "infeasible", "", -1, 1e-7, 1e21, uint64(0x7ff8000000000001), uint64(0xfff0000000000000), 0, false, true)
+	f.Add("esc<&> ", "q\"\\\x01", "bad\xff", "t", 42, 5e-324, math.MaxFloat64, uint64(0x8000000000000000), uint64(0x7ff0000000000000), -7, true, true)
+	f.Fuzz(func(t *testing.T, scenario, label, errStr, topology string,
+		idx int, f1, f2 float64, bits1, bits2 uint64, cw int, butler, pareto bool) {
+		r := Record{
+			Scenario: scenario, Index: idx, Label: label,
+			Spec: core.SystemSpec{
+				Boards: idx ^ 5, BoardSpacingM: f1, BoardEdgeM: f2,
+				NodesPerBoard: cw, LinkRateGbps: math.Float64frombits(bits1),
+				LatencyBudgetBits: idx, StackModules: cw ^ 3,
+				StackInjectionRate: math.Float64frombits(bits2),
+				Butler:             butler, SNRMarginDB: f1 + f2,
+			},
+			Err:        errStr,
+			TxPowerDBm: math.Float64frombits(bits2 ^ bits1), SpectralEfficiency: f2,
+			CodeLifting: cw, CodeWindow: cw / 2, DecodeLatencyBits: f1,
+			Topology: topology, NoCLatencyCycles: f2 * 3, NoCSaturation: f1 * f2,
+			BEREbN0DB: f1 - f2, BER: math.Float64frombits(bits1 >> 1),
+			BERCodewords: idx * 2, SimLatencyCycles: f2 - f1,
+			SimLatencyCI95: math.Float64frombits(bits2 >> 3), SimReplications: idx / 3,
+			Pareto: pareto,
+		}
+		b := BlockRecords([]Record{r, r})
+		for i := 0; i < b.Len(); i++ {
+			if got := b.Record(i); !recordsBitEqual(r, got) {
+				t.Fatalf("row %d: block round trip drifted\n got %+v\nwant %+v", i, got, r)
+			}
+		}
+
+		want, werr := json.Marshal(r)
+		got, gerr := AppendRecordJSON(nil, r)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error disagreement: json.Marshal err=%v, AppendRecordJSON err=%v", werr, gerr)
+		}
+		if werr == nil && !bytes.Equal(got, want) {
+			t.Fatalf("encoding mismatch\n got %s\nwant %s", got, want)
+		}
+		if werr == nil {
+			var back Record
+			if err := json.Unmarshal(got, &back); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+		}
+	})
+}

@@ -39,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -364,16 +365,34 @@ func (s *Store) Put(key string, rec sweep.Record) {
 // put appends the record, reporting whether a new entry was added
 // (false on dedup).
 func (s *Store) put(key string, rec sweep.Record) bool {
-	// Marshal outside the lock: encoding is the expensive part of a
-	// Put, and holding the mutex across it would serialize every sweep
-	// worker behind one encoder.
-	raw, merr := json.Marshal(rec)
-	var line []byte
-	if merr == nil {
-		line, merr = json.Marshal(entry{Key: key, Engine: sweep.EngineVersion, Record: raw})
+	// Dedup before encoding anything: a warm sweep re-puts every cached
+	// point, and marshaling records only to discard them under the lock
+	// was the dominant allocation in the sweep-warm-store profile. The
+	// pre-check races with concurrent putters of the same key, so the
+	// insert below re-checks under the write lock.
+	s.mu.RLock()
+	_, dup := s.index[key]
+	s.mu.RUnlock()
+	if dup {
+		return false
 	}
-	if merr == nil {
-		line = append(line, '\n')
+	// Encode outside the lock: encoding is the expensive part of a
+	// Put, and holding the mutex across it would serialize every sweep
+	// worker behind one encoder. The columnar record writer emits the
+	// exact bytes the old json.Marshal(entry{...}) pair produced —
+	// segment_test pins that — in a single buffer instead of two
+	// reflective marshals.
+	line := make([]byte, 0, 512)
+	line = append(line, `{"key":`...)
+	line = sweep.AppendJSONString(line, key)
+	if sweep.EngineVersion != 0 {
+		line = append(line, `,"engine":`...)
+		line = strconv.AppendInt(line, int64(sweep.EngineVersion), 10)
+	}
+	line = append(line, `,"record":`...)
+	var merr error
+	if line, merr = sweep.AppendRecordJSON(line, rec); merr == nil {
+		line = append(line, '}', '\n')
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

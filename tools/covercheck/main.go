@@ -1,0 +1,117 @@
+// Command covercheck fails (exit 1) when a coverage profile's total
+// statement coverage is below its pinned minimum. It is the CI
+// coverage gate for the packages whose correctness the repository
+// leans on hardest — the LDPC decoder kernels and the sweep engine —
+// so a future edit cannot land untested code in them unnoticed.
+//
+// Usage:
+//
+//	go run ./tools/covercheck profile.out=MIN [profile2.out=MIN ...]
+//
+// Each argument names a profile written by `go test -coverprofile`
+// and the minimum total statement coverage (percent) it must reach.
+// The total is computed from the profile itself — covered statements
+// over all statements, matching `go tool cover -func`'s "total:" line
+// — so the tool needs no toolchain invocation. The pins are set to
+// the measured coverage at merge time, rounded down a point for
+// refactoring slack; raise them when coverage rises, never lower them
+// to make a red build green.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: covercheck profile.out=MIN [profile2.out=MIN ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, arg := range os.Args[1:] {
+		path, minStr, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "covercheck: argument %q is not profile=MIN\n", arg)
+			os.Exit(2)
+		}
+		minPct, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: bad minimum %q: %v\n", minStr, err)
+			os.Exit(2)
+		}
+		pct, err := profileCoverage(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covercheck:", err)
+			os.Exit(2)
+		}
+		status := "ok"
+		if pct < minPct {
+			status = "BELOW MINIMUM"
+			failed = true
+		}
+		fmt.Printf("%-24s %6.1f%% of statements (min %.1f%%)  %s\n", path, pct, minPct, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// profileCoverage computes total statement coverage (percent) from a
+// coverprofile: each body line is
+//
+//	file.go:startLine.startCol,endLine.endCol numStatements hitCount
+//
+// and the total weighs blocks by statement count, exactly like the
+// "total:" row of `go tool cover -func`.
+func profileCoverage(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	var total, covered int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if !strings.HasPrefix(text, "mode:") {
+				return 0, fmt.Errorf("%s: not a coverage profile (missing mode: header)", path)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("%s:%d: malformed profile line %q", path, line, text)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: bad statement count: %v", path, line, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: bad hit count: %v", path, line, err)
+		}
+		total += stmts
+		if count > 0 {
+			covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%s: profile covers no statements", path)
+	}
+	return 100 * float64(covered) / float64(total), nil
+}

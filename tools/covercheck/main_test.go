@@ -1,0 +1,58 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestProfileCoverage(t *testing.T) {
+	// 3+2 covered statements of 3+2+5 total = 50%.
+	path := writeProfile(t, strings.Join([]string{
+		"mode: set",
+		"repro/internal/x/a.go:10.2,12.3 3 1",
+		"repro/internal/x/a.go:14.2,15.3 2 7",
+		"repro/internal/x/b.go:3.1,9.2 5 0",
+		"",
+	}, "\n"))
+	pct, err := profileCoverage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-50) > 1e-9 {
+		t.Fatalf("coverage = %v, want 50", pct)
+	}
+}
+
+func TestProfileCoverageRejectsGarbage(t *testing.T) {
+	for name, content := range map[string]string{
+		"no header":   "repro/x/a.go:1.1,2.2 1 1\n",
+		"short line":  "mode: set\nrepro/x/a.go:1.1,2.2 1\n",
+		"bad count":   "mode: set\nrepro/x/a.go:1.1,2.2 one 1\n",
+		"empty":       "mode: set\n",
+		"only blanks": "mode: set\n\n\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := profileCoverage(writeProfile(t, content)); err == nil {
+				t.Fatal("malformed profile accepted")
+			}
+		})
+	}
+}
+
+func TestProfileCoverageMissingFile(t *testing.T) {
+	if _, err := profileCoverage(filepath.Join(t.TempDir(), "nope.out")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
