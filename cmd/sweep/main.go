@@ -16,6 +16,13 @@
 //	          [-timeout 10m] [-store dir]
 //	sweep store stats -store <dir>
 //	sweep store compact -store <dir>
+//	sweep trace [-daemon http://localhost:8080] [-raw] <job-id>
+//	sweep fleet [-daemon http://localhost:8080]
+//
+// trace and fleet read a running sweepd's observability endpoints:
+// trace prints a job's phase timeline (or, with -raw, its spans as
+// NDJSON), and fleet prints per-worker throughput profiles with the
+// straggler baseline.
 //
 // Records are deterministic for a fixed seed: running with -workers 1
 // and -workers N yields byte-identical files, for grids and
@@ -76,6 +83,14 @@ func main() {
 		}
 	case "store":
 		if err := storeCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "trace":
+		if err := traceCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "fleet":
+		if err := fleetCmd(os.Args[2:]); err != nil {
 			fail(err)
 		}
 	case "-h", "-help", "--help", "help":
@@ -424,6 +439,8 @@ usage:
             [-timeout 10m] [-store dir]
   sweep store stats -store <dir>
   sweep store compact -store <dir>
+  sweep trace [-daemon http://localhost:8080] [-raw] <job-id>
+  sweep fleet [-daemon http://localhost:8080]
 
 run enumerates a fixed scenario grid; optimize runs the adaptive
 NSGA-II multi-objective search over a declared parameter space and
@@ -433,5 +450,9 @@ reports the Pareto front it converged to.
 every already-computed point instead of evaluating it again. store
 stats prints its counters and shard layout; store compact reclaims the
 space held by stale-engine entries and shadowed duplicate keys.
+
+trace and fleet talk to a running sweepd: trace prints one job's phase
+timeline and per-chunk turnarounds (-raw dumps its spans as NDJSON);
+fleet prints per-worker throughput profiles and straggler counts.
 `)
 }

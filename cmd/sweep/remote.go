@@ -1,0 +1,133 @@
+package main
+
+// The remote subcommands — sweep trace, sweep fleet — read a running
+// sweepd's observability endpoints, so an operator can ask "where did
+// that job's wall time go" and "which workers are pulling their
+// weight" without leaving the CLI.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// traceCmd implements 'sweep trace [-daemon URL] [-raw] <job-id>':
+// the job's derived phase timeline, or with -raw the span NDJSON
+// exactly as the daemon streams it.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	daemon := fs.String("daemon", "http://localhost:8080", "sweepd base URL")
+	raw := fs.Bool("raw", false, "dump raw spans as NDJSON instead of the derived timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweep trace [-daemon URL] [-raw] <job-id>")
+	}
+	jobID := fs.Arg(0)
+	base := strings.TrimRight(*daemon, "/")
+
+	if *raw {
+		resp, err := http.Get(base + "/api/v1/jobs/" + jobID + "/trace")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return remoteError("trace", resp)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+
+	var tl service.Timeline
+	if err := getJSONInto(base+"/api/v1/jobs/"+jobID+"/timeline", &tl); err != nil {
+		return err
+	}
+	fmt.Printf("job %s  trace %s  state %s\n", tl.JobID, tl.TraceID, tl.State)
+	fmt.Printf("wall %.3fs  queued %.3fs  running %.3fs  coverage %.0f%% (%d spans)\n",
+		tl.WallSeconds, tl.QueuedSeconds, tl.RunningSeconds, 100*tl.SpanCoverage, tl.SpanCount)
+	fmt.Printf("points: %d cached, %d computed\n", tl.CachedPoints, tl.ComputedPoints)
+	if len(tl.Phases) > 0 {
+		fmt.Println("phases:")
+		for _, p := range tl.Phases {
+			fmt.Printf("  %-10s %9.3fs\n", p.Name, p.DurationSeconds)
+		}
+	}
+	if len(tl.Chunks) > 0 {
+		fmt.Printf("chunks (%d):\n", len(tl.Chunks))
+		chunks := append([]service.ChunkTiming(nil), tl.Chunks...)
+		sort.Slice(chunks, func(i, k int) bool { return chunks[i].Start < chunks[k].Start })
+		for _, ch := range chunks {
+			fmt.Printf("  [%4d,%4d) %-16s %3d pts  %8.3fs\n",
+				ch.Start, ch.End, ch.Worker, ch.Points, ch.TurnaroundSeconds)
+		}
+	}
+	return nil
+}
+
+// fleetCmd implements 'sweep fleet [-daemon URL]': per-worker
+// throughput profiles and the straggler baseline.
+func fleetCmd(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	daemon := fs.String("daemon", "http://localhost:8080", "sweepd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: sweep fleet [-daemon URL]")
+	}
+	var st service.FleetStats
+	if err := getJSONInto(strings.TrimRight(*daemon, "/")+"/api/v1/fleet/stats", &st); err != nil {
+		return err
+	}
+	if len(st.Workers) == 0 {
+		fmt.Println("no workers have leased work yet")
+		return nil
+	}
+	fmt.Printf("fleet: %d worker(s), median turnaround %.3fs over %d sample(s), straggler factor %.1fx, %d straggler(s)\n",
+		len(st.Workers), st.FleetMedianTurnaroundSeconds, st.TurnaroundSamples,
+		st.StragglerFactor, st.StragglersTotal)
+	fmt.Printf("  %-16s %6s %8s %8s %6s %6s %10s %9s %9s\n",
+		"worker", "active", "chunks", "points", "fails", "strag", "pts/s", "p50", "p95")
+	for _, w := range st.Workers {
+		fmt.Printf("  %-16s %6d %8d %8d %6d %6d %10.1f %8.3fs %8.3fs\n",
+			w.Name, w.ActiveLeases, w.ChunksDone, w.PointsDone, w.Failures,
+			w.Stragglers, w.EWMAPointsPerSec, w.TurnaroundP50Seconds, w.TurnaroundP95Seconds)
+	}
+	return nil
+}
+
+// getJSONInto fetches url and decodes the JSON payload into v.
+func getJSONInto(url string, v any) error {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError("fetch", resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// remoteError surfaces the daemon's {"error": "..."} payload.
+func remoteError(op string, resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var v struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &v) == nil && v.Error != "" {
+		return fmt.Errorf("%s: %s: %s", op, resp.Status, v.Error)
+	}
+	return fmt.Errorf("%s: %s: %s", op, resp.Status, strings.TrimSpace(string(raw)))
+}

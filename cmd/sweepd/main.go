@@ -10,7 +10,7 @@
 //
 //	sweepd [-addr :8080] [-store sweep-store] [-store-shards 0] [-jobs 2]
 //	       [-distributed] [-local-workers 1] [-chunk 4] [-lease-ttl 30s]
-//	       [-pprof] [-v]
+//	       [-trace 4096] [-pprof] [-v]
 //
 // -store-shards N fans the result store out over N independent shard
 // stores routed by key prefix, removing lock contention between
@@ -44,6 +44,9 @@
 //	GET    /api/v1/jobs/{id}/records
 //	GET    /api/v1/jobs/{id}/pareto
 //	GET    /api/v1/jobs/{id}/generations
+//	GET    /api/v1/jobs/{id}/trace
+//	GET    /api/v1/jobs/{id}/timeline
+//	GET    /api/v1/fleet/stats
 //	POST   /api/v1/workers/lease
 //	POST   /api/v1/workers/leases/{id}/heartbeat
 //	POST   /api/v1/workers/leases/{id}/complete
@@ -59,6 +62,16 @@
 // chatter. -pprof additionally mounts the net/http/pprof handlers under
 // /debug/pprof/ on the same listener; it is off by default because
 // profiles can leak operational detail and cost CPU while streaming.
+//
+// Tracing: every submitted job gets a trace ID, and the daemon records
+// spans for its phases (queued, dispatch, evaluate, assemble) plus one
+// span per distributed chunk, with worker-side spans shipped back in
+// completions. The newest -trace spans are retained in a bounded
+// in-memory ring and served per job at /api/v1/jobs/{id}/trace and
+// /api/v1/jobs/{id}/timeline; -trace 0 disables collection entirely
+// (the record path then allocates nothing for tracing). Tracing only
+// observes: records are byte-identical with it on, off, and across
+// fleet sizes.
 //
 // SIGINT or SIGTERM triggers a graceful drain: the listener stops, every
 // queued job is cancelled, running jobs have their contexts cancelled,
@@ -95,6 +108,7 @@ type config struct {
 	chunk        int
 	leaseTTL     time.Duration
 	storeShards  int
+	trace        int
 	pprof        bool
 	verbose      bool
 }
@@ -110,6 +124,7 @@ func main() {
 	flag.IntVar(&c.chunk, "chunk", 4, "grid points per worker lease (with -distributed)")
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 30*time.Second, "how long a dead worker's chunk stays leased before re-queueing")
 	flag.IntVar(&c.storeShards, "store-shards", 0, "result-store shards; 0 reuses the store's existing layout (new stores: 1). The count is fixed at store creation")
+	flag.IntVar(&c.trace, "trace", obs.DefaultCollectorCap, "spans retained for /api/v1/jobs/{id}/trace (0 disables tracing)")
 	flag.BoolVar(&c.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (off by default)")
 	flag.BoolVar(&c.verbose, "v", false, "debug-level logs (per-request access lines, lease chatter)")
 	flag.Parse()
@@ -138,6 +153,9 @@ func run(c config) error {
 		LeaseTTL:    c.leaseTTL,
 		Metrics:     reg,
 		Logger:      logger,
+	}
+	if c.trace > 0 {
+		opts.Trace = obs.NewCollector(c.trace)
 	}
 	if storeDir != "" {
 		st, err := store.OpenSharded(storeDir, c.storeShards, store.Options{Metrics: reg})

@@ -21,6 +21,13 @@
 // bred design points explicitly (each with the global index that keys
 // its sub-stream and cache address).
 //
+// Tracing rides along for free: a lease from a tracing daemon carries
+// the job's trace ID, the worker stamps it (as X-Request-ID,
+// X-Trace-ID and X-Parent-Span) on every heartbeat/complete/fail RPC
+// for that lease — retries included, so one chunk is one request
+// identity in the daemon's access log — and ships spans covering its
+// lease-to-post and evaluation windows with the completion.
+//
 // The worker refuses to serve a daemon whose sweep.EngineVersion or
 // scenario registry differs from its own build (exit 1): a mismatched
 // worker could silently produce records the daemon's version would not

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the toolchain that built it
+// and the VCS revision it was built from. It feeds the daemon's
+// build-info gauge and the /healthz payload, so an operator can tell
+// at a glance which build answered.
+type BuildInfo struct {
+	GoVersion string
+	Revision  string
+	Dirty     bool
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build metadata. The revision is
+// "unknown" for binaries built outside a VCS checkout (go test
+// binaries, plain `go build` of an exported tree). The lookup is
+// cached: debug.ReadBuildInfo re-parses the embedded build record on
+// every call, and /healthz is polled.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		if info, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range info.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					buildInfo.Revision = s.Value
+				case "vcs.modified":
+					buildInfo.Dirty = s.Value == "true"
+				}
+			}
+		}
+	})
+	return buildInfo
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(job string, i int) SpanRecord {
+	return SpanRecord{
+		TraceID: "trace-" + job,
+		SpanID:  fmt.Sprintf("span-%04d", i),
+		Name:    "chunk",
+		JobID:   job,
+		Start:   time.Unix(0, int64(i)),
+		End:     time.Unix(0, int64(i+1)),
+	}
+}
+
+func TestCollectorRingEviction(t *testing.T) {
+	c := NewCollector(4)
+	if c.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", c.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		c.Add(span("job-a", i))
+	}
+	if c.Len() != 4 || c.Total() != 6 || c.Evicted() != 2 {
+		t.Fatalf("Len/Total/Evicted = %d/%d/%d, want 4/6/2", c.Len(), c.Total(), c.Evicted())
+	}
+	got := c.JobSpans("job-a")
+	if len(got) != 4 {
+		t.Fatalf("JobSpans kept %d spans, want the 4 newest", len(got))
+	}
+	// The two oldest were overwritten; what survives is 2..5 in start
+	// order.
+	for k, rec := range got {
+		want := fmt.Sprintf("span-%04d", k+2)
+		if rec.SpanID != want {
+			t.Fatalf("JobSpans[%d] = %s, want %s", k, rec.SpanID, want)
+		}
+	}
+	if trace := c.TraceSpans("trace-job-a"); len(trace) != 4 {
+		t.Fatalf("TraceSpans returned %d spans, want 4", len(trace))
+	}
+	if stray := c.JobSpans("job-b"); stray != nil {
+		t.Fatalf("JobSpans for an unknown job = %v, want nil", stray)
+	}
+}
+
+func TestCollectorDefaultCap(t *testing.T) {
+	if got := NewCollector(0).Cap(); got != DefaultCollectorCap {
+		t.Fatalf("NewCollector(0).Cap() = %d, want %d", got, DefaultCollectorCap)
+	}
+}
+
+// TestCollectorConcurrentAppend hammers the ring from many goroutines
+// while readers snapshot it — the -race proof that a fleet of worker
+// completions and trace scrapes can share one collector.
+func TestCollectorConcurrentAppend(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 200
+	)
+	c := NewCollector(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			job := fmt.Sprintf("job-%d", w%2)
+			for i := 0; i < perW; i++ {
+				c.Add(span(job, w*perW+i))
+				if i%32 == 0 {
+					c.JobSpans(job)
+					c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Total() != writers*perW {
+		t.Fatalf("Total = %d, want %d", c.Total(), writers*perW)
+	}
+	if c.Len() != 64 {
+		t.Fatalf("Len = %d, want the full ring (64)", c.Len())
+	}
+	both := len(c.JobSpans("job-0")) + len(c.JobSpans("job-1"))
+	if both != 64 {
+		t.Fatalf("job-0 + job-1 spans = %d, want 64", both)
+	}
+}
+
+// TestNilCollectorZeroAlloc pins the disabled hot path: with tracing
+// off (a nil collector) every call must be a free no-op — the
+// dispatcher completes thousands of chunks through this path.
+func TestNilCollectorZeroAlloc(t *testing.T) {
+	var c *Collector
+	rec := span("job-a", 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.Enabled() {
+			t.Error("nil collector claims to be enabled")
+		}
+		c.Add(rec)
+		if c.JobSpans("job-a") != nil || c.TraceSpans("t") != nil {
+			t.Error("nil collector returned spans")
+		}
+		if c.Len() != 0 || c.Cap() != 0 || c.Total() != 0 || c.Evicted() != 0 {
+			t.Error("nil collector reports retained spans")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path costs %.1f allocs/op, want 0", allocs)
+	}
+}

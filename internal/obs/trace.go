@@ -13,13 +13,51 @@ import (
 
 // Tracing here is deliberately small: a request ID that rides the
 // context (minted by the HTTP middleware from X-Request-ID, or fresh),
-// and a Span that stamps a start time and logs a structured finish line
-// with the measured duration. That is enough to reconstruct a job or
-// lease lifecycle from the log stream without an external collector.
+// a SpanContext carrying trace and parent-span IDs across process
+// boundaries (X-Trace-ID / X-Parent-Span), and a Span that stamps a
+// start time and logs a structured finish line with the measured
+// duration. Cross-process span records are retained by the in-daemon
+// Collector (collect.go); the log stream alone is still enough to
+// reconstruct a job or lease lifecycle without it.
 
 // RequestIDHeader is the HTTP header request IDs arrive on and are
 // echoed back through.
 const RequestIDHeader = "X-Request-ID"
+
+// TraceIDHeader and ParentSpanHeader carry a span context across
+// process boundaries: the daemon stamps each lease with its job's
+// trace ID and a chunk span ID, workers echo both on every RPC about
+// that lease, and the middleware lifts them onto the request context —
+// so one job yields one coherent trace across N HTTP workers.
+const (
+	TraceIDHeader    = "X-Trace-ID"
+	ParentSpanHeader = "X-Parent-Span"
+)
+
+// SpanContext identifies a position in a distributed trace: the trace
+// every related span shares, and the span a child should name as its
+// parent. The zero value means "not part of any trace".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context belongs to a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" }
+
+type spanContextKey struct{}
+
+// WithSpanContext returns ctx carrying the span context.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanContextKey{}, sc)
+}
+
+// SpanContextFrom returns the context's span context, zero when none
+// was set.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanContextKey{}).(SpanContext)
+	return sc
+}
 
 type requestIDKey struct{}
 
@@ -50,6 +88,13 @@ func NewRequestID() string {
 	}
 	return hex.EncodeToString(b[:])
 }
+
+// NewTraceID mints a trace ID — same 16-hex-character shape as request
+// IDs, same correlation-only uniqueness contract.
+func NewTraceID() string { return NewRequestID() }
+
+// NewSpanID mints a span ID.
+func NewSpanID() string { return NewRequestID() }
 
 // NewLogger returns a structured text logger writing to w at the given
 // level — the daemon and worker binaries' log sink. A nil w logs to
@@ -86,6 +131,9 @@ func StartSpan(ctx context.Context, logger *slog.Logger, name string, attrs ...a
 	}
 	if id := RequestID(ctx); id != "" {
 		attrs = append(attrs, "request_id", id)
+	}
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		attrs = append(attrs, "trace_id", sc.TraceID)
 	}
 	l := logger.With(attrs...)
 	l.Debug(name + " started")

@@ -38,6 +38,34 @@ func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
 	}
 }
 
+func TestSpanContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		t.Fatalf("empty context has a span context: %+v", sc)
+	}
+	ctx = WithSpanContext(ctx, SpanContext{TraceID: "t1", SpanID: "s1"})
+	sc := SpanContextFrom(ctx)
+	if !sc.Valid() || sc.TraceID != "t1" || sc.SpanID != "s1" {
+		t.Fatalf("span context = %+v", sc)
+	}
+	if id := NewTraceID(); len(id) != 16 {
+		t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+	}
+	if id := NewSpanID(); len(id) != 16 {
+		t.Fatalf("span ID %q has length %d, want 16", id, len(id))
+	}
+}
+
+func TestSpanLogsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx := WithSpanContext(context.Background(), SpanContext{TraceID: "trace-9"})
+	StartSpan(ctx, logger, "lease").End()
+	if !strings.Contains(buf.String(), "trace_id=trace-9") {
+		t.Fatalf("span log missing trace_id:\n%s", buf.String())
+	}
+}
+
 func TestSpanLogsDurationAndRequestID(t *testing.T) {
 	var buf bytes.Buffer
 	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))

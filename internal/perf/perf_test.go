@@ -94,6 +94,7 @@ func TestCatalogComplete(t *testing.T) {
 		"store-shard-fanout",
 		"sweep-analytic-cold",
 		"sweep-warm-store",
+		"tracing-overhead",
 	}
 	got := Names()
 	if len(got) != len(want) {

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/ldpc"
 	"repro/internal/noc"
@@ -82,6 +83,7 @@ func init() {
 	register(storeReopenCold())
 	register(storeShardFanout())
 	register(metricsOverhead())
+	register(tracingOverhead())
 }
 
 // ldpcDecodePaper measures the LDPC-CC sliding-window sum-product
@@ -481,6 +483,70 @@ func metricsOverhead() Workload {
 				}
 			}
 			return float64(rounds * keys), nil
+		},
+	}
+}
+
+// tracingOverhead measures the span-collection tax on the record path:
+// 512 span appends into an enabled ring collector (well past capacity,
+// so eviction is exercised every round), one per-job query over the
+// ring, and — the number the budget really guards — the same 512
+// appends against a nil collector, which is the disabled-tracing hot
+// path and must not allocate at all.
+func tracingOverhead() Workload {
+	const (
+		ringCap = 256
+		appends = 512
+	)
+	var (
+		col      *obs.Collector
+		disabled *obs.Collector
+		recs     []obs.SpanRecord
+	)
+	return Workload{
+		Name:           "tracing-overhead",
+		MaxAllocsPerOp: 16,
+		Description:    "512 span appends into a 256-slot ring collector plus a per-job query, and 512 nil-collector (disabled) appends",
+		Units:          "spans",
+		Setup: func(ctx context.Context, seed uint64) (func(), error) {
+			col = obs.NewCollector(ringCap)
+			disabled = nil
+			// Pre-minted records: the workload measures the collector, not
+			// ID generation. Two alternating job IDs make JobSpans filter
+			// half the ring. Timestamps are fixed offsets so every run
+			// appends identical payloads.
+			recs = make([]obs.SpanRecord, appends)
+			for i := range recs {
+				recs[i] = obs.SpanRecord{
+					TraceID: fmt.Sprintf("trace-%04d", i),
+					SpanID:  fmt.Sprintf("span-%04d", i),
+					Name:    "chunk",
+					JobID:   fmt.Sprintf("job-%d", i%2),
+					Worker:  "perf-worker",
+					Start:   time.Unix(0, int64(i)*1000),
+					End:     time.Unix(0, int64(i)*1000+500),
+				}
+			}
+			return func() { col, disabled, recs = nil, nil, nil }, nil
+		},
+		Run: func(ctx context.Context, seed uint64) (float64, error) {
+			for i := range recs {
+				col.Add(recs[i])
+			}
+			for i := range recs {
+				disabled.Add(recs[i]) // nil receiver: the zero-cost disabled path
+			}
+			if got := col.Len(); got != ringCap {
+				return 0, fmt.Errorf("ring holds %d spans, want %d", got, ringCap)
+			}
+			spans := col.JobSpans("job-0")
+			if len(spans) != ringCap/2 {
+				return 0, fmt.Errorf("job-0 query returned %d spans, want %d", len(spans), ringCap/2)
+			}
+			if disabled.Len() != 0 || disabled.Total() != 0 {
+				return 0, fmt.Errorf("nil collector counted spans")
+			}
+			return appends, nil
 		},
 	}
 }

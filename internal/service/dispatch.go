@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/sweep"
 )
@@ -50,6 +52,14 @@ type Lease struct {
 	Engine int `json:"engine"`
 	// TTLSeconds is how long the lease lives without a heartbeat.
 	TTLSeconds float64 `json:"ttl_seconds"`
+	// TraceID and SpanID tie the lease into its job's distributed
+	// trace: TraceID is the job's root trace, SpanID the chunk span the
+	// dispatcher minted at lease issue — the parent for every span the
+	// worker emits about this chunk, and the X-Trace-ID/X-Parent-Span
+	// header pair on its RPCs. Both are empty when the daemon runs
+	// without a trace collector; workers then skip span emission.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // WorkerView is one row of the fleet listing.
@@ -106,13 +116,66 @@ type leaseRef struct {
 	t        *chunkTask
 	worker   string
 	issuedAt time.Time
+	// spanID is the chunk span minted for this lease when tracing is
+	// on: recorded (issuedAt -> completion) on the trace collector, and
+	// the parent of every worker-emitted span about the chunk.
+	spanID string
 }
 
-// workerStats accumulates one worker's fleet-view counters.
+// Fleet-analytics tuning. The straggler rule is deliberately coarse —
+// a chunk is flagged when its turnaround exceeds stragglerFactor times
+// the median of the last fleetTurnSamples completions fleet-wide, and
+// only once stragglerMinSamples completions have established that
+// median — so one slow worker stands out against a stable fleet
+// without a warm-up fleet flagging itself.
+const (
+	workerTurnSamples   = 64
+	fleetTurnSamples    = 256
+	stragglerFactor     = 4.0
+	stragglerMinSamples = 8
+	// throughputAlpha weights the newest chunk's points/s in the
+	// per-worker EWMA: high enough to track a worker that degrades,
+	// low enough that one odd chunk doesn't swing the profile.
+	throughputAlpha = 0.3
+)
+
+// workerStats accumulates one worker's fleet-view counters and its
+// throughput profile — the per-worker heterogeneity signal the
+// adaptive scheduler (ROADMAP item 4) will consume.
 type workerStats struct {
 	lastSeen   time.Time
 	chunksDone int
 	pointsDone int
+	failures   int
+	stragglers int
+	// ewmaRate is the exponentially-weighted moving average of the
+	// worker's points/s across its completed chunks (0 until the first
+	// completion with measurable turnaround).
+	ewmaRate float64
+	// turns is a bounded ring of the worker's recent chunk turnaround
+	// seconds, the sample set behind its p50/p95.
+	turns    []float64
+	turnNext int
+}
+
+// noteCompletion folds one completed chunk into the worker's profile.
+func (ws *workerStats) noteCompletion(points int, seconds float64) {
+	ws.chunksDone++
+	ws.pointsDone += points
+	if len(ws.turns) < workerTurnSamples {
+		ws.turns = append(ws.turns, seconds)
+	} else {
+		ws.turns[ws.turnNext] = seconds
+		ws.turnNext = (ws.turnNext + 1) % workerTurnSamples
+	}
+	if seconds > 0 {
+		rate := float64(points) / seconds
+		if ws.ewmaRate == 0 {
+			ws.ewmaRate = rate
+		} else {
+			ws.ewmaRate = throughputAlpha*rate + (1-throughputAlpha)*ws.ewmaRate
+		}
+	}
 }
 
 // fleetRetention is how long a silent worker stays in the fleet view
@@ -129,23 +192,51 @@ type dispatcher struct {
 	clock func() time.Time
 	met   *serviceMetrics
 	log   *slog.Logger
+	// trace retains span records when tracing is on; nil disables span
+	// minting and recording at zero cost.
+	trace *obs.Collector
 
 	mu      sync.Mutex
 	pending []*chunkTask
 	leases  map[string]leaseRef
 	fleet   map[string]*workerStats
 	seq     uint64
+	// fleetTurns is a bounded ring of recent chunk turnaround seconds
+	// across the whole fleet — the straggler rule's median base.
+	fleetTurns    []float64
+	fleetTurnNext int
 }
 
-func newDispatcher(ttl time.Duration, clock func() time.Time, met *serviceMetrics, log *slog.Logger) *dispatcher {
+func newDispatcher(ttl time.Duration, clock func() time.Time, met *serviceMetrics, log *slog.Logger, trace *obs.Collector) *dispatcher {
 	return &dispatcher{
 		ttl:    ttl,
 		clock:  clock,
 		met:    met,
 		log:    log,
+		trace:  trace,
 		leases: make(map[string]leaseRef),
 		fleet:  make(map[string]*workerStats),
 	}
+}
+
+// noteFleetTurnLocked pushes one completion's turnaround into the
+// fleet-wide ring and reports whether it is a straggler against the
+// median of the samples that preceded it: strictly slower than
+// stragglerFactor times that median, judged only once
+// stragglerMinSamples prior completions exist. Returns the median it
+// was judged against.
+func (d *dispatcher) noteFleetTurnLocked(seconds float64) (straggler bool, median float64) {
+	if len(d.fleetTurns) >= stragglerMinSamples {
+		median = medianOf(d.fleetTurns)
+		straggler = median > 0 && seconds > stragglerFactor*median
+	}
+	if len(d.fleetTurns) < fleetTurnSamples {
+		d.fleetTurns = append(d.fleetTurns, seconds)
+	} else {
+		d.fleetTurns[d.fleetTurnNext] = seconds
+		d.fleetTurnNext = (d.fleetTurnNext + 1) % fleetTurnSamples
+	}
+	return straggler, median
 }
 
 // enqueue adds a job's chunks to the pending queue. pts is the full
@@ -247,9 +338,16 @@ func (m *Manager) Lease(worker string) (Lease, bool, error) {
 		d.seq++
 		id := fmt.Sprintf("lease-%06d", d.seq)
 		t.leaseID, t.worker, t.expires = id, worker, now.Add(d.ttl)
-		d.leases[id] = leaseRef{t: t, worker: worker, issuedAt: now}
-		d.met.lease("issued")
+		ref := leaseRef{t: t, worker: worker, issuedAt: now}
 		j := t.job
+		if d.trace.Enabled() && j.traceID != "" {
+			// The chunk span is minted here and recorded at completion:
+			// the worker parents its own spans under it, so the trace
+			// stays one tree across the process boundary.
+			ref.spanID = obs.NewSpanID()
+		}
+		d.leases[id] = ref
+		d.met.lease("issued")
 		d.log.Debug("lease issued",
 			"lease_id", id, "job_id", j.id, "worker", worker,
 			"chunk_start", t.chunk.Start, "chunk_end", t.chunk.End)
@@ -263,6 +361,8 @@ func (m *Manager) Lease(worker string) (Lease, bool, error) {
 			End:        t.chunk.End,
 			Engine:     sweep.EngineVersion,
 			TTLSeconds: d.ttl.Seconds(),
+			TraceID:    j.traceID,
+			SpanID:     ref.spanID,
 		}
 		if j.kind == KindOptimize {
 			// Optimizer individuals exist only in this run; ship them
@@ -303,6 +403,24 @@ func (m *Manager) Heartbeat(leaseID string) (time.Duration, error) {
 // chunk is still wanted — the determinism contract guarantees the
 // records are identical to whatever a re-lease would produce.
 func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
+	return m.complete(leaseID, recs, nil)
+}
+
+// CompleteTraced is Complete plus the spans the worker emitted while
+// serving the chunk. The worker-supplied fields an operator could join
+// wrongly on are forced server-side — trace, job and worker identity
+// always come from the lease, never from the completion body — and the
+// span count is capped so a buggy worker cannot flush the ring.
+func (m *Manager) CompleteTraced(leaseID string, recs []sweep.Record, spans []obs.SpanRecord) error {
+	return m.complete(leaseID, recs, spans)
+}
+
+// maxWorkerSpans bounds how many spans one completion may add to the
+// collector: enough for the worker's lease/evaluate breakdown, far too
+// few to evict other jobs' traces.
+const maxWorkerSpans = 16
+
+func (m *Manager) complete(leaseID string, recs []sweep.Record, spans []obs.SpanRecord) error {
 	d := m.dispatch
 	if d == nil {
 		return ErrLeaseGone
@@ -330,19 +448,35 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 	t.done = true
 	copy(t.dr.recs[t.chunk.Start:t.chunk.End], recs)
 	t.dr.remaining -= t.chunk.Len()
-	ws.chunksDone++
-	ws.pointsDone += t.chunk.Len()
+	turnaround := now.Sub(ref.issuedAt).Seconds()
+	ws.noteCompletion(t.chunk.Len(), turnaround)
+	straggler, median := d.noteFleetTurnLocked(turnaround)
+	if straggler {
+		ws.stragglers++
+	}
 	finished := t.dr.remaining == 0
 	d.mu.Unlock()
 
 	d.met.lease("completed")
-	d.met.leaseTurnaround.Observe(now.Sub(ref.issuedAt).Seconds())
+	d.met.leaseTurnaround.Observe(turnaround)
 	d.met.points(false, t.chunk.Len())
 	d.met.workerChunks.With(ref.worker).Inc()
 	d.met.workerPoints.With(ref.worker).Add(float64(t.chunk.Len()))
 	d.log.Debug("lease completed",
 		"lease_id", leaseID, "job_id", t.job.id, "worker", ref.worker,
 		"points", t.chunk.Len(), "turnaround", now.Sub(ref.issuedAt))
+	if straggler {
+		// The structured event and the counter are the signal store
+		// ROADMAP item 4's speculative re-lease will act on; today they
+		// make a slow node visible the moment it lags the fleet.
+		d.met.stragglers.Inc()
+		d.log.Warn("straggler chunk",
+			"lease_id", leaseID, "job_id", t.job.id, "worker", ref.worker,
+			"turnaround_seconds", turnaround, "fleet_median_seconds", median,
+			"factor", stragglerFactor,
+			"chunk_start", t.chunk.Start, "chunk_end", t.chunk.End)
+	}
+	d.recordChunkSpans(t, ref, now, spans)
 
 	j := t.job
 	j.done.Add(int64(t.chunk.Len()))
@@ -357,6 +491,48 @@ func (m *Manager) Complete(leaseID string, recs []sweep.Record) error {
 		t.dr.finish()
 	}
 	return nil
+}
+
+// recordChunkSpans books the daemon-side chunk span (lease issue to
+// accepted completion) and the worker's own spans for a completed
+// chunk. No-op when tracing is off or the job predates the collector.
+func (d *dispatcher) recordChunkSpans(t *chunkTask, ref leaseRef, now time.Time, spans []obs.SpanRecord) {
+	if !d.trace.Enabled() || ref.spanID == "" {
+		return
+	}
+	j := t.job
+	d.trace.Add(obs.SpanRecord{
+		TraceID:  j.traceID,
+		SpanID:   ref.spanID,
+		ParentID: j.rootSpanID,
+		Name:     "chunk",
+		JobID:    j.id,
+		Worker:   ref.worker,
+		Start:    ref.issuedAt,
+		End:      now,
+		Attrs: map[string]string{
+			"chunk_start": strconv.Itoa(t.chunk.Start),
+			"chunk_end":   strconv.Itoa(t.chunk.End),
+			"points":      strconv.Itoa(t.chunk.Len()),
+		},
+	})
+	if len(spans) > maxWorkerSpans {
+		spans = spans[:maxWorkerSpans]
+	}
+	for _, s := range spans {
+		// Identity comes from the lease, not the body: a worker cannot
+		// attach spans to someone else's trace or impersonate a peer.
+		s.TraceID = j.traceID
+		s.JobID = j.id
+		s.Worker = ref.worker
+		if s.ParentID == "" {
+			s.ParentID = ref.spanID
+		}
+		if s.SpanID == "" {
+			s.SpanID = obs.NewSpanID()
+		}
+		d.trace.Add(s)
+	}
 }
 
 // validateChunk rejects records that cannot be the leased chunk's:
@@ -393,7 +569,7 @@ func (m *Manager) FailLease(leaseID, reason string) error {
 		return ErrLeaseGone
 	}
 	t := ref.t
-	d.touchLocked(ref.worker, d.clock())
+	d.touchLocked(ref.worker, d.clock()).failures++
 	if t.dr.failure == "" {
 		t.dr.failure = fmt.Sprintf("worker %s failed chunk %v: %s", ref.worker, t.chunk, reason)
 	}
@@ -475,12 +651,15 @@ func (m *Manager) runDistributed(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = m.opts.Clock()
+	started, submitted := j.started, j.submitted
 	j.mu.Unlock()
 	defer cancel()
 	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
+	m.recordPhase(j, "queued", submitted, started, nil)
 
 	recs, cached, err := m.dispatchBatch(ctx, j, j.pts)
 	m.dispatch.endJob(j)
+	asmStart := m.opts.Clock()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -499,6 +678,7 @@ func (m *Manager) runDistributed(j *job) {
 		res.ParetoIndices = sweep.MarkPareto(res.Records)
 		j.state = StateDone
 		j.result = res
+		m.recordPhase(j, "assemble", asmStart, j.finished, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCancelled
 		j.errMsg = "cancelled: " + err.Error()
@@ -520,6 +700,19 @@ func (m *Manager) runDistributed(j *job) {
 // finished channel is closed before any state read off dr, so the
 // recheck is race-free.
 func (m *Manager) dispatchBatch(ctx context.Context, j *job, pts []sweep.Point) ([]sweep.Record, int, error) {
+	batchStart := m.opts.Clock()
+	var cachedCount int
+	if j.traceID != "" {
+		// One dispatch span per batch: the whole grid for a sweep, one
+		// generation for an optimization — leased-and-evaluating wall
+		// time, cache pre-pass included.
+		defer func() {
+			m.recordPhase(j, "dispatch", batchStart, m.opts.Clock(), map[string]string{
+				"points": strconv.Itoa(len(pts)),
+				"cached": strconv.Itoa(cachedCount),
+			})
+		}()
+	}
 	dr := &distRun{recs: make([]sweep.Record, len(pts)), finished: make(chan struct{})}
 	var todo []int
 	for i, pt := range pts {
@@ -536,6 +729,7 @@ func (m *Manager) dispatchBatch(ctx context.Context, j *job, pts []sweep.Point) 
 	}
 	dr.remaining = len(todo)
 	cached := len(pts) - len(todo)
+	cachedCount = cached
 	m.met.points(true, cached)
 
 	if len(todo) == 0 {

@@ -31,6 +31,13 @@ import (
 //	GET    /api/v1/jobs/{id}/generations per-generation optimizer fronts as a
 //	                                 live NDJSON stream (closes once the job
 //	                                 is terminal; empty for sweep jobs)
+//	GET    /api/v1/jobs/{id}/trace   the job's retained spans as NDJSON
+//	                                 (404 when the daemon runs untraced)
+//	GET    /api/v1/jobs/{id}/timeline derived phase timeline: queued/dispatch/
+//	                                 evaluate/assemble durations, cache split,
+//	                                 per-chunk turnarounds, span coverage
+//	GET    /api/v1/fleet/stats       per-worker throughput profiles and the
+//	                                 straggler baseline
 //
 // The worker tier (cmd/sweepworker) drives four more endpoints, live
 // only in distributed mode (a non-distributed daemon answers 204 to
@@ -63,9 +70,13 @@ func NewHandler(m *Manager) http.Handler {
 		// The engine version lets optimizer clients and worker binaries
 		// preflight-check compatibility before submitting or leasing:
 		// records are only comparable between equal engine versions.
+		build := obs.Build()
 		payload := map[string]any{
-			"status": "ok",
-			"engine": sweep.EngineVersion,
+			"status":         "ok",
+			"engine":         sweep.EngineVersion,
+			"uptime_seconds": m.Uptime().Seconds(),
+			"go_version":     build.GoVersion,
+			"revision":       build.Revision,
 		}
 		// The cache hit rate is the one store number worth watching from
 		// a probe: a warm daemon serving mostly repeats should sit near
@@ -186,6 +197,9 @@ func NewHandler(m *Manager) http.Handler {
 	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Records []sweep.Record `json:"records"`
+			// Spans are the worker-side trace of this chunk, recorded
+			// into the daemon's collector alongside its own chunk span.
+			Spans []obs.SpanRecord `json:"spans"`
 		}
 		// Legitimate completion bodies are one chunk of records (KBs to a
 		// few MBs); the cap keeps a buggy or rogue client from feeding
@@ -194,7 +208,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid completion body: %w", err))
 			return
 		}
-		if err := m.Complete(r.PathValue("id"), req.Records); err != nil {
+		if err := m.CompleteTraced(r.PathValue("id"), req.Records, req.Spans); err != nil {
 			writeError(w, leaseStatus(err), err)
 			return
 		}
@@ -284,6 +298,34 @@ func NewHandler(m *Manager) http.Handler {
 				return // job evicted mid-stream; nothing more to say
 			}
 		}
+	})
+	instrument(mux, hm, "GET /api/v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, err := m.JobTrace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		// NDJSON, one span per line: greppable raw, and a trace can be
+		// tailed into jq or a flamegraph converter without holding the
+		// whole payload.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, s := range spans {
+			if err := enc.Encode(s); err != nil {
+				return // client went away mid-stream
+			}
+		}
+	})
+	instrument(mux, hm, "GET /api/v1/jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		tl, err := m.JobTimeline(r.PathValue("id"))
+		if err != nil {
+			writeError(w, jobStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tl)
+	})
+	instrument(mux, hm, "GET /api/v1/fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.FleetStats())
 	})
 	return mux
 }
@@ -390,7 +432,7 @@ func leaseStatus(err error) int {
 // jobStatus maps per-job lookup errors.
 func jobStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrNoTrace):
 		return http.StatusNotFound
 	case errors.Is(err, ErrNotDone):
 		return http.StatusConflict

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,13 @@ type job struct {
 	// (kind "optimize"); Seed/Workers/Evaluate/OnGeneration are filled
 	// in at run time.
 	searchOpts search.Options
+	// traceID and rootSpanID are minted at Submit when the manager has
+	// a trace collector ("" otherwise) and never change, so they are
+	// readable without j.mu: traceID names the job's distributed trace
+	// and rides every lease, rootSpanID is the root span the phase and
+	// chunk spans parent under.
+	traceID    string
+	rootSpanID string
 
 	// done and cached are updated from sweep workers; everything under
 	// mu is updated by the scheduler and Cancel.
@@ -247,6 +255,13 @@ type Options struct {
 	// (nil = a private registry). cmd/sweepd passes one registry shared
 	// with the result store so GET /metrics exposes every layer.
 	Metrics *obs.Registry
+	// Trace, when non-nil, collects distributed-trace spans: every
+	// submitted job gets a trace ID, leases carry it to workers, and
+	// the job's phase, chunk and worker spans land in this bounded ring
+	// — served at GET /api/v1/jobs/{id}/trace and derived into the
+	// timeline endpoint. Nil disables tracing; like Metrics and Logger
+	// it only observes, so results are byte-identical either way.
+	Trace *obs.Collector
 	// Logger receives structured job and lease lifecycle events
 	// (nil = discard). Metrics observe, logs narrate; neither influences
 	// results.
@@ -269,6 +284,9 @@ type Manager struct {
 	// dispatch is non-nil in distributed mode: it owns the chunk queue
 	// and lease table served to workers.
 	dispatch *dispatcher
+
+	// started anchors the uptime gauge and the /healthz uptime field.
+	started time.Time
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -314,6 +332,19 @@ func New(opts Options) *Manager {
 	}
 	m.ctx = ctx
 	m.cancel = cancel
+	m.started = opts.Clock()
+	// Build identity and uptime: constant facts an operator joins
+	// against, not per-request series, so one gauge each.
+	build := obs.Build()
+	reg.Gauge("sweepd_build_info",
+		"Build metadata of the serving binary; the value is always 1.",
+		"engine", "go_version", "revision").
+		With(strconv.Itoa(sweep.EngineVersion), build.GoVersion, build.Revision).Set(1)
+	reg.GaugeFunc("sweepd_uptime_seconds",
+		"Seconds since the job manager started.", nil,
+		func(emit func(float64, ...string)) {
+			emit(m.Uptime().Seconds())
+		})
 	reg.GaugeFunc("sweepd_job_queue_depth",
 		"Jobs waiting in the priority queue.", nil,
 		func(emit func(float64, ...string)) {
@@ -327,7 +358,7 @@ func New(opts Options) *Manager {
 			emit(float64(running))
 		})
 	if opts.Distributed {
-		m.dispatch = newDispatcher(opts.LeaseTTL, opts.Clock, m.met, logger)
+		m.dispatch = newDispatcher(opts.LeaseTTL, opts.Clock, m.met, logger, opts.Trace)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < opts.JobWorkers; i++ {
@@ -396,6 +427,10 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 	j.id = fmt.Sprintf("job-%06d", m.seq)
 	j.seq = m.seq
 	j.submitted = m.opts.Clock()
+	if m.opts.Trace.Enabled() {
+		j.traceID = obs.NewTraceID()
+		j.rootSpanID = obs.NewSpanID()
+	}
 	if m.dispatch != nil {
 		// Only the dispatcher reads the grid; in-process jobs must not
 		// pin it in the retained-jobs table for their whole lifetime.
@@ -454,6 +489,49 @@ func (m *Manager) noteFinishedLocked(j *job) {
 		attrs = append(attrs, "error", j.errMsg)
 	}
 	m.log.Info("job finished", attrs...)
+	if j.traceID != "" && m.opts.Trace.Enabled() {
+		// The root span closes the trace: submitted to terminal, with
+		// every phase and chunk span parented under it.
+		m.opts.Trace.Add(obs.SpanRecord{
+			TraceID: j.traceID,
+			SpanID:  j.rootSpanID,
+			Name:    "job",
+			JobID:   j.id,
+			Start:   j.submitted,
+			End:     j.finished,
+			Attrs:   map[string]string{"kind": j.kind, "state": string(j.state)},
+		})
+	}
+}
+
+// Uptime is how long the manager has been running (by its own clock;
+// never negative even under a stubbed test clock).
+func (m *Manager) Uptime() time.Duration {
+	d := m.opts.Clock().Sub(m.started)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// recordPhase books one daemon-side phase span of the job's trace,
+// parented under the root span. No-op when tracing is off or the job
+// predates the collector; callers on hot paths still guard on
+// j.traceID before building attribute maps this would drop.
+func (m *Manager) recordPhase(j *job, name string, start, end time.Time, attrs map[string]string) {
+	if j.traceID == "" || !m.opts.Trace.Enabled() {
+		return
+	}
+	m.opts.Trace.Add(obs.SpanRecord{
+		TraceID:  j.traceID,
+		SpanID:   obs.NewSpanID(),
+		ParentID: j.rootSpanID,
+		Name:     name,
+		JobID:    j.id,
+		Start:    start,
+		End:      end,
+		Attrs:    attrs,
+	})
 }
 
 // evictLocked drops the oldest terminal jobs once the table exceeds
@@ -629,9 +707,11 @@ func (m *Manager) run(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = m.opts.Clock()
+	started, submitted := j.started, j.submitted
 	j.mu.Unlock()
 	defer cancel()
 	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
+	m.recordPhase(j, "queued", submitted, started, nil)
 
 	res, err := func() (res *sweep.Result, err error) {
 		// A panicking point evaluation (sweep.Map re-raises worker
@@ -661,6 +741,7 @@ func (m *Manager) run(j *job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = m.opts.Clock()
+	m.recordPhase(j, "evaluate", started, j.finished, nil)
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -693,9 +774,11 @@ func (m *Manager) runOptimize(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = m.opts.Clock()
+	started, submitted := j.started, j.submitted
 	j.mu.Unlock()
 	defer cancel()
 	m.log.Info("job started", "job_id", j.id, "kind", j.kind, "scenario", j.scenarioName)
+	m.recordPhase(j, "queued", submitted, started, nil)
 
 	opts := j.searchOpts
 	opts.OnGeneration = func(g search.Generation) {
@@ -735,6 +818,11 @@ func (m *Manager) runOptimize(j *job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = m.opts.Clock()
+	if m.dispatch == nil {
+		// Distributed generations already booked one dispatch span
+		// each; in-process evaluation is one opaque phase.
+		m.recordPhase(j, "evaluate", started, j.finished, nil)
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone

@@ -31,6 +31,7 @@ type serviceMetrics struct {
 
 	leases          *obs.CounterVec // event: issued|completed|expired|failed
 	leaseTurnaround obs.Histogram
+	stragglers      obs.Counter
 	workerPoints    *obs.CounterVec // worker
 	workerChunks    *obs.CounterVec // worker
 }
@@ -60,6 +61,8 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Lease lifecycle events in the chunk dispatcher.", "event"),
 		leaseTurnaround: reg.Histogram("sweepd_lease_turnaround_seconds",
 			"Time from lease issue to accepted completion.", nil).With(),
+		stragglers: reg.Counter("sweepd_lease_straggler_total",
+			"Chunk completions slower than the straggler threshold (k x the fleet-median turnaround).").With(),
 		workerPoints: reg.Counter("sweepd_worker_points_total",
 			"Design points completed per worker — the fleet throughput input for heterogeneity-aware scheduling.", "worker"),
 		workerChunks: reg.Counter("sweepd_worker_chunks_total",

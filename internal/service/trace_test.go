@@ -1,0 +1,479 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// TestDistributedTraceLifecycle is the tracing acceptance test: a
+// trace-enabled daemon in distributed mode, two HTTP workers, one job —
+// and the assertion that the collector holds one coherent trace for it
+// (every span under one trace ID, chunk spans parented to the job's
+// root, worker spans shipped back over HTTP), that the derived timeline
+// explains at least 95% of the job's wall time, and that the records
+// stay byte-identical to a single-node run with tracing on.
+func TestDistributedTraceLifecycle(t *testing.T) {
+	const (
+		scenario = "paper-baseline"
+		seed     = 11
+	)
+	sc, err := sweep.Get(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := sweep.Run(context.Background(), sc, sweep.Config{
+		Workers: 1, Seed: seed, Budget: sweep.AnalyticBudget(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(single.Records)
+
+	col := obs.NewCollector(1024)
+	m := New(Options{
+		JobWorkers:  1,
+		Distributed: true,
+		ChunkPoints: 3,
+		LeaseTTL:    time.Second,
+		Trace:       col,
+	})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	v := submit(t, srv, Request{Scenario: scenario, Budget: "analytic", Seed: seed}, http.StatusAccepted)
+
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := RunWorker(wctx, NewClient(srv.URL), WorkerOptions{
+				Name: name, Poll: 10 * time.Millisecond, Workers: 1,
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+	pollDone(t, srv, v.ID)
+	stopWorkers()
+	wg.Wait()
+
+	// Determinism first: tracing observes, the records must not know it
+	// was on.
+	fleet, err := m.Result(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleetJSON, singleJSON bytes.Buffer
+	if err := sweep.WriteJSON(&fleetJSON, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteJSON(&singleJSON, single); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetJSON.Bytes(), singleJSON.Bytes()) {
+		t.Fatal("traced fleet result differs from single-node run")
+	}
+
+	// The raw trace: NDJSON, one trace ID, chunk spans under the root.
+	resp, err := http.Get(srv.URL + "/api/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type = %q", ct)
+	}
+	var spans []obs.SpanRecord
+	scn := bufio.NewScanner(resp.Body)
+	for scn.Scan() {
+		var s obs.SpanRecord
+		if err := json.Unmarshal(scn.Bytes(), &s); err != nil {
+			t.Fatalf("bad span line %q: %v", scn.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	if err := scn.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var root obs.SpanRecord
+	byName := map[string][]obs.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if n := len(byName["job"]); n != 1 {
+		t.Fatalf("trace has %d root job spans, want 1 (%d spans total)", n, len(spans))
+	}
+	root = byName["job"][0]
+	if root.ParentID != "" || root.JobID != v.ID || root.TraceID == "" {
+		t.Fatalf("malformed root span: %+v", root)
+	}
+	for _, s := range spans {
+		if s.TraceID != root.TraceID {
+			t.Fatalf("span %s/%s carries trace %q, want %q — the trace fragmented",
+				s.Name, s.SpanID, s.TraceID, root.TraceID)
+		}
+	}
+	const wantChunks = 3 // 8 points at ChunkPoints=3
+	if len(byName["chunk"]) != wantChunks {
+		t.Fatalf("trace has %d chunk spans, want %d", len(byName["chunk"]), wantChunks)
+	}
+	chunkIDs := map[string]bool{}
+	for _, ch := range byName["chunk"] {
+		if ch.ParentID != root.SpanID {
+			t.Fatalf("chunk span %s parented to %q, want root %q", ch.SpanID, ch.ParentID, root.SpanID)
+		}
+		if ch.Worker != "w1" && ch.Worker != "w2" {
+			t.Fatalf("chunk span served by %q", ch.Worker)
+		}
+		chunkIDs[ch.SpanID] = true
+	}
+	// Worker-side spans made the HTTP round trip and nest under their
+	// chunk span.
+	if len(byName["worker"]) != wantChunks {
+		t.Fatalf("trace has %d worker spans, want %d", len(byName["worker"]), wantChunks)
+	}
+	workerIDs := map[string]bool{}
+	for _, ws := range byName["worker"] {
+		if !chunkIDs[ws.ParentID] {
+			t.Fatalf("worker span %s not parented to a chunk span (%q)", ws.SpanID, ws.ParentID)
+		}
+		workerIDs[ws.SpanID] = true
+	}
+	for _, es := range byName["evaluate"] {
+		if es.Worker == "" {
+			continue // the daemon-side evaluate phase of non-distributed jobs
+		}
+		if !workerIDs[es.ParentID] {
+			t.Fatalf("evaluate span %s not parented to a worker span (%q)", es.SpanID, es.ParentID)
+		}
+	}
+	for _, phase := range []string{"queued", "dispatch", "assemble"} {
+		if len(byName[phase]) != 1 {
+			t.Fatalf("trace has %d %q phase spans, want 1", len(byName[phase]), phase)
+		}
+	}
+
+	// The derived timeline: phases and chunks populated, the cache split
+	// correct, and the trace accounting for >= 95% of wall time.
+	var tl Timeline
+	getJSON(t, srv, "/api/v1/jobs/"+v.ID+"/timeline", &tl)
+	if tl.TraceID != root.TraceID || tl.State != StateDone {
+		t.Fatalf("timeline header = %+v", tl)
+	}
+	if tl.ComputedPoints != total || tl.CachedPoints != 0 {
+		t.Fatalf("timeline points = %d computed / %d cached, want %d / 0",
+			tl.ComputedPoints, tl.CachedPoints, total)
+	}
+	if len(tl.Chunks) != wantChunks {
+		t.Fatalf("timeline has %d chunks, want %d", len(tl.Chunks), wantChunks)
+	}
+	gotPoints := 0
+	for _, ch := range tl.Chunks {
+		gotPoints += ch.Points
+		if ch.TurnaroundSeconds < 0 || ch.Worker == "" {
+			t.Fatalf("malformed chunk timing: %+v", ch)
+		}
+	}
+	if gotPoints != total {
+		t.Fatalf("chunk timings cover %d points, want %d", gotPoints, total)
+	}
+	if tl.SpanCoverage < 0.95 {
+		t.Fatalf("span coverage = %.3f, want >= 0.95 (wall %.6fs)", tl.SpanCoverage, tl.WallSeconds)
+	}
+
+	// Fleet analytics: both workers profiled with their chunk and point
+	// counts, and the turnaround ring populated.
+	var fs FleetStats
+	getJSON(t, srv, "/api/v1/fleet/stats", &fs)
+	if len(fs.Workers) != 2 {
+		t.Fatalf("fleet stats profile %d workers, want 2: %+v", len(fs.Workers), fs)
+	}
+	chunks, points := 0, 0
+	for _, w := range fs.Workers {
+		chunks += w.ChunksDone
+		points += w.PointsDone
+		if w.ChunksDone > 0 && w.TurnaroundP50Seconds < 0 {
+			t.Fatalf("worker %s has negative p50", w.Name)
+		}
+	}
+	if chunks != wantChunks || points != total {
+		t.Fatalf("fleet stats: %d chunks / %d points, want %d / %d", chunks, points, wantChunks, total)
+	}
+	if fs.TurnaroundSamples != wantChunks {
+		t.Fatalf("fleet turnaround samples = %d, want %d", fs.TurnaroundSamples, wantChunks)
+	}
+}
+
+// TestStragglerDetection drives the dispatcher with a stub clock: eight
+// chunks complete in 10ms each to establish the fleet baseline, the
+// ninth takes a full second — over the 4x-median threshold — and must
+// be the only completion counted as a straggler, in the metric and in
+// the fleet stats.
+func TestStragglerDetection(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1_700_000_000, 0)
+	)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	reg := obs.NewRegistry()
+	m := New(Options{
+		JobWorkers:  1,
+		Distributed: true,
+		ChunkPoints: 1, // one point per chunk: the manycore grid yields 12 completions
+		LeaseTTL:    time.Hour,
+		Clock:       clock,
+		Metrics:     reg,
+		Trace:       obs.NewCollector(256),
+	})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(Request{Scenario: "manycore", Budget: "analytic", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sweep.Get("manycore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 12
+	for i := 0; i < chunks; i++ {
+		l := leaseEventually(t, m, "w")
+		budget, err := sweep.ParseBudget(l.Budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := sweep.EvaluateChunk(context.Background(), sc,
+			sweep.Chunk{Start: l.Start, End: l.End},
+			sweep.Config{Workers: 1, Seed: l.Seed, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 8 {
+			advance(time.Second) // the straggler: 100x the baseline turnaround
+		} else {
+			advance(10 * time.Millisecond)
+		}
+		if err := m.Complete(l.ID, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	fs := m.FleetStats()
+	if fs.StragglersTotal != 1 {
+		t.Fatalf("stragglers = %d, want exactly 1 (%+v)", fs.StragglersTotal, fs)
+	}
+	if len(fs.Workers) != 1 || fs.Workers[0].Stragglers != 1 || fs.Workers[0].ChunksDone != chunks {
+		t.Fatalf("worker profile = %+v", fs.Workers)
+	}
+	if fs.Workers[0].TurnaroundP95Seconds < fs.Workers[0].TurnaroundP50Seconds {
+		t.Fatalf("p95 %.3f below p50 %.3f", fs.Workers[0].TurnaroundP95Seconds, fs.Workers[0].TurnaroundP50Seconds)
+	}
+	if fs.FleetMedianTurnaroundSeconds <= 0 {
+		t.Fatalf("fleet median = %v", fs.FleetMedianTurnaroundSeconds)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sweepd_lease_straggler_total 1") {
+		t.Fatalf("exposition missing straggler count:\n%s", buf.String())
+	}
+
+	// The slow chunk is visible in the timeline too.
+	tl, err := m.JobTimeline(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := 0
+	for _, ch := range tl.Chunks {
+		if ch.TurnaroundSeconds > 0.5 {
+			slow++
+		}
+	}
+	if slow != 1 {
+		t.Fatalf("timeline shows %d slow chunks, want 1: %+v", slow, tl.Chunks)
+	}
+}
+
+// TestClientRetryKeepsTraceIdentity pins the retry contract: every RPC
+// a Client sends about one lease — first attempt and retries alike —
+// carries the job's trace ID as its X-Request-ID plus the
+// X-Trace-ID/X-Parent-Span pair, so a flaky completion does not
+// fragment the trace or the daemon's access log.
+func TestClientRetryKeepsTraceIdentity(t *testing.T) {
+	var (
+		mu        sync.Mutex
+		completes []http.Header
+		beats     []http.Header
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(Lease{
+			ID: "L1", JobID: "job-1", Scenario: "paper-baseline",
+			TraceID: "trace-77", SpanID: "span-88",
+			Engine: sweep.EngineVersion, TTLSeconds: 30,
+		})
+	})
+	mux.HandleFunc("POST /api/v1/workers/leases/L1/complete", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		completes = append(completes, r.Header.Clone())
+		n := len(completes)
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /api/v1/workers/leases/L1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		beats = append(beats, r.Header.Clone())
+		mu.Unlock()
+		fmt.Fprint(w, `{"ttl_seconds":30}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	l, ok, err := c.Lease("w")
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if _, err := c.Heartbeat(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The real worker retry loop: first attempt 500s, the retry lands.
+	if err := completeWithRetry(context.Background(), c, l.ID, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	gotBeats := append([]http.Header{}, beats...)
+	gotCompletes := append([]http.Header{}, completes...)
+	mu.Unlock()
+	if len(gotCompletes) != 2 {
+		t.Fatalf("daemon saw %d completion attempts, want 2", len(gotCompletes))
+	}
+	for i, h := range append(gotBeats, gotCompletes...) {
+		if got := h.Get(obs.RequestIDHeader); got != "trace-77" {
+			t.Fatalf("attempt %d: X-Request-ID = %q, want the trace ID", i, got)
+		}
+		if got := h.Get(obs.TraceIDHeader); got != "trace-77" {
+			t.Fatalf("attempt %d: X-Trace-ID = %q", i, got)
+		}
+		if got := h.Get(obs.ParentSpanHeader); got != "span-88" {
+			t.Fatalf("attempt %d: X-Parent-Span = %q", i, got)
+		}
+	}
+
+	// The successful completion retires the lease from the trace map; a
+	// stray late heartbeat goes out unstamped.
+	if _, err := c.Heartbeat(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	last := beats[len(beats)-1]
+	mu.Unlock()
+	if last.Get(obs.TraceIDHeader) != "" {
+		t.Fatalf("late heartbeat still stamped: %q", last.Get(obs.TraceIDHeader))
+	}
+}
+
+// TestTraceEndpointsWithoutCollector pins the disabled-tracing surface:
+// trace and timeline answer 404, fleet stats still answers (empty).
+func TestTraceEndpointsWithoutCollector(t *testing.T) {
+	m := New(Options{JobWorkers: 1})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	v := submit(t, srv, Request{Scenario: "embedded-box", Budget: "analytic", Seed: 1}, http.StatusAccepted)
+	pollDone(t, srv, v.ID)
+
+	for _, path := range []string{"/trace", "/timeline"} {
+		if got := statusOf(t, srv, http.MethodGet, "/api/v1/jobs/"+v.ID+path); got != http.StatusNotFound {
+			t.Fatalf("GET %s = %d without a collector, want 404", path, got)
+		}
+	}
+	var fs FleetStats
+	getJSON(t, srv, "/api/v1/fleet/stats", &fs)
+	if len(fs.Workers) != 0 || fs.StragglersTotal != 0 {
+		t.Fatalf("fleet stats on an idle daemon = %+v", fs)
+	}
+}
+
+// TestHealthzBuildAndUptime pins the build-info satellite: /healthz
+// reports uptime and build identity, and the registry exposes the
+// sweepd_build_info and sweepd_uptime_seconds gauges.
+func TestHealthzBuildAndUptime(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1_700_000_000, 0)
+	)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	reg := obs.NewRegistry()
+	m := New(Options{Clock: clock, Metrics: reg})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	mu.Lock()
+	now = now.Add(90 * time.Second)
+	mu.Unlock()
+
+	var health struct {
+		Status    string  `json:"status"`
+		Uptime    float64 `json:"uptime_seconds"`
+		GoVersion string  `json:"go_version"`
+		Revision  string  `json:"revision"`
+	}
+	getJSON(t, srv, "/healthz", &health)
+	if health.Status != "ok" || health.Uptime != 90 {
+		t.Fatalf("healthz = %+v, want ok with 90s uptime", health)
+	}
+	if !strings.HasPrefix(health.GoVersion, "go") {
+		t.Fatalf("go_version = %q", health.GoVersion)
+	}
+	if health.Revision == "" {
+		t.Fatalf("revision empty; want a VCS hash or \"unknown\"")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweepd_build_info{") {
+		t.Fatalf("exposition missing sweepd_build_info:\n%s", out)
+	}
+	if !strings.Contains(out, "sweepd_uptime_seconds 90") {
+		t.Fatalf("exposition missing sweepd_uptime_seconds:\n%s", out)
+	}
+}

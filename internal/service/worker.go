@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,15 @@ type WorkerAPI interface {
 	Complete(leaseID string, recs []sweep.Record) error
 	// FailLease reports an unevaluable chunk, failing its job.
 	FailLease(leaseID, reason string) error
+}
+
+// TracedCompleter is the optional WorkerAPI extension for completions
+// that ship worker-side spans with the records, so the daemon's trace
+// of a distributed job includes what happened inside each worker
+// process. Both *Manager and *Client implement it; a worker falls back
+// to plain Complete when its API (or the lease) carries no trace.
+type TracedCompleter interface {
+	CompleteTraced(leaseID string, recs []sweep.Record, spans []obs.SpanRecord) error
 }
 
 // WorkerOptions tunes one RunWorker loop.
@@ -99,6 +109,7 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 	// Every line about this lease carries the ids an operator needs to
 	// join worker logs against the daemon's dispatcher logs.
 	logger = logger.With("lease_id", l.ID, "job_id", l.JobID)
+	leased := time.Now()
 	if l.Engine != sweep.EngineVersion {
 		return fmt.Errorf("service: worker runs engine v%d but daemon leased engine v%d work — rebuild the worker",
 			sweep.EngineVersion, l.Engine)
@@ -151,6 +162,7 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 		}
 	}()
 
+	evalStart := time.Now()
 	recs, evalErr := func() (recs []sweep.Record, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -168,12 +180,13 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 		}
 		return evalChunk(evalCtx, sc, sweep.Chunk{Start: l.Start, End: l.End}, cfg)
 	}()
+	evalEnd := time.Now()
 	cancelEval()
 	<-hbDone
 
 	switch {
 	case evalErr == nil:
-		err := completeWithRetry(ctx, api, l.ID, recs)
+		err := completeWithRetry(ctx, api, l.ID, recs, workerSpans(l, opts.Name, leased, evalStart, evalEnd, len(recs)))
 		switch {
 		case err == nil:
 			logger.Info("chunk completed",
@@ -219,13 +232,43 @@ var (
 	evalPoints = sweep.EvaluatePoints
 )
 
-// completeWithRetry posts records, retrying transient errors a few
-// times. ErrLeaseGone and ErrBadRecords are deterministic outcomes and
+// workerSpans builds this chunk's worker-side spans; for an untraced
+// lease it returns nil and the completion degrades to plain Complete.
+// The "worker" span covers lease receipt to post (parented under the
+// dispatcher's chunk span via l.SpanID); the "evaluate" span nested
+// inside it isolates pure engine time from queueing and transport.
+func workerSpans(l Lease, worker string, leased, evalStart, evalEnd time.Time, points int) []obs.SpanRecord {
+	if l.TraceID == "" {
+		return nil
+	}
+	wid := obs.NewSpanID()
+	return []obs.SpanRecord{
+		{
+			TraceID: l.TraceID, SpanID: wid, ParentID: l.SpanID,
+			Name: "worker", JobID: l.JobID, Worker: worker,
+			Start: leased, End: time.Now(),
+		},
+		{
+			TraceID: l.TraceID, SpanID: obs.NewSpanID(), ParentID: wid,
+			Name: "evaluate", JobID: l.JobID, Worker: worker,
+			Start: evalStart, End: evalEnd,
+			Attrs: map[string]string{"points": strconv.Itoa(points)},
+		},
+	}
+}
+
+// completeWithRetry posts records (and worker spans, when the API and
+// lease support tracing), retrying transient errors a few times.
+// ErrLeaseGone and ErrBadRecords are deterministic outcomes and
 // returned immediately for the caller to classify.
-func completeWithRetry(ctx context.Context, api WorkerAPI, leaseID string, recs []sweep.Record) error {
+func completeWithRetry(ctx context.Context, api WorkerAPI, leaseID string, recs []sweep.Record, spans []obs.SpanRecord) error {
+	post := api.Complete
+	if tc, ok := api.(TracedCompleter); ok && len(spans) > 0 {
+		post = func(id string, r []sweep.Record) error { return tc.CompleteTraced(id, r, spans) }
+	}
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		err = api.Complete(leaseID, recs)
+		err = post(leaseID, recs)
 		if err == nil || errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrBadRecords) {
 			return err
 		}

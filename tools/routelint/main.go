@@ -18,6 +18,12 @@
 // so it cannot be fooled by aliasing the mux, and it never needs type
 // information or a build cache. Test files are ignored: tests may wire
 // throwaway muxes however they like.
+//
+// The helper itself is held to its contract too: a Handle/HandleFunc
+// call inside instrument must pass its handler through a .Wrap(...)
+// call (the obs.HTTPMetrics middleware), so hollowing out the helper —
+// registering the raw handler and leaving the middleware behind — is
+// caught the same way as bypassing it.
 package main
 
 import (
@@ -98,6 +104,7 @@ func lintFile(fset *token.FileSet, f *ast.File) []string {
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
 		if ok && fd.Name.Name == allowedFunc {
+			out = append(out, lintHelper(fset, fd)...)
 			continue
 		}
 		ast.Inspect(decl, func(n ast.Node) bool {
@@ -118,5 +125,41 @@ func lintFile(fset *token.FileSet, f *ast.File) []string {
 			return true
 		})
 	}
+	return out
+}
+
+// lintHelper checks the allowed helper's own registrations: every
+// Handle/HandleFunc call inside it must pass its handler through a
+// .Wrap(...) call, or the middleware is silently gone from every route
+// while the chokepoint still looks intact.
+func lintHelper(fset *token.FileSet, fd *ast.FuncDecl) []string {
+	var out []string
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+			return true
+		}
+		wrapped := false
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if inner, ok := a.(*ast.CallExpr); ok {
+					if s, ok := inner.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Wrap" {
+						wrapped = true
+					}
+				}
+				return !wrapped
+			})
+		}
+		if !wrapped {
+			pos := fset.Position(call.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: %s call inside %s does not route the handler through .Wrap(...)",
+				pos.Filename, pos.Line, sel.Sel.Name, allowedFunc))
+		}
+		return true
+	})
 	return out
 }

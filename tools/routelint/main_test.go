@@ -19,18 +19,23 @@ func write(t *testing.T, path, content string) {
 
 func TestLintFindsBypassingRegistrations(t *testing.T) {
 	dir := t.TempDir()
-	// The blessed shape: registrations only inside instrument.
+	// The blessed shape: registrations only inside instrument, and the
+	// helper routes the handler through the middleware's Wrap.
 	write(t, filepath.Join(dir, "good.go"), `package svc
 
 import "net/http"
 
-func instrument(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
-	mux.Handle(pattern, fn)
+type mw struct{}
+
+func (mw) Wrap(pattern string, fn http.HandlerFunc) http.Handler { return fn }
+
+func instrument(mux *http.ServeMux, hm mw, pattern string, fn http.HandlerFunc) {
+	mux.Handle(pattern, hm.Wrap(pattern, fn))
 }
 
 func handlers() *http.ServeMux {
 	mux := http.NewServeMux()
-	instrument(mux, "GET /x", func(w http.ResponseWriter, r *http.Request) {})
+	instrument(mux, mw{}, "GET /x", func(w http.ResponseWriter, r *http.Request) {})
 	return mux
 }
 `)
@@ -71,6 +76,28 @@ func testMux() *http.ServeMux {
 		if !strings.Contains(v, "bad.go") {
 			t.Fatalf("violation %q not attributed to bad.go", v)
 		}
+	}
+}
+
+func TestLintFindsHollowedOutHelper(t *testing.T) {
+	dir := t.TempDir()
+	// The chokepoint exists but registers the raw handler: every route
+	// would silently lose the middleware, so the helper itself fails.
+	write(t, filepath.Join(dir, "hollow.go"), `package svc
+
+import "net/http"
+
+func instrument(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	mux.Handle(pattern, fn)
+}
+`)
+
+	violations, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "Wrap") {
+		t.Fatalf("violations = %v, want one un-wrapped registration inside instrument", violations)
 	}
 }
 
