@@ -7,17 +7,26 @@
 //
 //	sweep list
 //	sweep spaces
-//	sweep run -scenario <name> [-out results.json] [-csv results.csv]
+//	sweep run {-scenario <name> | -spec file.json} [-daemon URL]
+//	          [-out results.json] [-csv results.csv]
 //	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
 //	          [-timeout 10m] [-store dir]
-//	sweep optimize -space <name> [-objectives a,b,c] [-generations G]
-//	          [-population P] [-out result.json] [-csv records.csv]
-//	          [-workers N] [-seed S] [-budget analytic|smoke|standard]
-//	          [-timeout 10m] [-store dir]
+//	sweep optimize {-space <name> | -spec file.json} [-objectives a,b,c]
+//	          [-generations G] [-population P] [-out result.json]
+//	          [-csv records.csv] [-workers N] [-seed S]
+//	          [-budget analytic|smoke|standard] [-timeout 10m] [-store dir]
 //	sweep store stats -store <dir>
 //	sweep store compact -store <dir>
 //	sweep trace [-daemon http://localhost:8080] [-raw] <job-id>
 //	sweep fleet [-daemon http://localhost:8080]
+//
+// -spec replaces the registered name with a user-authored declarative
+// scenario spec (JSON; see docs/specs.md): its axes define the grid (or
+// the optimizer's search ranges), its constraints mark feasibility on
+// the Pareto front, and its budget applies unless -budget overrides it.
+// -daemon submits the same work to a running sweepd instead of
+// executing locally; the daemon's worker fleet computes the records and
+// the CLI streams them back, byte-identical to a local run.
 //
 // trace and fleet read a running sweepd's observability endpoints:
 // trace prints a job's phase timeline (or, with -raw, its spans as
@@ -49,6 +58,8 @@ import (
 
 	"repro/internal/fsio"
 	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -149,6 +160,8 @@ func spaceCatalog() string {
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	scenario := fs.String("scenario", "", "scenario name (see 'sweep list')")
+	specPath := fs.String("spec", "", "declarative scenario spec file (JSON; see docs/specs.md)")
+	daemon := fs.String("daemon", "", "submit to a running sweepd at this URL instead of executing locally")
 	out := fs.String("out", "", "JSON output path ('-' for stdout)")
 	csvOut := fs.String("csv", "", "optional CSV output path")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU); records do not depend on it")
@@ -159,19 +172,67 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *scenario == "" {
-		return fmt.Errorf("missing -scenario (see 'sweep list')")
+	if *scenario == "" && *specPath == "" {
+		return fmt.Errorf("missing -scenario or -spec (see 'sweep list' and docs/specs.md)")
 	}
-	sc, err := sweep.Get(*scenario)
-	if err != nil {
-		return fmt.Errorf("unknown scenario %q; known scenarios:\n%s", *scenario, scenarioCatalog())
+	if *scenario != "" && *specPath != "" {
+		return fmt.Errorf("-scenario and -spec are mutually exclusive")
 	}
-	budget, err := sweep.ParseBudget(*budgetName)
+
+	var userSpec *spec.Spec
+	var rawSpec []byte
+	if *specPath != "" {
+		var err error
+		if userSpec, rawSpec, err = loadSpec(*specPath); err != nil {
+			return err
+		}
+	}
+
+	if *daemon != "" {
+		// The daemon path submits the raw document (or registry name) and
+		// lets sweepd — and whatever worker fleet is leased in — do the
+		// computing; records come back byte-identical to a local run.
+		req := service.Request{
+			Kind:     service.KindSweep,
+			Scenario: *scenario,
+			Spec:     rawSpec,
+			Seed:     *seed,
+			Workers:  *workers,
+		}
+		// Only an explicit -budget overrides the spec's own choice.
+		if userSpec == nil || flagWasSet(fs, "budget") {
+			req.Budget = *budgetName
+		}
+		return submitAndStream(*daemon, req, *out, *timeout)
+	}
+
+	var sc sweep.Scenario
+	var feasible func(sweep.Record) bool
+	budgetChoice := *budgetName
+	if userSpec != nil {
+		compiled, err := userSpec.Compile()
+		if err != nil {
+			return err
+		}
+		sc = compiled.Scenario
+		feasible = compiled.Feasible
+		if userSpec.Budget != "" && !flagWasSet(fs, "budget") {
+			budgetChoice = userSpec.Budget
+		}
+		fmt.Printf("spec %q -> scenario %s: %d points, %d axes\n",
+			userSpec.Name, sc.Name, len(compiled.Points), len(userSpec.Axes))
+	} else {
+		var err error
+		if sc, err = sweep.Get(*scenario); err != nil {
+			return fmt.Errorf("unknown scenario %q; known scenarios:\n%s", *scenario, scenarioCatalog())
+		}
+	}
+	budget, err := sweep.ParseBudget(budgetChoice)
 	if err != nil {
 		return err
 	}
 
-	cfg := sweep.Config{Workers: *workers, Seed: *seed, Budget: budget}
+	cfg := sweep.Config{Workers: *workers, Seed: *seed, Budget: budget, Feasible: feasible}
 	st, err := openStore(*storeDir)
 	if err != nil {
 		return err
@@ -235,6 +296,7 @@ func run(args []string) error {
 func optimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	spaceName := fs.String("space", "", "search space name (see 'sweep spaces')")
+	specPath := fs.String("spec", "", "declarative scenario spec file (JSON; see docs/specs.md)")
 	objectivesCSV := fs.String("objectives", "", "comma-separated objective names (default tx-power,decode-latency,noc-saturation)")
 	generations := fs.Int("generations", 0, "generations to evolve (0 = default)")
 	population := fs.Int("population", 0, "individuals per generation, even and >= 4 (0 = default)")
@@ -248,22 +310,54 @@ func optimize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *spaceName == "" {
-		return fmt.Errorf("missing -space (see 'sweep spaces')")
+	if *spaceName == "" && *specPath == "" {
+		return fmt.Errorf("missing -space or -spec (see 'sweep spaces' and docs/specs.md)")
 	}
-	sp, err := search.Get(*spaceName)
-	if err != nil {
-		return fmt.Errorf("unknown space %q; known spaces:\n%s", *spaceName, spaceCatalog())
+	if *spaceName != "" && *specPath != "" {
+		return fmt.Errorf("-space and -spec are mutually exclusive")
 	}
-	var objectives []string
-	if *objectivesCSV != "" {
-		objectives = strings.Split(*objectivesCSV, ",")
+
+	var sp search.Space
+	var objs []search.Objective
+	var feasible func(sweep.Record) bool
+	budgetChoice := *budgetName
+	if *specPath != "" {
+		userSpec, _, err := loadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		if sp, err = userSpec.Space(); err != nil {
+			return err
+		}
+		if feasible, err = userSpec.FeasibleFunc(); err != nil {
+			return err
+		}
+		// An explicit -objectives overrides the spec's own list, the same
+		// precedence the daemon gives a Request's fields over the spec's.
+		if *objectivesCSV != "" {
+			if objs, err = search.ParseObjectives(strings.Split(*objectivesCSV, ",")); err != nil {
+				return err
+			}
+		} else if objs, err = userSpec.SearchObjectives(); err != nil {
+			return err
+		}
+		if userSpec.Budget != "" && !flagWasSet(fs, "budget") {
+			budgetChoice = userSpec.Budget
+		}
+	} else {
+		var err error
+		if sp, err = search.Get(*spaceName); err != nil {
+			return fmt.Errorf("unknown space %q; known spaces:\n%s", *spaceName, spaceCatalog())
+		}
+		var objectives []string
+		if *objectivesCSV != "" {
+			objectives = strings.Split(*objectivesCSV, ",")
+		}
+		if objs, err = search.ParseObjectives(objectives); err != nil {
+			return err
+		}
 	}
-	objs, err := search.ParseObjectives(objectives)
-	if err != nil {
-		return err
-	}
-	budget, err := sweep.ParseBudget(*budgetName)
+	budget, err := sweep.ParseBudget(budgetChoice)
 	if err != nil {
 		return err
 	}
@@ -271,6 +365,7 @@ func optimize(args []string) error {
 	opts := search.Options{
 		Space:       sp,
 		Objectives:  objs,
+		Feasible:    feasible,
 		Seed:        *seed,
 		Generations: *generations,
 		Population:  *population,
@@ -430,13 +525,14 @@ func usage() {
 usage:
   sweep list
   sweep spaces
-  sweep run -scenario <name> [-out results.json] [-csv results.csv]
+  sweep run {-scenario <name> | -spec file.json} [-daemon URL]
+            [-out results.json] [-csv results.csv]
             [-workers N] [-seed S] [-budget analytic|smoke|standard]
             [-timeout 10m] [-store dir]
-  sweep optimize -space <name> [-objectives a,b,c] [-generations G]
-            [-population P] [-out result.json] [-csv records.csv]
-            [-workers N] [-seed S] [-budget analytic|smoke|standard]
-            [-timeout 10m] [-store dir]
+  sweep optimize {-space <name> | -spec file.json} [-objectives a,b,c]
+            [-generations G] [-population P] [-out result.json]
+            [-csv records.csv] [-workers N] [-seed S]
+            [-budget analytic|smoke|standard] [-timeout 10m] [-store dir]
   sweep store stats -store <dir>
   sweep store compact -store <dir>
   sweep trace [-daemon http://localhost:8080] [-raw] <job-id>
@@ -444,7 +540,11 @@ usage:
 
 run enumerates a fixed scenario grid; optimize runs the adaptive
 NSGA-II multi-objective search over a declared parameter space and
-reports the Pareto front it converged to.
+reports the Pareto front it converged to. Both accept -spec, a
+user-authored declarative scenario file (docs/specs.md has the
+authoring guide), in place of the registered name; run additionally
+accepts -daemon to submit the job to a running sweepd and stream the
+records back.
 
 -store shares cmd/sweepd's content-addressed result store: reruns reuse
 every already-computed point instead of evaluating it again. store

@@ -120,14 +120,25 @@ func getJSONInto(url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// remoteError surfaces the daemon's {"error": "..."} payload.
+// remoteError surfaces the daemon's error envelope
+// {"error":{"code":...,"message":...}}, tolerating the legacy
+// {"error":"..."} shape and bare bodies from older daemons.
 func remoteError(op string, resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var v struct {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		return fmt.Errorf("%s: %s: %s (%s)", op, resp.Status, env.Error.Message, env.Error.Code)
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(raw, &v) == nil && v.Error != "" {
-		return fmt.Errorf("%s: %s: %s", op, resp.Status, v.Error)
+	if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+		return fmt.Errorf("%s: %s: %s", op, resp.Status, legacy.Error)
 	}
 	return fmt.Errorf("%s: %s: %s", op, resp.Status, strings.TrimSpace(string(raw)))
 }

@@ -1,0 +1,125 @@
+package main
+
+// Spec-file and daemon-submission support for 'sweep run' and
+// 'sweep optimize': -spec points the command at a declarative JSON
+// scenario spec (see docs/specs.md) instead of a registered name, and
+// -daemon ships the same work to a running sweepd — which hands it to
+// whatever worker fleet is leased in — instead of executing locally.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fsio"
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+// loadSpec reads and strictly parses a spec file, returning both the
+// parsed document and the raw bytes (the daemon path submits the raw
+// document so the daemon's own parser is the one that counts).
+func loadSpec(path string) (*spec.Spec, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sp, raw, nil
+}
+
+// flagWasSet reports whether the named flag was explicitly provided,
+// distinguishing "defaulted" from "the user chose the default": a
+// spec's own budget applies only when -budget was left alone.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// submitAndStream runs one job on a remote sweepd: submit, poll to a
+// terminal state, then fetch the record stream (written to outPath when
+// given). The records are byte-identical to a local run at the same
+// seed and budget — the daemon and its workers share the engine.
+func submitAndStream(base string, req service.Request, outPath string, timeout time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 60 * time.Second}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var v service.JobView
+	if resp.StatusCode != http.StatusAccepted {
+		defer resp.Body.Close()
+		return remoteError("submit", resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("submit: decoding response: %w", err)
+	}
+	what := v.Scenario
+	if v.Spec != "" {
+		what = fmt.Sprintf("%s (spec %q)", v.Scenario, v.Spec)
+	}
+	fmt.Printf("job %s accepted: %s %s, budget %s, seed %d\n", v.ID, v.Kind, what, v.Budget, v.Seed)
+
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for !v.State.Terminal() {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %s (poll it with: sweep trace -daemon %s %s)",
+				v.ID, v.State, timeout, base, v.ID)
+		}
+		time.Sleep(500 * time.Millisecond)
+		if err := getJSONInto(base+"/api/v1/jobs/"+v.ID, &v); err != nil {
+			return err
+		}
+	}
+	if v.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", v.ID, v.State, v.Error)
+	}
+	fmt.Printf("job %s done: %d points (%d cached, %d computed)\n",
+		v.ID, v.Progress.Total, v.Progress.Cached, v.Progress.Total-v.Progress.Cached)
+
+	recResp, err := hc.Get(base + "/api/v1/jobs/" + v.ID + "/records")
+	if err != nil {
+		return err
+	}
+	defer recResp.Body.Close()
+	if recResp.StatusCode != http.StatusOK {
+		return remoteError("records", recResp)
+	}
+	if outPath == "" || outPath == "-" {
+		_, err = io.Copy(os.Stdout, recResp.Body)
+		return err
+	}
+	if err := fsio.WriteFileAtomic(outPath, func(f *os.File) error {
+		_, err := io.Copy(f, recResp.Body)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}

@@ -59,6 +59,119 @@ type SystemSpec struct {
 	// SNRMarginDB is added on top of the Shannon-derived SNR requirement
 	// to cover coding gap and ageing (default 3 dB).
 	SNRMarginDB float64
+
+	// The optional sections below extend the paper's running example to
+	// user-declared scenario families. They are pointers with omitempty
+	// tags on purpose: a nil section marshals to exactly the bytes the
+	// pre-section SystemSpec produced, so every content-addressed
+	// PointKey minted before these fields existed stays valid.
+
+	// Traffic selects the NoC traffic pattern offered to each stack's
+	// network. Nil means the paper's uniform traffic.
+	Traffic *TrafficSpec `json:"traffic,omitempty"`
+	// Interference models co-channel interference from neighbouring
+	// board-to-board links via the measured echo environment. Nil means
+	// an interference-free link budget.
+	Interference *InterferenceSpec `json:"interference,omitempty"`
+	// Power imposes hard power ceilings on the wireless plan. Nil means
+	// unconstrained.
+	Power *PowerSpec `json:"power,omitempty"`
+}
+
+// TrafficSpec selects the traffic pattern evaluated inside each stack's
+// NiCS, both by the analytic topology chooser and the cycle simulator.
+type TrafficSpec struct {
+	// Pattern names the noc traffic model: "uniform", "hotspot" or
+	// "bit-complement". Empty means "uniform".
+	Pattern string `json:"pattern"`
+	// HotspotModule is the hot destination module for "hotspot".
+	HotspotModule int `json:"hotspot_module"`
+	// HotspotFraction in [0, 1] is the share of every module's traffic
+	// addressed to the hot module.
+	HotspotFraction float64 `json:"hotspot_fraction"`
+}
+
+// Traffic pattern names accepted by TrafficSpec.Pattern.
+const (
+	TrafficUniform       = "uniform"
+	TrafficHotspot       = "hotspot"
+	TrafficBitComplement = "bit-complement"
+)
+
+// NoCPattern returns the noc.TrafficPattern the section describes.
+// A nil receiver or empty pattern is the paper's uniform traffic.
+func (t *TrafficSpec) NoCPattern() noc.TrafficPattern {
+	if t == nil {
+		return noc.Uniform{}
+	}
+	switch t.Pattern {
+	case "", TrafficUniform:
+		return noc.Uniform{}
+	case TrafficHotspot:
+		return noc.Hotspot{Module: t.HotspotModule, Fraction: t.HotspotFraction}
+	case TrafficBitComplement:
+		return noc.BitComplement{}
+	}
+	panic(fmt.Sprintf("core: unknown traffic pattern %q (Validate should have rejected it)", t.Pattern))
+}
+
+// validate checks the traffic section against the stack size.
+func (t *TrafficSpec) validate(stackModules int) error {
+	switch t.Pattern {
+	case "", TrafficUniform, TrafficBitComplement:
+	case TrafficHotspot:
+		if t.HotspotFraction < 0 || t.HotspotFraction > 1 {
+			return fmt.Errorf("core: hotspot fraction %g outside [0, 1]", t.HotspotFraction)
+		}
+		if t.HotspotModule < 0 || t.HotspotModule >= stackModules {
+			return fmt.Errorf("core: hotspot module %d outside the %d-module stack", t.HotspotModule, stackModules)
+		}
+	default:
+		return fmt.Errorf("core: unknown traffic pattern %q (want %s, %s or %s)",
+			t.Pattern, TrafficUniform, TrafficHotspot, TrafficBitComplement)
+	}
+	return nil
+}
+
+// InterferenceSpec models co-channel interference from neighbouring
+// wireless links reusing the band. Each interferer couples in through
+// the worst multipath echo of the measured Sec. II channel (the copper
+// board reverberation when CopperBoards is set), attenuated by any
+// extra rejection the receiver achieves (beam nulling, polarisation
+// reuse). The link budget then plans transmit power against the
+// resulting SINR instead of the thermal-noise-only SNR; a design whose
+// required SINR cannot be reached at any power is interference-limited
+// and infeasible.
+type InterferenceSpec struct {
+	// Neighbors is the number of equal-power co-channel interfering
+	// links coupling into each receiver.
+	Neighbors int `json:"neighbors"`
+	// CopperBoards selects the worst-case echo environment of the
+	// paper's copper-board measurements for the coupling path.
+	CopperBoards bool `json:"copper_boards"`
+	// RejectionDB is extra per-interferer rejection in dB on top of the
+	// propagation discrimination (≥ 0).
+	RejectionDB float64 `json:"rejection_db"`
+}
+
+// validate checks the interference section.
+func (i *InterferenceSpec) validate() error {
+	switch {
+	case i.Neighbors < 0:
+		return fmt.Errorf("core: interference neighbors %d must be >= 0", i.Neighbors)
+	case i.RejectionDB < 0:
+		return fmt.Errorf("core: interference rejection %g dB must be >= 0", i.RejectionDB)
+	}
+	return nil
+}
+
+// PowerSpec imposes hard power ceilings on the wireless plan — the
+// thermally constrained stack family, where a 3D chip-stack cannot
+// dissipate arbitrary RF power.
+type PowerSpec struct {
+	// MaxTxPowerDBm caps the per-link transmit power. A plan whose
+	// worst link needs more is infeasible.
+	MaxTxPowerDBm float64 `json:"max_tx_power_dbm"`
 }
 
 // Validate checks the specification for contradictions.
@@ -80,6 +193,16 @@ func (s SystemSpec) Validate() error {
 		return fmt.Errorf("core: a NiCS needs at least 2 modules, got %d", s.StackModules)
 	case s.StackInjectionRate <= 0:
 		return fmt.Errorf("core: stack injection rate must be positive")
+	}
+	if s.Traffic != nil {
+		if err := s.Traffic.validate(s.StackModules); err != nil {
+			return err
+		}
+	}
+	if s.Interference != nil {
+		if err := s.Interference.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -195,17 +318,73 @@ func DesignSystem(spec SystemSpec) (*Design, error) {
 			TxPowerDBm:  d.Budget.RequiredTxPowerDBm(longest, targetSNR, spec.Butler),
 		},
 	}
+	if spec.Interference != nil {
+		for i := range d.Links {
+			penalty, err := interferencePenaltyDB(spec, d.Budget.FreqHz, d.Links[i], targetSNR)
+			if err != nil {
+				return nil, err
+			}
+			d.Links[i].TxPowerDBm += penalty
+		}
+	}
+	if spec.Power != nil {
+		for _, l := range d.Links {
+			if l.TxPowerDBm > spec.Power.MaxTxPowerDBm {
+				return nil, fmt.Errorf("core: %s link needs %.1f dBm, exceeding the %.1f dBm power cap",
+					l.Name, l.TxPowerDBm, spec.Power.MaxTxPowerDBm)
+			}
+		}
+	}
 
 	var err error
 	d.Code, err = chooseCode(spec.LatencyBudgetBits)
 	if err != nil {
 		return nil, err
 	}
-	d.Stack, err = chooseStack(spec.StackModules, spec.StackInjectionRate)
+	d.Stack, err = chooseStack(spec.StackModules, spec.StackInjectionRate, spec.Traffic.NoCPattern())
 	if err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// interferencePenaltyDB converts the SNR-only power plan into an
+// SINR-aware one. Each of the Neighbors interfering links couples into
+// the receiver through the scenario's strongest echo path (relative
+// level WorstEchoRelativeDB, further attenuated by RejectionDB), and
+// interferers run at the same power class as the victim, so the
+// carrier-to-interference ratio is power-independent: raising transmit
+// power raises interference proportionally. Requiring
+// S/(N + iRel*S) >= s therefore costs an extra -10*log10(1 - s*iRel)
+// dB over the noise-only plan, and once s*iRel >= 1 no transmit power
+// closes the link — the design is interference-limited.
+func interferencePenaltyDB(spec SystemSpec, freqHz float64, link LinkPlan, targetSNRdB float64) (float64, error) {
+	inf := spec.Interference
+	if inf.Neighbors == 0 {
+		return 0, nil
+	}
+	var sc channel.Scenario
+	if link.DistanceM > spec.BoardSpacingM {
+		// Diagonal links: rotated boards with the paper's residual
+		// misalignment model.
+		sc = channel.DiagonalScenario(link.DistanceM, spec.BoardSpacingM, inf.CopperBoards)
+	} else {
+		sc = channel.Scenario{
+			LinkDistM:    link.DistanceM,
+			CopperBoards: inf.CopperBoards,
+			TXGainDB:     channel.HornGainDB,
+			RXGainDB:     channel.HornGainDB,
+		}
+	}
+	echoDB := sc.WorstEchoRelativeDB(freqHz)
+	perInterferer := math.Pow(10, (echoDB-inf.RejectionDB)/10)
+	iRel := float64(inf.Neighbors) * perInterferer
+	s := math.Pow(10, targetSNRdB/10)
+	if s*iRel >= 1 {
+		return 0, fmt.Errorf("core: %s link is interference-limited: %d neighbours at %.1f dB coupling leave SINR %.1f dB unreachable",
+			link.Name, inf.Neighbors, echoDB-inf.RejectionDB, targetSNRdB)
+	}
+	return -10 * math.Log10(1-s*iRel), nil
 }
 
 // chooseCode picks the (N, W) pair of the paper's code family whose
@@ -269,31 +448,43 @@ type stackCandidate struct {
 	sat   float64
 }
 
-// stackCache memoises compiled candidate topologies per module count.
-// Compiling a mesh costs O(routers^2 x hops) — profiles put it at
-// essentially 100% of an analytic sweep — while a design point only
-// needs one O(channels) latency evaluation per candidate, and sweep
-// grids revisit the same handful of module counts for every point.
-// Mesh and Compiled are immutable and safe to share across sweep
-// workers, and candidate construction is deterministic, so cached and
-// freshly built candidates are indistinguishable; a bounded FIFO keeps
-// an optimizer walking a wide StackModules range from pinning hundreds
-// of large compiled meshes in memory.
+// stackCacheKey identifies one compiled candidate set: the traffic
+// pattern participates because the analytic model's channel loads — and
+// therefore latency and saturation — are pattern-dependent. Pattern
+// String() values are injective over the supported patterns (hotspot
+// prints its module and fraction), so equal keys mean equal models.
+type stackCacheKey struct {
+	modules int
+	traffic string
+}
+
+// stackCache memoises compiled candidate topologies per (module count,
+// traffic pattern). Compiling a mesh costs O(routers^2 x hops) —
+// profiles put it at essentially 100% of an analytic sweep — while a
+// design point only needs one O(channels) latency evaluation per
+// candidate, and sweep grids revisit the same handful of module counts
+// for every point. Mesh and Compiled are immutable and safe to share
+// across sweep workers, and candidate construction is deterministic, so
+// cached and freshly built candidates are indistinguishable; a bounded
+// FIFO keeps an optimizer walking a wide StackModules range from
+// pinning hundreds of large compiled meshes in memory.
 var stackCache = struct {
 	sync.Mutex
-	entries map[int][]stackCandidate
-	order   []int
-}{entries: map[int][]stackCandidate{}}
+	entries map[stackCacheKey][]stackCandidate
+	order   []stackCacheKey
+}{entries: map[stackCacheKey][]stackCandidate{}}
 
 // stackCacheCap bounds the cached module counts; scenario grids use a
 // handful, and one 512-module entry is a few MB.
 const stackCacheCap = 32
 
 // compiledCandidates returns the compiled topology contenders for the
-// module count, building and caching them on first request.
-func compiledCandidates(modules int) []stackCandidate {
+// module count under the traffic pattern, building and caching them on
+// first request.
+func compiledCandidates(modules int, traffic noc.TrafficPattern) []stackCandidate {
+	key := stackCacheKey{modules: modules, traffic: traffic.String()}
 	stackCache.Lock()
-	if c, ok := stackCache.entries[modules]; ok {
+	if c, ok := stackCache.entries[key]; ok {
 		stackCache.Unlock()
 		return c
 	}
@@ -304,14 +495,14 @@ func compiledCandidates(modules int) []stackCandidate {
 	// candidates, so the second insert is a harmless overwrite.
 	var cands []stackCandidate
 	for _, topo := range candidateTopologies(modules) {
-		model := analytic.Model{Topo: topo, Traffic: noc.Uniform{}}.Compile()
+		model := analytic.Model{Topo: topo, Traffic: traffic}.Compile()
 		cands = append(cands, stackCandidate{topo: topo, model: model, sat: model.SaturationRate()})
 	}
 
 	stackCache.Lock()
-	if _, dup := stackCache.entries[modules]; !dup {
-		stackCache.entries[modules] = cands
-		stackCache.order = append(stackCache.order, modules)
+	if _, dup := stackCache.entries[key]; !dup {
+		stackCache.entries[key] = cands
+		stackCache.order = append(stackCache.order, key)
 		if len(stackCache.order) > stackCacheCap {
 			evict := stackCache.order[0]
 			stackCache.order = stackCache.order[1:]
@@ -323,14 +514,15 @@ func compiledCandidates(modules int) []stackCandidate {
 }
 
 // chooseStack evaluates the Fig. 7 topology types for the module count
-// and picks the lowest-latency feasible one at the given load.
-func chooseStack(modules int, injection float64) (StackPlan, error) {
+// and picks the lowest-latency feasible one at the given load under the
+// given traffic pattern.
+func chooseStack(modules int, injection float64, traffic noc.TrafficPattern) (StackPlan, error) {
 	var alts []StackAlternative
 	var bestMesh *noc.Mesh
 	bestLat := math.Inf(1)
 	var bestSat float64
 
-	for _, cand := range compiledCandidates(modules) {
+	for _, cand := range compiledCandidates(modules, traffic) {
 		lat, ok := cand.model.AvgLatency(injection)
 		alts = append(alts, StackAlternative{
 			Name:           cand.topo.Name(),

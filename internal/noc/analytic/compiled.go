@@ -75,6 +75,21 @@ func (m Model) Compile() *Compiled {
 			c.loadsPerUnit[ch] += share
 		}
 	}
+
+	// Re-slice every class's channel list out of one contiguous arena:
+	// the latency loop streams the classes in order, so packing their
+	// channel indices back to back keeps its cache behaviour uniform
+	// instead of depending on where RouteChannels' per-route allocations
+	// happened to land on the heap.
+	total := 0
+	for _, rc := range c.classes {
+		total += len(rc.chans)
+	}
+	arena := make([]int, 0, total)
+	for i := range c.classes {
+		arena = append(arena, c.classes[i].chans...)
+		c.classes[i].chans = arena[len(arena)-len(c.classes[i].chans):]
+	}
 	return c
 }
 

@@ -24,8 +24,14 @@ type indiv struct {
 	crowd float64
 }
 
-func newIndiv(genome []float64, rec sweep.Record, objs []Objective, idx int) *indiv {
-	ind := &indiv{genome: genome, rec: rec, idx: idx, feasible: rec.Err == ""}
+// newIndiv builds one individual. feasible, when non-nil, is the user
+// constraint predicate: individuals failing it rank like evaluation
+// failures — their costs park at +Inf and any feasible individual
+// dominates them — so the search is steered away from, but can still
+// traverse, constraint-violating regions.
+func newIndiv(genome []float64, rec sweep.Record, objs []Objective, idx int, feasible func(sweep.Record) bool) *indiv {
+	ind := &indiv{genome: genome, rec: rec, idx: idx,
+		feasible: rec.Err == "" && (feasible == nil || feasible(rec))}
 	ind.cost = make([]float64, len(objs))
 	for k, o := range objs {
 		if ind.feasible {

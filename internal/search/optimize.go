@@ -56,6 +56,11 @@ type Options struct {
 	// OnGeneration, when non-nil, observes each generation's summary as
 	// soon as its selection finishes, in generation order.
 	OnGeneration func(Generation)
+	// Feasible, when non-nil, adds user-spec constraints to the ranking:
+	// individuals whose records fail it are treated like evaluation
+	// failures (dominated by every feasible one, excluded from the final
+	// front). It never changes record bytes or cache keys.
+	Feasible func(sweep.Record) bool
 }
 
 // Normalize fills defaults (objectives, generations, population,
@@ -210,7 +215,7 @@ func Optimize(ctx context.Context, opts Options) (*Result, error) {
 		}
 		offspring := make([]*indiv, len(recs))
 		for i, rec := range recs {
-			offspring[i] = newIndiv(genomes[i], rec, opts.Objectives, pts[i].Index)
+			offspring[i] = newIndiv(genomes[i], rec, opts.Objectives, pts[i].Index, opts.Feasible)
 		}
 		all = append(all, offspring...)
 		res.CachedPoints += cachedN

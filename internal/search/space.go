@@ -34,6 +34,14 @@ type Param struct {
 	apply func(*core.SystemSpec, float64)
 }
 
+// NewParam constructs a parameter for dynamically compiled spaces (the
+// spec package builds them from user-submitted axis declarations).
+// apply receives the decoded value — for Bool parameters 0 or 1 — and
+// writes it into the spec being materialised.
+func NewParam(name string, kind Kind, min, max float64, apply func(*core.SystemSpec, float64)) Param {
+	return Param{Name: name, Kind: kind, Min: min, Max: max, apply: apply}
+}
+
 // Decode snaps a raw gene to the parameter's domain: clamped to
 // [Min, Max], rounded for Integer, thresholded at 0.5 for Bool.
 func (p Param) Decode(gene float64) float64 {
@@ -79,6 +87,11 @@ func (s Space) Decode(genome []float64) core.SystemSpec {
 // records and cache keys. The "optimize/" prefix keeps them disjoint
 // from grid-scenario keys in a shared result store.
 func (s Space) ScenarioName() string { return "optimize/" + s.Name }
+
+// Validate checks the space invariants. Register calls it (and panics)
+// for compiled-in spaces; dynamically compiled spaces that never enter
+// the registry call it directly and surface the error to the user.
+func (s Space) Validate() error { return s.validate() }
 
 func (s Space) validate() error {
 	if s.Name == "" || s.Base == nil || len(s.Params) == 0 {

@@ -192,7 +192,7 @@ func (c *Client) complete(leaseID string, recs []sweep.Record, spans []obs.SpanR
 		c.forget(leaseID)
 		return ErrLeaseGone
 	case http.StatusUnprocessableEntity:
-		return fmt.Errorf("%w: %s", ErrBadRecords, bodyError(resp))
+		return fmt.Errorf("%w: %s", ErrBadRecords, bodyError(resp).Message)
 	default:
 		return httpError("complete", resp)
 	}
@@ -224,19 +224,15 @@ func drain(resp *http.Response) {
 	resp.Body.Close()
 }
 
-// bodyError extracts the {"error": "..."} payload, falling back to the
-// raw body.
-func bodyError(resp *http.Response) string {
+// bodyError decodes the response's error envelope into a typed
+// *APIError (tolerating legacy and bare bodies).
+func bodyError(resp *http.Response) *APIError {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var v struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(raw, &v) == nil && v.Error != "" {
-		return v.Error
-	}
-	return strings.TrimSpace(string(raw))
+	return decodeAPIError(resp, raw)
 }
 
+// httpError wraps the decoded envelope with the failing operation, so
+// callers can errors.As for the *APIError and switch on its Code.
 func httpError(op string, resp *http.Response) error {
-	return fmt.Errorf("service: %s: %s: %s", op, resp.Status, bodyError(resp))
+	return fmt.Errorf("service: %s: %w", op, bodyError(resp))
 }

@@ -47,6 +47,12 @@ type Lease struct {
 	// evaluation index that keys its random sub-stream and cache
 	// address.
 	Points []sweep.Point `json:"points,omitempty"`
+	// Spec carries the canonical JSON of a spec-defined grid — a
+	// scenario no worker's registry knows — so the worker compiles the
+	// grid locally and regenerates its [Start, End) slice exactly like a
+	// registered scenario's. Empty for registry sweeps and for optimizer
+	// chunks (those ship explicit Points).
+	Spec string `json:"spec,omitempty"`
 	// Engine is the daemon's sweep.EngineVersion; a worker built at a
 	// different version must not evaluate the chunk.
 	Engine int `json:"engine"`
@@ -359,6 +365,7 @@ func (m *Manager) Lease(worker string) (Lease, bool, error) {
 			Seed:       j.req.Seed,
 			Start:      t.chunk.Start,
 			End:        t.chunk.End,
+			Spec:       j.specJSON,
 			Engine:     sweep.EngineVersion,
 			TTLSeconds: d.ttl.Seconds(),
 			TraceID:    j.traceID,
@@ -675,7 +682,7 @@ func (m *Manager) runDistributed(j *job) {
 			CachedPoints:   cached,
 			ComputedPoints: len(recs) - cached,
 		}
-		res.ParetoIndices = sweep.MarkPareto(res.Records)
+		res.ParetoIndices = sweep.MarkParetoFeasible(res.Records, j.feasible)
 		j.state = StateDone
 		j.result = res
 		m.recordPhase(j, "assemble", asmStart, j.finished, nil)

@@ -2,14 +2,14 @@ package service
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
-	"strings"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/search"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -38,6 +38,10 @@ import (
 //	                                 per-chunk turnarounds, span coverage
 //	GET    /api/v1/fleet/stats       per-worker throughput profiles and the
 //	                                 straggler baseline
+//	GET    /api/v1/knobs             spec knob catalog: parameter names/kinds,
+//	                                 constraint metrics, objectives
+//	GET    /api/v1/openapi.json      machine-readable contract generated from
+//	                                 the route table
 //
 // The worker tier (cmd/sweepworker) drives four more endpoints, live
 // only in distributed mode (a non-distributed daemon answers 204 to
@@ -52,21 +56,30 @@ import (
 // Observability rides on every route: each handler is registered
 // through instrument, which wraps it in obs.HTTPMetrics middleware
 // (per-route latency histogram, status-class counters, in-flight gauge,
-// X-Request-ID propagation), and the whole registry — HTTP, job, lease,
-// worker and store families — is served at:
+// X-Request-ID propagation) and records the route in the table behind
+// /api/v1/openapi.json. The whole registry — HTTP, job, lease, worker
+// and store families — is served at:
 //
 //	GET    /metrics                  Prometheus text exposition (0.0.4)
 //
-// Every error is a JSON object {"error": "..."} with the obvious status:
-// 400 for bad submissions, 404 for unknown jobs, 409 for results
-// requested before completion, 410 for dead leases, 422 for completions
-// that do not match their lease, 503 once the manager is shut down.
-// docs/api.md is the full reference.
+// Every non-2xx response is the unified error envelope
+// {"error":{"code":"...","message":"...","details":{...}}} with a
+// stable machine-readable code (see errors.go): 400 bad_request /
+// spec_invalid, 404 not_found, 409 not_done, 410 lease_gone,
+// 422 bad_records, 503 shutdown, 500 internal. docs/api.md is the full
+// reference.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	hm := obs.NewHTTPMetrics(m.Metrics(), m.logger())
-	instrument(mux, hm, "GET /metrics", m.Metrics().Handler().ServeHTTP)
-	instrument(mux, hm, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	rt := &routeTable{}
+	instrument(mux, hm, rt, "GET /api/v1/openapi.json", func(w http.ResponseWriter, r *http.Request) {
+		// rt is fully populated by the time any request arrives; the doc
+		// is rebuilt per request (cheap, rare) so it can never go stale
+		// against the table.
+		writeJSON(w, http.StatusOK, openAPIDoc(rt))
+	})
+	instrument(mux, hm, rt, "GET /metrics", m.Metrics().Handler().ServeHTTP)
+	instrument(mux, hm, rt, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// The engine version lets optimizer clients and worker binaries
 		// preflight-check compatibility before submitting or leasing:
 		// records are only comparable between equal engine versions.
@@ -87,10 +100,11 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, payload)
 	})
-	instrument(mux, hm, "GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
 		total, shards, ok := m.StoreStats()
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("daemon is running without a result store"))
+			writeAPIErrorAs(w, http.StatusNotFound, CodeNotFound,
+				fmt.Errorf("daemon is running without a result store"), nil)
 			return
 		}
 		if shards == nil {
@@ -98,17 +112,19 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, storeView{Store: total, Shards: shards})
 	})
-	instrument(mux, hm, "GET /api/v1/scenarios", handleScenarios)
-	instrument(mux, hm, "GET /api/v1/spaces", handleSpaces)
-	instrument(mux, hm, "POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/scenarios", handleScenarios)
+	instrument(mux, hm, rt, "GET /api/v1/spaces", handleSpaces)
+	instrument(mux, hm, rt, "GET /api/v1/knobs", handleKnobs)
+	instrument(mux, hm, rt, "POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+			writeAPIErrorAs(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("invalid request body: %w", err), nil)
 			return
 		}
 		v, err := m.Submit(req)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		// Tie the job id to the request id, so an operator holding either
@@ -117,34 +133,39 @@ func NewHandler(m *Manager) http.Handler {
 			"job_id", v.ID, "request_id", obs.RequestID(r.Context()))
 		writeJSON(w, http.StatusAccepted, v)
 	})
-	instrument(mux, hm, "GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+	instrument(mux, hm, rt, "GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		page, err := listQueryOf(r)
+		if err != nil {
+			writeAPIErrorAs(w, http.StatusBadRequest, CodeBadRequest, err, nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, m.ListPage(page))
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		v, err := m.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
-	instrument(mux, hm, "DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := m.Cancel(id); err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		v, err := m.Get(id)
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
 		res, err := m.Result(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -167,17 +188,18 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	instrument(mux, hm, "POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "POST /api/v1/workers/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Worker string `json:"worker"`
 		}
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.Worker == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("lease request needs a worker name"))
+			writeAPIErrorAs(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("lease request needs a worker name"), nil)
 			return
 		}
 		l, ok, err := m.Lease(req.Worker)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeAPIError(w, err)
 			return
 		}
 		if !ok {
@@ -186,15 +208,15 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, l)
 	})
-	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "POST /api/v1/workers/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		ttl, err := m.Heartbeat(r.PathValue("id"))
 		if err != nil {
-			writeError(w, leaseStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]float64{"ttl_seconds": ttl.Seconds()})
 	})
-	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "POST /api/v1/workers/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Records []sweep.Record `json:"records"`
 			// Spans are the worker-side trace of this chunk, recorded
@@ -205,37 +227,39 @@ func NewHandler(m *Manager) http.Handler {
 		// few MBs); the cap keeps a buggy or rogue client from feeding
 		// the decoder an unbounded allocation.
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid completion body: %w", err))
+			writeAPIErrorAs(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("invalid completion body: %w", err), nil)
 			return
 		}
 		if err := m.CompleteTraced(r.PathValue("id"), req.Records, req.Spans); err != nil {
-			writeError(w, leaseStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	instrument(mux, hm, "POST /api/v1/workers/leases/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "POST /api/v1/workers/leases/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Error string `json:"error"`
 		}
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid failure body: %w", err))
+			writeAPIErrorAs(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("invalid failure body: %w", err), nil)
 			return
 		}
 		if err := m.FailLease(r.PathValue("id"), req.Error); err != nil {
-			writeError(w, leaseStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	instrument(mux, hm, "GET /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		fleet := m.WorkerFleet()
 		if fleet == nil {
 			fleet = []WorkerView{}
 		}
 		writeJSON(w, http.StatusOK, fleet)
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}/pareto", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		// Snapshot the view before fetching the result: if the job is
 		// evicted between the two lookups, the Result call fails loudly
@@ -244,7 +268,7 @@ func NewHandler(m *Manager) http.Handler {
 		v, vErr := m.Get(id)
 		res, err := m.Result(id)
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		front := make([]sweep.Record, 0, len(res.ParetoIndices))
@@ -265,12 +289,12 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, payload)
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}/generations", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}/generations", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		sent := 0
 		gens, terminal, err := m.Generations(id, sent)
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -299,10 +323,10 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		spans, err := m.JobTrace(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		// NDJSON, one span per line: greppable raw, and a trace can be
@@ -316,15 +340,15 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	instrument(mux, hm, "GET /api/v1/jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
 		tl, err := m.JobTimeline(r.PathValue("id"))
 		if err != nil {
-			writeError(w, jobStatus(err), err)
+			writeAPIError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, tl)
 	})
-	instrument(mux, hm, "GET /api/v1/fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+	instrument(mux, hm, rt, "GET /api/v1/fleet/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.FleetStats())
 	})
 	return mux
@@ -336,8 +360,42 @@ func NewHandler(m *Manager) http.Handler {
 // histograms and counters. tools/routelint enforces the chokepoint
 // statically — a direct mux.Handle/HandleFunc call anywhere else in this
 // file fails CI.
-func instrument(mux *http.ServeMux, hm *obs.HTTPMetrics, pattern string, fn http.HandlerFunc) {
+// Each pattern is also recorded in the route table, which is what
+// GET /api/v1/openapi.json renders — reaching the mux and entering the
+// machine-readable contract are the same act.
+func instrument(mux *http.ServeMux, hm *obs.HTTPMetrics, rt *routeTable, pattern string, fn http.HandlerFunc) {
+	rt.add(pattern)
 	mux.Handle(pattern, hm.Wrap(pattern, fn))
+}
+
+// listQueryOf parses the GET /api/v1/jobs query string. Unknown state
+// or kind values are rejected rather than silently matching nothing,
+// so a typo reads as a 400 instead of an empty fleet.
+func listQueryOf(r *http.Request) (ListQuery, error) {
+	q := r.URL.Query()
+	lq := ListQuery{
+		State:  State(q.Get("state")),
+		Kind:   q.Get("kind"),
+		Cursor: q.Get("cursor"),
+	}
+	switch lq.State {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		return ListQuery{}, fmt.Errorf("unknown state %q", lq.State)
+	}
+	switch lq.Kind {
+	case "", KindSweep, KindOptimize:
+	default:
+		return ListQuery{}, fmt.Errorf("unknown kind %q", lq.Kind)
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return ListQuery{}, fmt.Errorf("limit must be a positive integer, got %q", raw)
+		}
+		lq.Limit = n
+	}
+	return lq, nil
 }
 
 // genPollInterval is how often the generations stream re-checks a
@@ -384,6 +442,35 @@ type spaceInfo struct {
 	Params      []search.Param `json:"params"`
 }
 
+// knobInfo is one row of the spec knob catalog: a parameter name a spec
+// may sweep or constrain, with the kind its axis must declare.
+type knobInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// handleKnobs serves the vocabulary a spec author writes against:
+// every base/axis parameter with its kind, the metrics constraint
+// expressions may reference, and the selectable optimizer objectives.
+// Together with /api/v1/openapi.json this makes specs discoverable
+// end to end — shape from the contract, names from the catalog.
+func handleKnobs(w http.ResponseWriter, r *http.Request) {
+	names := spec.Knobs()
+	knobs := make([]knobInfo, 0, len(names))
+	for _, name := range names {
+		kind, err := spec.KnobKind(name)
+		if err != nil {
+			continue
+		}
+		knobs = append(knobs, knobInfo{Name: name, Kind: kind})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"knobs":      knobs,
+		"metrics":    spec.Metrics(),
+		"objectives": search.ObjectiveNames(),
+	})
+}
+
 func handleSpaces(w http.ResponseWriter, r *http.Request) {
 	var out []spaceInfo
 	for _, name := range search.Names() {
@@ -400,55 +487,10 @@ func handleSpaces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// submitStatus maps Submit errors: validation failures (unknown
-// scenario, space, objective, budget or shape) are the client's fault,
-// shutdown is availability.
-func submitStatus(err error) int {
-	if errors.Is(err, ErrShutdown) {
-		return http.StatusServiceUnavailable
-	}
-	if errors.Is(err, ErrBadRequest) ||
-		strings.HasPrefix(err.Error(), "sweep:") ||
-		strings.HasPrefix(err.Error(), "search:") {
-		return http.StatusBadRequest
-	}
-	return http.StatusInternalServerError
-}
-
-// leaseStatus maps worker-endpoint errors: a dead lease is 410 Gone so
-// workers distinguish "drop the chunk" from transient failures, and
-// mismatched records are 422 Unprocessable.
-func leaseStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrLeaseGone):
-		return http.StatusGone
-	case errors.Is(err, ErrBadRecords):
-		return http.StatusUnprocessableEntity
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// jobStatus maps per-job lookup errors.
-func jobStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrNoTrace):
-		return http.StatusNotFound
-	case errors.Is(err, ErrNotDone):
-		return http.StatusConflict
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -144,10 +144,10 @@ func TestDaemonLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown submit = %d, want 503", resp.StatusCode)
 	}
-	var all []JobView
+	var all JobPage
 	getJSON(t, srv, "/api/v1/jobs", &all)
-	if len(all) != 3 {
-		t.Fatalf("job listing has %d entries, want 3", len(all))
+	if len(all.Jobs) != 3 {
+		t.Fatalf("job listing has %d entries, want 3", len(all.Jobs))
 	}
 }
 

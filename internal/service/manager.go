@@ -22,6 +22,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/search"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
 )
@@ -67,6 +69,14 @@ type Request struct {
 	Kind string `json:"kind,omitempty"`
 	// Scenario names a registered sweep scenario (kind "sweep").
 	Scenario string `json:"scenario,omitempty"`
+	// Spec is an inline declarative scenario specification (see the spec
+	// package and docs/specs.md): a user-defined parameter grid that is
+	// compiled at submission instead of naming a registry entry. Mutually
+	// exclusive with Scenario and Space; valid for both kinds — a spec
+	// sweep enumerates the grid, a spec optimize searches the axes'
+	// ranges. The spec's budget, objectives and constraints apply unless
+	// the request's own fields override them.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Budget is the Monte-Carlo effort: analytic, smoke or standard
 	// (empty = analytic).
 	Budget string `json:"budget"`
@@ -100,9 +110,14 @@ type Progress struct {
 
 // JobView is an immutable snapshot of a job, safe to serialize.
 type JobView struct {
-	ID          string     `json:"id"`
-	Kind        string     `json:"kind"`
-	Scenario    string     `json:"scenario,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Scenario is the grid identity records carry: the registry name for
+	// registered sweeps, "spec/<hash>" for spec-defined ones.
+	Scenario string `json:"scenario,omitempty"`
+	// Spec is the user-chosen name of the submitted spec document, empty
+	// for registry jobs.
+	Spec        string     `json:"spec,omitempty"`
 	Space       string     `json:"space,omitempty"`
 	Objectives  []string   `json:"objectives,omitempty"`
 	Generations int        `json:"generations,omitempty"`
@@ -141,6 +156,19 @@ type job struct {
 	// (kind "optimize"); Seed/Workers/Evaluate/OnGeneration are filled
 	// in at run time.
 	searchOpts search.Options
+	// specJSON is the canonical rendering of a spec-defined sweep's
+	// specification ("" otherwise): it rides grid leases so stateless
+	// workers can rebuild a grid no registry knows. Optimizer leases ship
+	// explicit points instead and never need it.
+	specJSON string
+	// specName is the user-chosen name of the submitted spec document,
+	// "" for registry jobs. Display only — the grid identity is
+	// scenarioName's content hash.
+	specName string
+	// feasible is the spec's constraint conjunction (nil = admit every
+	// Err-free record). It shapes Pareto marking and optimizer ranking at
+	// assembly time only, never record bytes or cache keys.
+	feasible func(sweep.Record) bool
 	// traceID and rootSpanID are minted at Submit when the manager has
 	// a trace collector ("" otherwise) and never change, so they are
 	// readable without j.mu: traceID names the job's distributed trace
@@ -173,7 +201,7 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID:          j.id,
 		Kind:        j.kind,
-		Scenario:    j.req.Scenario,
+		Spec:        j.specName,
 		Budget:      j.budget.Name,
 		Seed:        j.req.Seed,
 		Priority:    j.req.Priority,
@@ -186,6 +214,9 @@ func (j *job) view() JobView {
 			Cached:  int(j.cached.Load()),
 			Pending: j.total - done,
 		},
+	}
+	if j.kind == KindSweep {
+		v.Scenario = j.scenarioName
 	}
 	if j.kind == KindOptimize {
 		v.Space = j.searchOpts.Space.Name
@@ -214,6 +245,11 @@ var (
 	// ErrBadRequest marks submissions rejected before queueing (unknown
 	// kind, malformed shape); the HTTP layer maps it to 400.
 	ErrBadRequest = errors.New("service: invalid request")
+	// ErrBadSpec marks submissions whose inline spec fails to parse,
+	// validate or compile; the HTTP layer maps it to 400 with the
+	// "spec_invalid" error code, and the wrapped message names the
+	// offending field.
+	ErrBadSpec = errors.New("service: invalid spec")
 )
 
 // Options tunes a Manager.
@@ -370,34 +406,86 @@ func New(opts Options) *Manager {
 
 // Submit validates the request, enqueues a job and returns its snapshot.
 func (m *Manager) Submit(req Request) (JobView, error) {
-	budget, err := sweep.ParseBudget(req.Budget)
-	if err != nil {
-		return JobView{}, err
-	}
 	kind := req.Kind
 	if kind == "" {
 		kind = KindSweep
 	}
+	// An inline spec is parsed (strictly: unknown fields are submission
+	// errors) and validated before anything is queued, so a bad document
+	// fails fast with the spec package's actionable message.
+	var userSpec *spec.Spec
+	if len(req.Spec) > 0 {
+		if req.Scenario != "" || req.Space != "" {
+			return JobView{}, fmt.Errorf("%w: an inline spec must not also name a registered scenario or space", ErrBadRequest)
+		}
+		sp, err := spec.Parse(req.Spec)
+		if err != nil {
+			return JobView{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		userSpec = sp
+	}
+	// The request's budget wins when set; a spec submission without one
+	// runs at the spec's own budget (default analytic).
+	budgetName := req.Budget
+	if budgetName == "" && userSpec != nil {
+		budgetName = userSpec.Budget
+	}
+	budget, err := sweep.ParseBudget(budgetName)
+	if err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	j := &job{kind: kind, req: req, budget: budget, state: StateQueued}
+	if userSpec != nil {
+		j.specName = userSpec.Name
+	}
 	var pts []sweep.Point
 	switch kind {
 	case KindSweep:
-		sc, err := sweep.Get(req.Scenario)
-		if err != nil {
-			return JobView{}, err
+		var sc sweep.Scenario
+		if userSpec != nil {
+			compiled, err := userSpec.Compile()
+			if err != nil {
+				return JobView{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+			sc = compiled.Scenario
+			j.specJSON = string(userSpec.Canonical())
+			j.feasible = compiled.Feasible
+		} else {
+			sc, err = sweep.Get(req.Scenario)
+			if err != nil {
+				return JobView{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
 		}
 		pts = sc.Points()
 		j.scenario = sc
 		j.scenarioName = sc.Name
 		j.total = len(pts)
 	case KindOptimize:
-		sp, err := search.Get(req.Space)
-		if err != nil {
-			return JobView{}, err
+		var sp search.Space
+		var objs []search.Objective
+		if userSpec != nil {
+			sp, err = userSpec.Space()
+			if err != nil {
+				return JobView{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+			j.feasible, err = userSpec.FeasibleFunc()
+			if err != nil {
+				return JobView{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+			if len(req.Objectives) > 0 {
+				objs, err = search.ParseObjectives(req.Objectives)
+			} else {
+				objs, err = userSpec.SearchObjectives()
+			}
+		} else {
+			sp, err = search.Get(req.Space)
+			if err != nil {
+				return JobView{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			objs, err = search.ParseObjectives(req.Objectives)
 		}
-		objs, err := search.ParseObjectives(req.Objectives)
 		if err != nil {
-			return JobView{}, err
+			return JobView{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		opts := search.Options{
 			Space:       sp,
@@ -407,9 +495,10 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 			Population:  req.Population,
 			Budget:      budget,
 			Workers:     req.Workers,
+			Feasible:    j.feasible,
 		}
 		if err := opts.Normalize(); err != nil {
-			return JobView{}, err
+			return JobView{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		j.searchOpts = opts
 		j.scenarioName = sp.ScenarioName()
@@ -595,6 +684,82 @@ func (m *Manager) List() []JobView {
 	return out
 }
 
+// maxListLimit caps one page of the jobs listing; requests asking for
+// more are clamped, so a daemon retaining thousands of jobs never
+// serializes them all into one response.
+const maxListLimit = 1000
+
+// defaultListLimit is the page size when the client names none.
+const defaultListLimit = 100
+
+// ListQuery filters and paginates the jobs listing.
+type ListQuery struct {
+	// State keeps only jobs in this lifecycle state ("" = all).
+	State State
+	// Kind keeps only jobs of this kind ("" = all).
+	Kind string
+	// Limit caps the page size (0 = defaultListLimit, clamped to
+	// maxListLimit).
+	Limit int
+	// Cursor resumes after the job named by a previous page's
+	// NextCursor ("" = from the beginning). Job ids are zero-padded and
+	// minted in submission order, so the cursor survives eviction of the
+	// job it names: the page resumes at the first retained job after it.
+	Cursor string
+}
+
+// JobPage is one page of the jobs listing.
+type JobPage struct {
+	Jobs []JobView `json:"jobs"`
+	// NextCursor resumes the listing after this page's last job; empty
+	// when the listing is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// ListPage returns one filtered page of jobs in submission order.
+// Filters apply before pagination, so a page is full whenever enough
+// matching jobs remain — a client walking `state=failed` never receives
+// empty pages with cursors just because healthy jobs sit in between.
+func (m *Manager) ListPage(q ListQuery) JobPage {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = defaultListLimit
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		// Submission order and lexicographic id order coincide (ids are
+		// zero-padded sequence numbers), so "after the cursor" is a
+		// string comparison even when the cursor's job was evicted.
+		if q.Cursor != "" && id <= q.Cursor {
+			continue
+		}
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	page := JobPage{Jobs: []JobView{}}
+	for _, j := range js {
+		v := j.view()
+		if q.State != "" && v.State != q.State {
+			continue
+		}
+		if q.Kind != "" && v.Kind != q.Kind {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			// One more match exists beyond the full page: point the
+			// cursor at the page's last job and stop.
+			page.NextCursor = page.Jobs[limit-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, v)
+	}
+	return page
+}
+
 // Result returns the completed sweep of a done job.
 func (m *Manager) Result(id string) (*sweep.Result, error) {
 	m.mu.Lock()
@@ -724,10 +889,11 @@ func (m *Manager) run(j *job) {
 			}
 		}()
 		return m.runSweep(ctx, j.scenario, sweep.Config{
-			Workers: j.req.Workers,
-			Seed:    j.req.Seed,
-			Budget:  j.budget,
-			Cache:   m.opts.Cache,
+			Workers:  j.req.Workers,
+			Seed:     j.req.Seed,
+			Budget:   j.budget,
+			Cache:    m.opts.Cache,
+			Feasible: j.feasible,
 			OnPoint: func(_ int, cached bool) {
 				j.done.Add(1)
 				if cached {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 )
 
@@ -117,9 +118,9 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 	var sc sweep.Scenario
 	if len(l.Points) == 0 {
 		var err error
-		sc, err = sweep.Get(l.Scenario)
+		sc, err = leaseScenario(l)
 		if err != nil {
-			return fmt.Errorf("service: daemon leased a scenario this worker does not know: %w", err)
+			return err
 		}
 	}
 	budget, err := sweep.ParseBudget(l.Budget)
@@ -222,6 +223,38 @@ func serveLease(ctx context.Context, api WorkerAPI, l Lease, opts WorkerOptions,
 		}
 	}
 	return nil
+}
+
+// leaseScenario resolves the scenario a grid lease names. A lease
+// carrying a canonical spec document is compiled locally — the same
+// strict parse and validation the daemon ran at submission, so daemon
+// and worker agree on the grid bit for bit or refuse loudly — and the
+// compiled content-addressed name must match the lease's scenario
+// string. Without a spec the scenario comes from the worker's
+// compiled-in registry. Errors are terminal for the worker loop: every
+// one of them means this binary disagrees with the daemon about what
+// the grid is, which the determinism contract forbids papering over.
+func leaseScenario(l Lease) (sweep.Scenario, error) {
+	if l.Spec == "" {
+		sc, err := sweep.Get(l.Scenario)
+		if err != nil {
+			return sweep.Scenario{}, fmt.Errorf("service: daemon leased a scenario this worker does not know: %w", err)
+		}
+		return sc, nil
+	}
+	sp, err := spec.Parse([]byte(l.Spec))
+	if err != nil {
+		return sweep.Scenario{}, fmt.Errorf("service: daemon leased a spec this worker cannot parse — rebuild the worker: %w", err)
+	}
+	compiled, err := sp.Compile()
+	if err != nil {
+		return sweep.Scenario{}, fmt.Errorf("service: daemon leased a spec this worker cannot compile — rebuild the worker: %w", err)
+	}
+	if compiled.Scenario.Name != l.Scenario {
+		return sweep.Scenario{}, fmt.Errorf("service: leased spec compiles to scenario %q but the lease names %q — rebuild the worker",
+			compiled.Scenario.Name, l.Scenario)
+	}
+	return compiled.Scenario, nil
 }
 
 // evalChunk and evalPoints are sweep.EvaluateChunk and

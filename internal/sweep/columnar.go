@@ -38,6 +38,13 @@ type RecordBlock struct {
 	SpecButler             []bool
 	SpecSNRMarginDB        []float64
 
+	// Optional spec sections ride along as pointer columns: the sections
+	// are small, immutable once built, and usually nil, so sharing the
+	// pointer is both cheap and exact (nil-ness round-trips).
+	SpecTraffic      []*core.TrafficSpec
+	SpecInterference []*core.InterferenceSpec
+	SpecPower        []*core.PowerSpec
+
 	Err []string
 
 	TxPowerDBm         []float64
@@ -79,6 +86,9 @@ func (b *RecordBlock) Append(r Record) {
 	b.SpecStackInjectionRate = append(b.SpecStackInjectionRate, r.Spec.StackInjectionRate)
 	b.SpecButler = append(b.SpecButler, r.Spec.Butler)
 	b.SpecSNRMarginDB = append(b.SpecSNRMarginDB, r.Spec.SNRMarginDB)
+	b.SpecTraffic = append(b.SpecTraffic, r.Spec.Traffic)
+	b.SpecInterference = append(b.SpecInterference, r.Spec.Interference)
+	b.SpecPower = append(b.SpecPower, r.Spec.Power)
 	b.Err = append(b.Err, r.Err)
 	b.TxPowerDBm = append(b.TxPowerDBm, r.TxPowerDBm)
 	b.SpectralEfficiency = append(b.SpectralEfficiency, r.SpectralEfficiency)
@@ -123,6 +133,9 @@ func (b *RecordBlock) Record(i int) Record {
 			StackInjectionRate: b.SpecStackInjectionRate[i],
 			Butler:             b.SpecButler[i],
 			SNRMarginDB:        b.SpecSNRMarginDB[i],
+			Traffic:            b.SpecTraffic[i],
+			Interference:       b.SpecInterference[i],
+			Power:              b.SpecPower[i],
 		},
 		Err:                b.Err[i],
 		TxPowerDBm:         b.TxPowerDBm[i],
@@ -174,10 +187,25 @@ func AppendRecordJSON(dst []byte, r Record) ([]byte, error) {
 		r.BEREbN0DB, r.BER,
 		r.SimLatencyCycles, r.SimLatencyCI95,
 	} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			// Match encoding/json's *UnsupportedValueError text so callers
-			// switching to this encoder see familiar failures.
-			return dst, fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(v, 'g', -1, 64))
+		if err := finiteJSONFloat(v); err != nil {
+			return dst, err
+		}
+	}
+	// Optional spec sections carry floats too; guard them only when
+	// present so the common nil-section path stays a fixed-size scan.
+	if t := r.Spec.Traffic; t != nil {
+		if err := finiteJSONFloat(t.HotspotFraction); err != nil {
+			return dst, err
+		}
+	}
+	if in := r.Spec.Interference; in != nil {
+		if err := finiteJSONFloat(in.RejectionDB); err != nil {
+			return dst, err
+		}
+	}
+	if p := r.Spec.Power; p != nil {
+		if err := finiteJSONFloat(p.MaxTxPowerDBm); err != nil {
+			return dst, err
 		}
 	}
 	dst = append(dst, `{"scenario":`...)
@@ -207,6 +235,32 @@ func AppendRecordJSON(dst []byte, r Record) ([]byte, error) {
 	dst = strconv.AppendBool(dst, r.Spec.Butler)
 	dst = append(dst, `,"SNRMarginDB":`...)
 	dst = appendJSONFloat(dst, r.Spec.SNRMarginDB)
+	// The optional sections are tagged pointers with omitempty: nil
+	// emits nothing (preserving the pre-section byte stream), non-nil
+	// emits every section field in declaration order.
+	if t := r.Spec.Traffic; t != nil {
+		dst = append(dst, `,"traffic":{"pattern":`...)
+		dst = AppendJSONString(dst, t.Pattern)
+		dst = append(dst, `,"hotspot_module":`...)
+		dst = strconv.AppendInt(dst, int64(t.HotspotModule), 10)
+		dst = append(dst, `,"hotspot_fraction":`...)
+		dst = appendJSONFloat(dst, t.HotspotFraction)
+		dst = append(dst, '}')
+	}
+	if in := r.Spec.Interference; in != nil {
+		dst = append(dst, `,"interference":{"neighbors":`...)
+		dst = strconv.AppendInt(dst, int64(in.Neighbors), 10)
+		dst = append(dst, `,"copper_boards":`...)
+		dst = strconv.AppendBool(dst, in.CopperBoards)
+		dst = append(dst, `,"rejection_db":`...)
+		dst = appendJSONFloat(dst, in.RejectionDB)
+		dst = append(dst, '}')
+	}
+	if p := r.Spec.Power; p != nil {
+		dst = append(dst, `,"power":{"max_tx_power_dbm":`...)
+		dst = appendJSONFloat(dst, p.MaxTxPowerDBm)
+		dst = append(dst, '}')
+	}
 	dst = append(dst, '}')
 	if r.Err != "" {
 		dst = append(dst, `,"err":`...)
@@ -256,6 +310,16 @@ func AppendRecordJSON(dst []byte, r Record) ([]byte, error) {
 	dst = strconv.AppendBool(dst, r.Pareto)
 	dst = append(dst, '}')
 	return dst, nil
+}
+
+// finiteJSONFloat rejects the floats encoding/json refuses, matching
+// its *UnsupportedValueError text so callers switching to this encoder
+// see familiar failures.
+func finiteJSONFloat(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return nil
 }
 
 // appendJSONFloat appends a float the way encoding/json does: shortest

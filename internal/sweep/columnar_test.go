@@ -38,6 +38,17 @@ func columnarCorpus() []Record {
 			NoCSaturation: 1.0000001e-6, DecodeLatencyBits: 5e-324, SimLatencyCycles: math.MaxFloat64},
 		{TxPowerDBm: math.Copysign(0, -1), BER: 0.1, BEREbN0DB: -2.5},
 		{BER: 3.141592653589793, SimLatencyCI95: 2.718281828459045e-15},
+		{
+			Scenario: "spec-sections", Index: 11,
+			Spec: core.SystemSpec{
+				Boards: 4, StackModules: 64,
+				Traffic:      &core.TrafficSpec{Pattern: "hotspot", HotspotModule: 3, HotspotFraction: 0.25},
+				Interference: &core.InterferenceSpec{Neighbors: 2, CopperBoards: true, RejectionDB: 6.5},
+				Power:        &core.PowerSpec{MaxTxPowerDBm: 10},
+			},
+		},
+		{Spec: core.SystemSpec{Traffic: &core.TrafficSpec{Pattern: `esc"<&>`, HotspotFraction: 1e-7}}},
+		{Spec: core.SystemSpec{Power: &core.PowerSpec{MaxTxPowerDBm: math.Copysign(0, -1)}}},
 	}
 }
 
@@ -81,26 +92,58 @@ func TestAppendRecordsJSONMatchesMarshal(t *testing.T) {
 // of NaN and infinities, leaving dst untouched.
 func TestAppendRecordJSONRejectsNonFinite(t *testing.T) {
 	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		r := Record{BER: bad}
-		if _, err := json.Marshal(r); err == nil {
-			t.Fatalf("json.Marshal accepted %v", bad)
-		}
-		dst := []byte("prefix")
-		out, err := AppendRecordJSON(dst, r)
-		if err == nil {
-			t.Fatalf("AppendRecordJSON accepted %v", bad)
-		}
-		if string(out) != "prefix" {
-			t.Fatalf("dst modified on error: %q", out)
+		for _, r := range []Record{
+			{BER: bad},
+			{Spec: core.SystemSpec{Traffic: &core.TrafficSpec{HotspotFraction: bad}}},
+			{Spec: core.SystemSpec{Interference: &core.InterferenceSpec{RejectionDB: bad}}},
+			{Spec: core.SystemSpec{Power: &core.PowerSpec{MaxTxPowerDBm: bad}}},
+		} {
+			if _, err := json.Marshal(r); err == nil {
+				t.Fatalf("json.Marshal accepted %v", bad)
+			}
+			dst := []byte("prefix")
+			out, err := AppendRecordJSON(dst, r)
+			if err == nil {
+				t.Fatalf("AppendRecordJSON accepted %v", bad)
+			}
+			if string(out) != "prefix" {
+				t.Fatalf("dst modified on error: %q", out)
+			}
 		}
 	}
 }
 
 // recordsBitEqual compares records exactly, treating floats by bit
 // pattern so NaN payloads and negative zero count.
+// specSectionsBitEqual compares the optional spec sections exactly,
+// nil-ness included.
+func specSectionsBitEqual(a, b core.SystemSpec) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if (a.Traffic == nil) != (b.Traffic == nil) ||
+		(a.Interference == nil) != (b.Interference == nil) ||
+		(a.Power == nil) != (b.Power == nil) {
+		return false
+	}
+	if a.Traffic != nil && (a.Traffic.Pattern != b.Traffic.Pattern ||
+		a.Traffic.HotspotModule != b.Traffic.HotspotModule ||
+		!feq(a.Traffic.HotspotFraction, b.Traffic.HotspotFraction)) {
+		return false
+	}
+	if a.Interference != nil && (a.Interference.Neighbors != b.Interference.Neighbors ||
+		a.Interference.CopperBoards != b.Interference.CopperBoards ||
+		!feq(a.Interference.RejectionDB, b.Interference.RejectionDB)) {
+		return false
+	}
+	if a.Power != nil && !feq(a.Power.MaxTxPowerDBm, b.Power.MaxTxPowerDBm) {
+		return false
+	}
+	return true
+}
+
 func recordsBitEqual(a, b Record) bool {
 	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
-	return a.Scenario == b.Scenario && a.Index == b.Index && a.Label == b.Label &&
+	return specSectionsBitEqual(a.Spec, b.Spec) &&
+		a.Scenario == b.Scenario && a.Index == b.Index && a.Label == b.Label &&
 		a.Spec.Boards == b.Spec.Boards && feq(a.Spec.BoardSpacingM, b.Spec.BoardSpacingM) &&
 		feq(a.Spec.BoardEdgeM, b.Spec.BoardEdgeM) && a.Spec.NodesPerBoard == b.Spec.NodesPerBoard &&
 		feq(a.Spec.LinkRateGbps, b.Spec.LinkRateGbps) && a.Spec.LatencyBudgetBits == b.Spec.LatencyBudgetBits &&
@@ -165,6 +208,21 @@ func FuzzRecordColumnarRoundTrip(f *testing.F) {
 			BERCodewords: idx * 2, SimLatencyCycles: f2 - f1,
 			SimLatencyCI95: math.Float64frombits(bits2 >> 3), SimReplications: idx / 3,
 			Pareto: pareto,
+		}
+		// Optional sections are derived from the existing arguments (the
+		// committed seed corpus keeps its signature) and still cover NaN
+		// and infinity bit patterns through the float columns.
+		if pareto {
+			r.Spec.Traffic = &core.TrafficSpec{
+				Pattern: label, HotspotModule: cw,
+				HotspotFraction: math.Float64frombits(bits1 ^ 0x55),
+			}
+		}
+		if butler {
+			r.Spec.Interference = &core.InterferenceSpec{
+				Neighbors: idx, CopperBoards: pareto, RejectionDB: f2,
+			}
+			r.Spec.Power = &core.PowerSpec{MaxTxPowerDBm: math.Float64frombits(bits2 ^ 0xff)}
 		}
 		b := BlockRecords([]Record{r, r})
 		for i := 0; i < b.Len(); i++ {

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ldpc"
-	"repro/internal/noc"
 	"repro/internal/noc/sim"
 	"repro/internal/rng"
 )
@@ -118,8 +117,11 @@ func Evaluate(scenario string, pt Point, stream *rng.Stream, b Budget) Record {
 		simStream := stream.Split(2)
 		est := AdaptiveMean(b.NoCMinReps, b.NoCMaxReps, b.NoCRelCI, func(i int) float64 {
 			res := sim.Run(sim.Config{
-				Topo:          des.Stack.Topology,
-				Traffic:       noc.Uniform{},
+				Topo: des.Stack.Topology,
+				// The simulator offers the same pattern the analytic
+				// chooser planned for (uniform when the spec has no
+				// traffic section).
+				Traffic:       pt.Spec.Traffic.NoCPattern(),
 				InjectionRate: pt.Spec.StackInjectionRate,
 				MeasureCycles: b.NoCMeasureCycles,
 				Seed:          simStream.Split(uint64(i) + 1).Uint64(),

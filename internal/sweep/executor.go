@@ -119,6 +119,11 @@ type Config struct {
 	// served from the Cache. It runs on worker goroutines and must be
 	// safe for concurrent use.
 	OnPoint func(index int, cached bool)
+	// Feasible, when non-nil, is the user-spec constraint predicate:
+	// records failing it are excluded from Pareto marking (they neither
+	// join nor dominate the front). It never changes record bytes or
+	// cache keys.
+	Feasible func(Record) bool
 }
 
 // Result is the structured outcome of one scenario sweep.
@@ -207,7 +212,7 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (*Result, error) {
 		CachedPoints:   int(cached.Load()),
 		ComputedPoints: len(recs) - int(cached.Load()),
 	}
-	res.ParetoIndices = MarkPareto(res.Records)
+	res.ParetoIndices = MarkParetoFeasible(res.Records, cfg.Feasible)
 	return res, nil
 }
 

@@ -18,15 +18,30 @@ func dominates(a, b Record) bool {
 // record and returns their indices in record order. Infeasible records
 // (Err set) never join the front.
 func MarkPareto(recs []Record) []int {
-	var front []int
+	return MarkParetoFeasible(recs, nil)
+}
+
+// MarkParetoFeasible is MarkPareto under an extra feasibility
+// predicate (user spec constraints): records failing it neither join
+// nor dominate the front, exactly like records with Err set. A nil
+// predicate admits every Err-free record. The predicate only shapes
+// this job-level marking pass — record metric bytes are untouched, so
+// the point cache stays shared across specs that differ only in their
+// constraints.
+func MarkParetoFeasible(recs []Record, feasible func(Record) bool) []int {
+	ok := make([]bool, len(recs))
 	for i := range recs {
 		recs[i].Pareto = false
-		if recs[i].Err != "" {
+		ok[i] = recs[i].Err == "" && (feasible == nil || feasible(recs[i]))
+	}
+	var front []int
+	for i := range recs {
+		if !ok[i] {
 			continue
 		}
 		dominated := false
 		for j := range recs {
-			if i == j || recs[j].Err != "" {
+			if i == j || !ok[j] {
 				continue
 			}
 			if dominates(recs[j], recs[i]) {

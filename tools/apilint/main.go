@@ -1,0 +1,186 @@
+// Command apilint fails (exit 1) if any handler in internal/service
+// writes a non-2xx response outside the error-envelope helper. It is
+// the CI contract gate for the API's error surface: every non-2xx body
+// must be the unified envelope
+// {"error":{"code":...,"message":...,"details":...}}, and the only
+// function allowed to hand a non-2xx status to the response writer is
+// writeAPIErrorAs (writeAPIError delegates to it). A handler calling
+// writeJSON(w, http.StatusBadRequest, ...) or w.WriteHeader(500)
+// directly would ship an un-enveloped error, and fails the build.
+//
+// Usage:
+//
+//	go run ./tools/apilint [dir]
+//
+// dir defaults to "internal/service". Like routelint, the check is
+// purely syntactic so it needs no type information or build cache: a
+// violation is a call to writeJSON or .WriteHeader whose status
+// argument is a non-2xx http.Status* selector or a non-2xx integer
+// literal, outside the function declarations of writeAPIErrorAs and
+// the writeJSON transport it bottoms out in (whose internal
+// WriteHeader only forwards a status already linted at the call
+// site). Statuses computed at runtime escape the lint by
+// construction — handlers have none, and classify() keeps it that way
+// by being the only error-to-status decision table. Test files are
+// ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// allowedFunc is the one function allowed to write non-2xx statuses.
+const allowedFunc = "writeAPIErrorAs"
+
+// transportFunc is the shared JSON writer both helpers bottom out in.
+// Its body forwards whatever status its caller passed — and every
+// caller's status argument is linted at the call site — so its internal
+// WriteHeader is excused alongside the helper.
+const transportFunc = "writeJSON"
+
+// okStatuses are the http.Status* selector names a handler may pass
+// directly: the 2xx family the envelope contract does not cover.
+var okStatuses = map[string]bool{
+	"StatusOK":        true,
+	"StatusCreated":   true,
+	"StatusAccepted":  true,
+	"StatusNoContent": true,
+}
+
+func main() {
+	root := "internal/service"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apilint:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "apilint: %d non-2xx response(s) bypass the error envelope (use writeAPIError / %s):\n",
+			len(violations), allowedFunc)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("apilint: every non-2xx response in %s goes through %s\n", root, allowedFunc)
+}
+
+// lint walks root's non-test Go files and returns every non-2xx status
+// write outside the allowed helper, as "file:line: call" strings in
+// sorted order.
+func lint(root string) ([]string, error) {
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		violations = append(violations, lintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// lintFile reports the offending status writes in one parsed file. Each
+// top-level declaration is walked separately so a call can be excused
+// by the function declaration it lives in.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && (fd.Name.Name == allowedFunc || fd.Name.Name == transportFunc) {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var status ast.Expr
+			var what string
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "writeJSON" && len(call.Args) >= 2 {
+					status, what = call.Args[1], "writeJSON"
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+					status, what = call.Args[0], "WriteHeader"
+				}
+			}
+			if status == nil || statusIs2xx(status) {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: %s with non-2xx status %s outside %s",
+				pos.Filename, pos.Line, what, exprString(status), allowedFunc))
+			return true
+		})
+	}
+	return out
+}
+
+// statusIs2xx reports whether the status expression is a whitelisted
+// 2xx http.Status* selector or a 2xx integer literal. Anything else —
+// a non-2xx constant, a literal like 500, or a runtime value — counts
+// as a potential envelope bypass.
+func statusIs2xx(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		return okStatuses[v.Sel.Name]
+	case *ast.BasicLit:
+		if v.Kind != token.INT {
+			return false
+		}
+		n, err := strconv.Atoi(v.Value)
+		return err == nil && n >= 200 && n < 300
+	default:
+		return false
+	}
+}
+
+// exprString renders the status argument for the violation message.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := v.X.(*ast.Ident); ok {
+			return x.Name + "." + v.Sel.Name
+		}
+		return v.Sel.Name
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.Ident:
+		return v.Name
+	default:
+		return "?"
+	}
+}
